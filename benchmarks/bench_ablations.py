@@ -1,0 +1,50 @@
+"""Benchmark: the ablation suite (design-choice checks from DESIGN.md).
+
+Shape checks:
+
+* exact vs normal-approximation ranks: indistinguishable coverage (the
+  Appendix's justification for the approximation);
+* epoch 0 vs 300 s vs 3600 s: minimal effect (Section 5.1's claim);
+* disabling history trimming degrades BMBP on a nonstationary queue
+  (Section 4.1's motivation);
+* the max-observed strawman is "correct" but an order of magnitude less
+  accurate than BMBP (Section 5's correctness-vs-accuracy argument);
+* on organic scheduler-generated waits, BMBP beats the full-history
+  log-normal's coverage.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.ablations import render, run_ablations
+
+
+def _by(rows, ablation):
+    return {row.variant: row for row in rows if row.ablation == ablation}
+
+
+def test_ablations(benchmark, config, fresh):
+    rows = run_once(benchmark, run_ablations, config)
+    print()
+    print(render(rows))
+
+    ranks = _by(rows, "rank-method")
+    assert abs(ranks["exact"].fraction_correct - ranks["normal"].fraction_correct) < 0.01
+
+    epochs = _by(rows, "epoch-length")
+    values = [row.fraction_correct for row in epochs.values()]
+    assert max(values) - min(values) < 0.01  # "the effect ... was minimal"
+
+    trims = _by(rows, "history-trimming")
+    assert trims["bmbp-trim"].fraction_correct > trims["bmbp-notrim"].fraction_correct
+    assert trims["bmbp-trim"].fraction_correct >= 0.95
+
+    baselines = _by(rows, "baselines")
+    assert baselines["max-observed"].fraction_correct >= 0.99
+    assert baselines["max-observed"].median_ratio < baselines["bmbp"].median_ratio
+    assert baselines["mean-wait"].fraction_correct < 0.95
+
+    sched = _by(rows, "scheduler-substrate")
+    for scenario in ("easy-backfill", "priority-retuned"):
+        bmbp = sched[f"{scenario}/bmbp"].fraction_correct
+        notrim = sched[f"{scenario}/logn-notrim"].fraction_correct
+        assert bmbp > notrim
+        assert bmbp >= 0.93

@@ -1,0 +1,22 @@
+"""Benchmark: grouping strategies (population vs fixed bins vs clusters).
+
+Shape checks: every strategy keeps coverage at or above 0.95 on the
+size-sensitive queues, and the adaptive clusterer finds real structure on
+datastar/normal (whose June regime makes size matter) while refusing to
+invent structure where the per-size differences are noise.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.clustering_eval import render, run_clustering_eval
+
+
+def test_clustering(benchmark, config, fresh):
+    rows = run_once(benchmark, run_clustering_eval, config)
+    print()
+    print(render(rows))
+
+    by = {(r.machine, r.queue, r.strategy): r for r in rows}
+    for row in rows:
+        assert row.fraction_correct >= 0.945, (row.machine, row.queue, row.strategy)
+
+    assert by[("datastar", "normal", "clustered")].n_groups >= 2

@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Figure 1 (cross-site bound series for one day).
+
+Shape check: the paper's point is the orders-of-magnitude gap between the
+sites — a user could predict a sub-minute-to-minutes start at TACC versus a
+multi-day worst case at SDSC Datastar.  We assert the gap exceeds two
+orders of magnitude on the day's median bound.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments.figure1 import render, run_figure1
+
+
+def test_figure1(benchmark, config, fresh):
+    series = run_once(benchmark, run_figure1, config)
+    print()
+    print(render(series))
+
+    by_label = {s.label: s for s in series}
+    datastar = by_label["datastar/normal"].summary()["median"]
+    tacc = by_label["tacc2/normal"].summary()["median"]
+    assert datastar > 100.0 * tacc
+    assert datastar > 86400.0  # multi-day worst case at SDSC
+    for s in series:
+        assert s.times.size >= 10
+        assert np.all(np.diff(s.times) >= 0)

@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 2 (job-size inversion on datastar/normal).
+
+Shape check: during June 2004 the 17-64 processor bound sits *below* the
+1-4 processor bound for the large majority of the month — the inversion the
+paper found so surprising that the authors audited the raw logs.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.figure2 import render, run_figure2
+
+
+def test_figure2(benchmark, config, fresh):
+    result = run_once(benchmark, run_figure2, config)
+    print()
+    print(render(result))
+
+    assert result.inversion_fraction() >= 0.8
+    for label in ("1-4", "17-64"):
+        times, bounds = result.series[label]
+        assert times.size > 0
+        assert (bounds > 0).all()

@@ -1,0 +1,18 @@
+"""Benchmark: prediction latency (the paper's 8 ms/prediction claim).
+
+The claim under test is "fast enough to deliver timely forecasts": the
+full observe+refit+predict cycle must beat the paper's 8 ms mean by a wide
+margin on modern hardware, for every method.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.latency import PAPER_LATENCY_MS, render, run_latency
+
+
+def test_latency(benchmark, config, fresh):
+    rows = run_once(benchmark, run_latency, config)
+    print()
+    print(render(rows))
+
+    for row in rows:
+        assert row.mean_ms < PAPER_LATENCY_MS / 4.0, row.method

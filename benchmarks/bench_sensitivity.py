@@ -1,0 +1,48 @@
+"""Benchmark: quantile/confidence sensitivity sweep (Section 5's claim).
+
+Shape checks: coverage reaches the target quantile for (essentially) every
+grid combination on the well-behaved queue, tracks the quantile
+monotonically everywhere, and the bound tightness (median actual/predicted)
+loosens as the quantile rises.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.sensitivity import (
+    CONFIDENCE_GRID,
+    QUANTILE_GRID,
+    SENSITIVITY_QUEUES,
+    render,
+    run_sensitivity,
+)
+
+
+def test_sensitivity(benchmark, config, fresh):
+    rows = run_once(benchmark, run_sensitivity, config)
+    print()
+    print(render(rows))
+
+    assert len(rows) == len(SENSITIVITY_QUEUES) * len(QUANTILE_GRID) * len(
+        CONFIDENCE_GRID
+    )
+
+    # The well-behaved queue is correct at every combination.
+    well_behaved = [r for r in rows if (r.machine, r.queue) == ("llnl", "all")]
+    assert all(row.correct for row in well_behaved)
+
+    # Across the whole grid, at most a few near-threshold misses.
+    failures = [row for row in rows if not row.correct]
+    assert len(failures) <= 4
+    for row in failures:
+        assert row.fraction_correct > row.quantile - 0.02
+
+    # Coverage non-decreasing in quantile (per queue/confidence).
+    for machine, queue in SENSITIVITY_QUEUES:
+        for confidence in CONFIDENCE_GRID:
+            series = [
+                row.fraction_correct
+                for row in rows
+                if (row.machine, row.queue) == (machine, queue)
+                and row.confidence == confidence
+            ]
+            for a, b in zip(series, series[1:]):
+                assert b >= a - 0.02

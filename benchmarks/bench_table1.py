@@ -1,0 +1,31 @@
+"""Benchmark: regenerate Table 1 (the 39-trace workload inventory).
+
+Shape checks: every queue's mean and median match the published values
+(the generator pins them), and the heavy-tail property (median << mean)
+holds wherever the paper reports it.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.table1 import run_table1
+
+
+def test_table1(benchmark, config, fresh):
+    rows = run_once(benchmark, run_table1, config)
+
+    assert len(rows) == 39
+    for row in rows:
+        if row.spec.key == ("lanl", "short"):
+            continue  # end-of-log surge intentionally blows up the mean
+        if row.spec.mean < row.spec.median:
+            # lanl/schammpq, the paper's one near-symmetric queue: a
+            # log-space generator cannot produce mean < median, so the mean
+            # lands a few percent high.  Median still pinned.
+            assert row.mean_error < 0.10, row.spec.label
+        else:
+            assert row.mean_error < 0.05, row.spec.label
+        assert row.median_error < 0.05 or row.spec.median <= 10, row.spec.label
+
+    heavy = sum(
+        row.mean > 2 * row.median for row in rows if row.spec.median > 0
+    )
+    assert heavy >= 30  # "clear that the distribution ... is heavy-tailed"

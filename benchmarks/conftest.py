@@ -1,0 +1,33 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one table or figure of the paper at the default
+experiment scale and *asserts the paper's qualitative shape* on the result —
+who wins, what fails, where the crossovers fall — so a benchmark run is also
+a reproduction check.  Timings use one round (the workloads are multi-second
+replays, not microbenchmarks); the in-process caches are cleared in setup so
+every benchmark measures real work.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import ExperimentConfig, clear_caches
+
+
+@pytest.fixture(scope="session")
+def config() -> ExperimentConfig:
+    """The default paper-reproduction configuration."""
+    return ExperimentConfig()
+
+
+@pytest.fixture
+def fresh():
+    """Clear experiment caches so the benchmark times real work."""
+    clear_caches()
+    return clear_caches
+
+
+def run_once(benchmark, fn, *args):
+    """Run ``fn`` exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, args=args, rounds=1, iterations=1, warmup_rounds=0)

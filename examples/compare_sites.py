@@ -1,0 +1,65 @@
+"""Cross-site submission advisor (the paper's Figure 1 scenario).
+
+A user with allocations at two centers wants to know where a job submitted
+*right now* would start sooner, with quantified confidence.  We regenerate
+the synthetic SDSC Datastar and TACC Lonestar "normal" queues, replay BMBP
+over both, and compare the bounds a user would have been quoted on the
+paper's example day (February 24, 2005).
+
+Run:  python examples/compare_sites.py
+"""
+
+import numpy as np
+
+from repro.core.bmbp import BMBPPredictor
+from repro.experiments.runner import ExperimentConfig, trace_for
+from repro.experiments.table8 import SECONDS_PER_DAY, day_epoch
+from repro.simulator.replay import ReplayConfig, replay_single
+from repro.workloads.spec import spec_for
+
+SITES = (("datastar", "normal"), ("tacc2", "normal"))
+
+
+def human(seconds: float) -> str:
+    if seconds < 120:
+        return f"{seconds:.0f} s"
+    if seconds < 7200:
+        return f"{seconds / 60:.0f} min"
+    if seconds < 2 * 86400:
+        return f"{seconds / 3600:.1f} h"
+    return f"{seconds / 86400:.1f} days"
+
+
+def main() -> None:
+    config = ExperimentConfig(scale=0.2)  # lighter than the bench default
+    day_start = day_epoch("2/05", 24)
+    window = (day_start, day_start + SECONDS_PER_DAY)
+
+    print("95%-confidence upper bounds on the 0.95 quantile of queuing delay")
+    print("for a job submitted on 2005-02-24 (synthetic reproduction):\n")
+
+    medians = {}
+    for machine, queue in SITES:
+        trace = trace_for(spec_for(machine, queue), config)
+        result = replay_single(
+            trace,
+            BMBPPredictor(),
+            ReplayConfig(record_series=True, series_window=window),
+        )
+        times, bounds = result.series
+        label = f"{machine}/{queue}"
+        medians[label] = float(np.median(bounds)) if bounds.size else float("nan")
+        print(f"  {label:18s} day-median bound: {human(medians[label]):>10s} "
+              f"(range {human(bounds.min())} .. {human(bounds.max())}, "
+              f"{times.size} refits)")
+
+    best = min(medians, key=medians.get)
+    ratio = max(medians.values()) / max(min(medians.values()), 1.0)
+    print(f"\n=> submit to {best}: expected worst-case start is "
+          f"~{ratio:,.0f}x sooner, with the same 95% certainty.")
+    print("   (The paper's real-log version of this gap: 12 seconds at TACC"
+          " vs ~4 days at SDSC.)")
+
+
+if __name__ == "__main__":
+    main()

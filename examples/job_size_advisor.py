@@ -1,0 +1,72 @@
+"""Job-size advisor (the paper's Figure 2 scenario).
+
+"Should I ask for fewer processors to start sooner?"  Common wisdom says
+yes — small jobs backfill.  The paper's surprise: on SDSC Datastar in June
+2004, *larger* jobs were favored, and BMBP, fed per-size-range histories,
+would have told users so.  This example reproduces that advisory.
+
+Run:  python examples/job_size_advisor.py
+"""
+
+import numpy as np
+
+from repro.core.bmbp import BMBPPredictor
+from repro.experiments.runner import ExperimentConfig, trace_for
+from repro.experiments.table8 import SECONDS_PER_DAY, day_epoch
+from repro.simulator.replay import ReplayConfig, replay_single
+from repro.workloads.bins import PROC_BINS, bin_label, partition_by_bin
+from repro.workloads.spec import spec_for
+
+
+def human(seconds: float) -> str:
+    if seconds < 7200:
+        return f"{seconds / 60:.0f} min"
+    if seconds < 2 * 86400:
+        return f"{seconds / 3600:.1f} h"
+    return f"{seconds / 86400:.1f} days"
+
+
+def main() -> None:
+    config = ExperimentConfig(scale=0.2)
+    trace = trace_for(spec_for("datastar", "normal"), config)
+    parts = partition_by_bin(trace)
+
+    month_start = day_epoch("6/04", 1)
+    window = (month_start, month_start + 30 * SECONDS_PER_DAY)
+
+    print("datastar/normal, June 2004 — 95%-confidence worst-case wait by "
+          "requested processor count:\n")
+    results = {}
+    for bin_range in PROC_BINS:
+        label = bin_label(bin_range)
+        sub = parts[label]
+        if len(sub) < 300:
+            print(f"  {label:>6s} procs: too few jobs for a bound ({len(sub)})")
+            continue
+        result = replay_single(
+            sub,
+            BMBPPredictor(),
+            ReplayConfig(record_series=True, series_window=window),
+        )
+        _, bounds = result.series
+        if bounds.size == 0:
+            print(f"  {label:>6s} procs: no bound available in June")
+            continue
+        median = float(np.median(bounds))
+        results[label] = median
+        print(f"  {label:>6s} procs: typically within {human(median):>9s} "
+              f"(month range {human(bounds.min())} .. {human(bounds.max())})")
+
+    if "1-4" in results and "17-64" in results:
+        print()
+        if results["17-64"] < results["1-4"]:
+            factor = results["1-4"] / results["17-64"]
+            print(f"=> counterintuitive but true this month: a 17-64 processor "
+                  f"request starts ~{factor:.0f}x sooner than a 1-4 processor one.")
+            print("   (The paper verified the same inversion in the real logs.)")
+        else:
+            print("=> small jobs are favored this month, as users usually expect.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Quickstart: predict a bound on your job's queuing delay.
+
+The core use case from the paper's introduction: you are about to submit a
+job to a busy batch queue and want to know, with 95% certainty, the longest
+you are likely to wait.  BMBP needs nothing but the queue's observed
+history of wait times.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import BMBPPredictor, BoundKind
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+
+    # Pretend this came from your site's accounting log: the last ~2000
+    # wait times (seconds) observed on the queue, heavy-tailed as always.
+    history = rng.lognormal(mean=6.0, sigma=1.8, size=2000)
+
+    # --- the three-line version -----------------------------------------
+    predictor = BMBPPredictor(quantile=0.95, confidence=0.95)
+    for wait in history:
+        predictor.observe(wait)
+    predictor.finish_training()
+
+    bound = predictor.predict()
+    print("BMBP, 95% confidence upper bound on the 0.95 quantile:")
+    print(f"  your job will start within {bound:,.0f} s (~{bound / 3600:.1f} h)")
+    print(f"  (history: {len(predictor.history)} waits, "
+          f"change-point threshold: {predictor.miss_threshold} consecutive misses)")
+
+    # --- a fuller picture: several quantiles, both directions -----------
+    print("\nQueue outlook (all bounds at 95% confidence):")
+    lower = BMBPPredictor(quantile=0.25, confidence=0.95, kind=BoundKind.LOWER)
+    for wait in history:
+        lower.observe(wait)
+    lower.finish_training()
+    print(f"  at least a 25% chance you wait more than {lower.predict():,.0f} s")
+
+    for q in (0.5, 0.75, 0.95):
+        upper = BMBPPredictor(quantile=q, confidence=0.95)
+        for wait in history:
+            upper.observe(wait)
+        upper.finish_training()
+        print(f"  {q:.0%} of jobs start within {upper.predict():,.0f} s")
+
+    # --- live operation ---------------------------------------------------
+    # In deployment you keep observing and re-quoting; when the queue's
+    # behaviour shifts, consecutive misses trigger history trimming and the
+    # bound re-learns automatically.
+    print("\nSimulating a sudden 10x slowdown of the queue ...")
+    for wait in rng.lognormal(mean=6.0 + np.log(10.0), sigma=1.8, size=300):
+        predictor.observe(wait, predicted=predictor.predict())
+        predictor.refit()
+    print(f"  bound after adaptation: {predictor.predict():,.0f} s "
+          f"({predictor.detector.change_points_seen} change points detected)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""BMBP on organically scheduled waits (the full substrate, end to end).
+
+Rather than replaying a wait-time trace, this example *creates* one: a
+128-processor space-shared machine runs a bursty job stream under EASY
+backfilling, then under a priority policy whose weights an administrator
+silently inverts mid-run — exactly the hidden-policy-change environment the
+paper argues batch users live in.  BMBP and the full-history log-normal
+method then compete on the resulting waits.
+
+Run:  python examples/scheduler_substrate.py
+"""
+
+from repro.core.bmbp import BMBPPredictor
+from repro.core.lognormal import LogNormalPredictor
+from repro.scheduler import (
+    ClusterWorkloadConfig,
+    EasyBackfillPolicy,
+    PriorityPolicy,
+    generate_jobs,
+    simulate,
+)
+from repro.simulator.replay import replay
+
+
+def evaluate(trace, title):
+    results = replay(
+        trace,
+        {
+            "BMBP": BMBPPredictor(),
+            "log-normal (full history)": LogNormalPredictor(trim=False),
+        },
+    )
+    print(f"\n{title}")
+    summary = trace.summary()
+    print(f"  workload: {summary.count} jobs, mean wait {summary.mean:,.0f} s, "
+          f"median {summary.median:,.0f} s")
+    for name, result in results.items():
+        verdict = "correct" if result.correct else "FAILS"
+        print(f"  {name:28s} coverage {result.fraction_correct:.3f}  ({verdict}; "
+              f"target >= 0.95, {result.n_evaluated} predictions)")
+
+
+def main() -> None:
+    workload = ClusterWorkloadConfig(
+        n_jobs=5000, machine_procs=128, utilization=0.88, seed=11
+    )
+
+    easy_trace = simulate(
+        generate_jobs(workload), 128, EasyBackfillPolicy(), trace_name="easy"
+    )
+    evaluate(easy_trace, "EASY backfilling (stable policy):")
+
+    # Priority scheduling with a silent mid-run administrator inversion:
+    # at t=2e6 s "low" jobs suddenly outrank "high" ones (say, a deadline
+    # demo), and at t=4.5e6 s the weights are quietly restored.
+    policy = PriorityPolicy(
+        weights={"high": 10.0, "normal": 0.0, "low": -10.0}, aging_rate=0.02
+    )
+    retunes = [
+        (2.0e6, {"high": -5.0, "normal": 0.0, "low": 12.0}),
+        (4.5e6, {"high": 10.0, "normal": 0.0, "low": -10.0}),
+    ]
+    priority_trace = simulate(
+        generate_jobs(workload), 128, policy,
+        retune_schedule=retunes, trace_name="priority",
+    )
+    evaluate(priority_trace, "Priority queues with two silent admin retunes:")
+
+    print("\nThe point: on waits produced by real scheduling dynamics — not by"
+          "\nany parametric model — BMBP's distribution-free bound holds while"
+          "\nthe full-history parametric fit does not.")
+
+
+if __name__ == "__main__":
+    main()

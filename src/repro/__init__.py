@@ -1,0 +1,39 @@
+"""repro: reproduction of BMBP (Brevik, Nurmi, Wolski — IISWC 2006).
+
+Predicting bounds, with quantified confidence, on the queuing delay
+individual jobs experience in space-shared (batch-scheduled) computing
+environments.
+"""
+
+from repro.core import (
+    BMBPPredictor,
+    BoundKind,
+    HistoryWindow,
+    IntervalPredictor,
+    QuantileBank,
+    LogNormalPredictor,
+    Prediction,
+    QuantileBound,
+    QuantilePredictor,
+    lower_confidence_bound,
+    two_sided_confidence_interval,
+    upper_confidence_bound,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BMBPPredictor",
+    "BoundKind",
+    "HistoryWindow",
+    "IntervalPredictor",
+    "QuantileBank",
+    "LogNormalPredictor",
+    "Prediction",
+    "QuantileBound",
+    "QuantilePredictor",
+    "lower_confidence_bound",
+    "two_sided_confidence_interval",
+    "upper_confidence_bound",
+    "__version__",
+]

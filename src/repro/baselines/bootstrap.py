@@ -1,0 +1,69 @@
+"""Percentile-bootstrap quantile bound — a modern nonparametric comparison.
+
+The natural present-day alternative to the paper's binomial construction:
+resample the history with replacement B times, compute the empirical
+q-quantile of each resample, and quote the C-quantile of those B estimates
+as the upper bound.  Asymptotically this targets the same object as BMBP's
+order-statistic bound, at ~B times the cost and with no finite-sample
+guarantee — which is exactly the comparison worth making in the ablations.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.core.predictor import BoundKind, QuantilePredictor
+
+__all__ = ["BootstrapQuantilePredictor"]
+
+
+class BootstrapQuantilePredictor(QuantilePredictor):
+    """Upper/lower bound on a quantile via the percentile bootstrap."""
+
+    name = "bootstrap"
+
+    def __init__(
+        self,
+        quantile: float = 0.95,
+        confidence: float = 0.95,
+        kind: BoundKind = BoundKind.UPPER,
+        trim: bool = True,
+        trim_length: Optional[int] = None,
+        rare_event_table=None,
+        n_resamples: int = 200,
+        max_history: int = 4000,
+        seed: int = 0,
+    ):
+        super().__init__(
+            quantile=quantile,
+            confidence=confidence,
+            kind=kind,
+            trim=trim,
+            trim_length=trim_length,
+            rare_event_table=rare_event_table,
+        )
+        if n_resamples < 10:
+            raise ValueError(f"need at least 10 resamples, got {n_resamples}")
+        if max_history < 30:
+            raise ValueError(f"max_history too small: {max_history}")
+        self.n_resamples = n_resamples
+        self.max_history = max_history
+        self._rng = np.random.default_rng(seed)
+
+    def _compute_bound(self) -> Optional[float]:
+        values = self.history.values
+        if len(values) < 30:
+            return None
+        # Bound the per-refit cost on long histories; the most recent
+        # observations are the relevant ones anyway.
+        window = np.asarray(values[-self.max_history:], dtype=float)
+        n = window.size
+        resamples = self._rng.choice(window, size=(self.n_resamples, n), replace=True)
+        rank = max(1, math.ceil(n * self.quantile))
+        estimates = np.partition(resamples, rank - 1, axis=1)[:, rank - 1]
+        if self.kind is BoundKind.UPPER:
+            return float(np.quantile(estimates, self.confidence))
+        return float(np.quantile(estimates, 1.0 - self.confidence))

@@ -1,0 +1,56 @@
+"""Downey's log-uniform wait-time model as a baseline predictor.
+
+Downey (1997) modelled the delay experienced by the job at the head of a
+FCFS queue with a *log-uniform* distribution.  As a baseline we fit a
+log-uniform to the observed wait history by maximum likelihood (the support
+is the sample's log-range) and quote its q-quantile as the bound.  Unlike
+BMBP and the tolerance-bound log-normal, this quotes a plain quantile
+*estimate* — there is no confidence machinery in the model — so it
+illustrates what "prediction without quantified confidence" looks like.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.predictor import BoundKind, QuantilePredictor
+from repro.stats.distributions import DEFAULT_LOG_SHIFT, fit_loguniform
+
+__all__ = ["DowneyLogUniformPredictor"]
+
+
+class DowneyLogUniformPredictor(QuantilePredictor):
+    """Log-uniform MLE fit; quotes the model's q-quantile as the bound."""
+
+    name = "downey-loguniform"
+
+    def __init__(
+        self,
+        quantile: float = 0.95,
+        confidence: float = 0.95,
+        kind: BoundKind = BoundKind.UPPER,
+        trim: bool = False,
+        trim_length: Optional[int] = None,
+        rare_event_table=None,
+        shift: float = DEFAULT_LOG_SHIFT,
+    ):
+        super().__init__(
+            quantile=quantile,
+            confidence=confidence,
+            kind=kind,
+            trim=trim,
+            trim_length=trim_length,
+            rare_event_table=rare_event_table,
+        )
+        if shift <= 0.0:
+            raise ValueError(f"log shift must be positive, got {shift}")
+        self.shift = shift
+
+    def _compute_bound(self) -> Optional[float]:
+        values = self.history.values
+        if len(values) < 2:
+            return None
+        fitted = fit_loguniform(values, shift=self.shift)
+        # A point estimate of the q-quantile serves as both the "upper" and
+        # "lower" quote — the model carries no confidence margin to shift it.
+        return max(0.0, fitted.quantile(self.quantile))

@@ -1,0 +1,90 @@
+"""Naive baseline predictors.
+
+These exist to make the paper's Section 5 argument concrete: *correctness*
+(fraction of bounds that hold) is meaningless without *accuracy* (how tight
+the bounds are).  ``MaxObservedPredictor`` is essentially always correct and
+essentially never useful; ``PointQuantilePredictor`` is tight but
+under-covers (no confidence margin); ``MeanWaitPredictor`` is what a user
+eyeballing the queue's average would do and is neither correct nor tight
+for heavy-tailed waits.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.core.predictor import BoundKind, QuantilePredictor
+
+__all__ = ["MaxObservedPredictor", "MeanWaitPredictor", "PointQuantilePredictor"]
+
+
+class MaxObservedPredictor(QuantilePredictor):
+    """Quotes the largest wait ever observed (the conservative strawman).
+
+    For lower-bound duty it quotes the minimum.  Trimming is disabled by
+    default: the whole point of the strawman is its refusal to forget.
+    """
+
+    name = "max-observed"
+
+    def __init__(self, quantile: float = 0.95, confidence: float = 0.95,
+                 kind: BoundKind = BoundKind.UPPER, trim: bool = False):
+        super().__init__(quantile=quantile, confidence=confidence, kind=kind, trim=trim)
+        self._extreme: Optional[float] = None
+
+    def observe(self, wait: float, predicted: Optional[float] = None) -> None:
+        if self._extreme is None:
+            self._extreme = wait
+        elif self.kind is BoundKind.UPPER:
+            self._extreme = max(self._extreme, wait)
+        else:
+            self._extreme = min(self._extreme, wait)
+        super().observe(wait, predicted=predicted)
+
+    def _on_history_trimmed(self) -> None:
+        values = self.history.values
+        if not values:
+            self._extreme = None
+        elif self.kind is BoundKind.UPPER:
+            self._extreme = max(values)
+        else:
+            self._extreme = min(values)
+
+    def _compute_bound(self) -> Optional[float]:
+        return self._extreme
+
+
+class PointQuantilePredictor(QuantilePredictor):
+    """Quotes the raw empirical q-quantile — no confidence margin.
+
+    Converges to marginal coverage exactly q on stationary data, so any
+    imperfection (nonstationarity, autocorrelation, estimation noise) drags
+    it below the target: the ablation that shows why BMBP's binomial margin
+    is not optional.
+    """
+
+    name = "point-quantile"
+
+    def _compute_bound(self) -> Optional[float]:
+        sample = self.history.sorted_values()
+        if sample.size == 0:
+            return None
+        # The point estimate of the q-quantile serves both bound kinds —
+        # having no confidence margin is exactly this baseline's flaw.
+        rank = max(1, math.ceil(sample.size * self.quantile))
+        return float(sample[rank - 1])
+
+
+class MeanWaitPredictor(QuantilePredictor):
+    """Quotes the historical mean wait (the eyeball forecast)."""
+
+    name = "mean-wait"
+
+    def _compute_bound(self) -> Optional[float]:
+        values = self.history.values
+        if not values:
+            return None
+        return float(np.mean(values))

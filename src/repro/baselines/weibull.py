@@ -1,0 +1,54 @@
+"""Weibull-fit quantile predictor.
+
+A parametric alternative from the family the characterization literature
+(cited by the paper) often uses for batch-job quantities.  Like the Downey
+baseline, it quotes the fitted model's q-quantile as a point estimate —
+there is no tolerance-bound machinery for it here — so it demonstrates a
+*different-family* parametric fit against the log-normal methods.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.predictor import BoundKind, QuantilePredictor
+from repro.stats.weibull import fit_weibull
+
+__all__ = ["WeibullPredictor"]
+
+
+class WeibullPredictor(QuantilePredictor):
+    """MLE Weibull fit; quotes the model's q-quantile."""
+
+    name = "weibull"
+
+    def __init__(
+        self,
+        quantile: float = 0.95,
+        confidence: float = 0.95,
+        kind: BoundKind = BoundKind.UPPER,
+        trim: bool = False,
+        trim_length: Optional[int] = None,
+        rare_event_table=None,
+        shift: float = 1.0,
+        max_history: int = 4000,
+    ):
+        super().__init__(
+            quantile=quantile,
+            confidence=confidence,
+            kind=kind,
+            trim=trim,
+            trim_length=trim_length,
+            rare_event_table=rare_event_table,
+        )
+        if shift <= 0.0:
+            raise ValueError(f"shift must be positive, got {shift}")
+        self.shift = shift
+        self.max_history = max_history
+
+    def _compute_bound(self) -> Optional[float]:
+        values = self.history.values
+        if len(values) < 10:
+            return None
+        fitted = fit_weibull(values[-self.max_history:], shift=self.shift)
+        return max(0.0, fitted.quantile(self.quantile) - self.shift)

@@ -1,0 +1,116 @@
+"""Command-line interface: regenerate any table or figure of the paper.
+
+Usage::
+
+    python -m repro table3                 # one experiment
+    python -m repro all                    # everything
+    python -m repro figure1 --csv out.csv  # also dump plot-ready CSV
+    python -m repro table3 --scale 0.2 --seed 11
+
+``bmbp`` (the console script) is an alias for ``python -m repro``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.experiments import (
+    ablations,
+    clustering_eval,
+    figure1,
+    figure2,
+    latency,
+    sensitivity,
+    table1,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+    table8,
+)
+from repro.experiments.runner import ExperimentConfig
+
+__all__ = ["main"]
+
+#: Experiment name -> module with a ``main(config) -> str`` entry point.
+EXPERIMENTS: Dict[str, Callable[[Optional[ExperimentConfig]], str]] = {
+    "table1": table1.main,
+    "table3": table3.main,
+    "table4": table4.main,
+    "table5": table5.main,
+    "table6": table6.main,
+    "table7": table7.main,
+    "table8": table8.main,
+    "figure1": figure1.main,
+    "figure2": figure2.main,
+    "ablations": ablations.main,
+    "latency": latency.main,
+    "sensitivity": sensitivity.main,
+    "clustering": clustering_eval.main,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="bmbp",
+        description=(
+            "Regenerate the tables and figures of 'Predicting Bounds on "
+            "Queuing Delay in Space-shared Computing Environments' "
+            "(Brevik, Nurmi, Wolski)."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[*EXPERIMENTS, "all"],
+        help="which table/figure to regenerate ('all' runs everything)",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=ExperimentConfig.scale,
+        help="fraction of each queue's Table 1 job count to generate "
+        "(default %(default)s; 1.0 regenerates the full 1.26M-job corpus)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=ExperimentConfig.seed,
+        help="workload generator seed (default %(default)s)",
+    )
+    parser.add_argument(
+        "--epoch", type=float, default=ExperimentConfig.epoch,
+        help="predictor refit epoch in seconds (default %(default)s)",
+    )
+    parser.add_argument(
+        "--csv", metavar="PATH", default=None,
+        help="for figure1/figure2: also write the plotted series as CSV",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    config = ExperimentConfig(scale=args.scale, seed=args.seed, epoch=args.epoch)
+
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for i, name in enumerate(names):
+        if i:
+            print()
+        print(EXPERIMENTS[name](config))
+
+    if args.csv is not None:
+        if args.experiment == "figure1":
+            figure1.write_series_csv(figure1.run_figure1(config), args.csv)
+            print(f"\nseries written to {args.csv}")
+        elif args.experiment == "figure2":
+            figure2.write_series_csv(figure2.run_figure2(config), args.csv)
+            print(f"\nseries written to {args.csv}")
+        else:
+            print("--csv is only meaningful for figure1/figure2", file=sys.stderr)
+            return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,183 @@
+"""Binomial (distribution-free) confidence bounds on population quantiles.
+
+This module implements the paper's Equation 1/Appendix construction.  Given
+an i.i.d. sample of size ``n`` from an unknown continuous distribution, the
+number of observations at or below the population q-quantile ``X_q`` is
+Binomial(n, q).  Consequently the k-th order statistic ``x_(k)`` exceeds
+``X_q`` exactly when fewer than k observations fall at or below ``X_q``, so
+
+    P(x_(k) > X_q) = P(Binomial(n, q) <= k - 1).
+
+An *upper* confidence bound at level C is therefore the smallest-rank order
+statistic whose a-priori probability of exceeding ``X_q`` is at least C, and
+a *lower* bound is the largest-rank order statistic whose probability of
+falling below ``X_q`` is at least C.  The construction is exact (not
+asymptotic) and depends only on n, k, and q.
+
+For large samples the paper uses the normal approximation to the binomial
+(valid when both ``n*q`` and ``n*(1-q)`` are at least 10):
+
+    rank = ceil(n*q + z_C * sqrt(n*q*(1-q)))
+
+with everything rounded up to stay conservative.
+
+All ranks returned by this module are 1-indexed.  Functions return ``None``
+when no order statistic of the sample can deliver the requested confidence
+(the sample is too small), mirroring the paper's observation that 59
+observations are needed for a 95%-confidence upper bound on the 0.95
+quantile.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+from typing import Optional
+
+from scipy import stats as sps
+
+__all__ = [
+    "binomial_cdf",
+    "lower_bound_rank",
+    "minimum_sample_size",
+    "minimum_sample_size_lower",
+    "normal_approx_lower_rank",
+    "normal_approx_upper_rank",
+    "upper_bound_rank",
+]
+
+#: Rule-of-thumb threshold from the paper: the normal approximation is used
+#: when the expected numbers of successes and failures are both at least 10.
+NORMAL_APPROX_MIN_EXPECTED = 10.0
+
+
+def _validate(q: float, confidence: float) -> None:
+    if not 0.0 < q < 1.0:
+        raise ValueError(f"quantile must be in (0, 1), got {q}")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+
+
+def binomial_cdf(k: int, n: int, p: float) -> float:
+    """P(Binomial(n, p) <= k); Equation 1 of the paper.
+
+    Provided as a named helper so tests can check the text's worked examples
+    directly.  Negative ``k`` gives 0, ``k >= n`` gives 1.
+    """
+    if k < 0:
+        return 0.0
+    if k >= n:
+        return 1.0
+    return float(sps.binom.cdf(k, n, p))
+
+
+@lru_cache(maxsize=65536)
+def upper_bound_rank(n: int, q: float, confidence: float) -> Optional[int]:
+    """Rank k (1-indexed) of the exact level-``confidence`` upper bound on X_q.
+
+    Returns the smallest k with ``P(Binomial(n, q) <= k-1) >= confidence``,
+    or ``None`` if no k in ``1..n`` satisfies it (sample too small).
+    """
+    _validate(q, confidence)
+    if n <= 0:
+        return None
+    # scipy's ppf returns the smallest integer m with CDF(m) >= confidence.
+    m = int(sps.binom.ppf(confidence, n, q))
+    # Guard against edge rounding: make sure the CDF condition really holds.
+    while m < n and binomial_cdf(m, n, q) < confidence:
+        m += 1
+    k = m + 1
+    if k > n:
+        return None
+    return k
+
+
+@lru_cache(maxsize=65536)
+def lower_bound_rank(n: int, q: float, confidence: float) -> Optional[int]:
+    """Rank k (1-indexed) of the exact level-``confidence`` lower bound on X_q.
+
+    ``x_(k)`` falls below ``X_q`` exactly when at least k observations do,
+    i.e. with probability ``P(Binomial(n, q) >= k) = 1 - CDF(k-1)``.  We
+    return the largest k for which that probability is at least
+    ``confidence``; ``None`` if even k=1 fails.
+    """
+    _validate(q, confidence)
+    if n <= 0:
+        return None
+    # Want largest k with CDF(k-1; n, q) <= 1 - confidence.
+    target = 1.0 - confidence
+    m = int(sps.binom.ppf(target, n, q))  # smallest m with CDF(m) >= target
+    # Move down until CDF(m) <= target (handles CDF(m) > target at the ppf).
+    while m >= 0 and binomial_cdf(m, n, q) > target:
+        m -= 1
+    k = m + 1
+    if k < 1:
+        return None
+    return k
+
+
+def normal_approx_upper_rank(n: int, q: float, confidence: float) -> Optional[int]:
+    """Normal-approximation rank for the upper bound (Appendix of the paper).
+
+    ``rank = ceil(n*q + z * sqrt(n*q*(1-q)))`` where ``z`` is the standard
+    normal ``confidence``-quantile; everything is rounded up so the result is
+    conservative.  Returns ``None`` when the rank exceeds n.
+    """
+    _validate(q, confidence)
+    if n <= 0:
+        return None
+    z = float(sps.norm.ppf(confidence))
+    rank = math.ceil(n * q + z * math.sqrt(n * q * (1.0 - q)))
+    rank = max(rank, 1)
+    if rank > n:
+        return None
+    return rank
+
+
+def normal_approx_lower_rank(n: int, q: float, confidence: float) -> Optional[int]:
+    """Normal-approximation rank for the lower bound.
+
+    Mirrors :func:`normal_approx_upper_rank`: move *down* z standard
+    deviations from the sample quantile and round down (conservative for a
+    lower bound).  Returns ``None`` when the rank falls below 1.
+    """
+    _validate(q, confidence)
+    if n <= 0:
+        return None
+    z = float(sps.norm.ppf(confidence))
+    rank = math.floor(n * q - z * math.sqrt(n * q * (1.0 - q)))
+    if rank < 1:
+        return None
+    return min(rank, n)
+
+
+@lru_cache(maxsize=4096)
+def minimum_sample_size(q: float, confidence: float) -> int:
+    """Smallest n for which an exact upper bound on X_q exists at this level.
+
+    The most extreme usable order statistic is the sample maximum ``x_(n)``,
+    which works iff ``P(Binomial(n, q) <= n-1) = 1 - q**n >= confidence``,
+    i.e. ``n >= log(1-confidence) / log(q)``.  For q = C = 0.95 this gives
+    59, the figure quoted in Section 4.1 of the paper.
+    """
+    _validate(q, confidence)
+    return max(1, math.ceil(math.log(1.0 - confidence) / math.log(q)))
+
+
+@lru_cache(maxsize=4096)
+def minimum_sample_size_lower(q: float, confidence: float) -> int:
+    """Smallest n for which an exact *lower* bound on X_q exists at this level.
+
+    The sample minimum works iff ``P(Binomial(n, q) >= 1) >= confidence``,
+    i.e. ``(1-q)**n <= 1 - confidence``.
+    """
+    _validate(q, confidence)
+    return max(1, math.ceil(math.log(1.0 - confidence) / math.log(1.0 - q)))
+
+
+def use_normal_approximation(n: int, q: float) -> bool:
+    """The paper's rule for switching to the normal approximation."""
+    return (
+        n * q >= NORMAL_APPROX_MIN_EXPECTED
+        and n * (1.0 - q) >= NORMAL_APPROX_MIN_EXPECTED
+    )

@@ -1,0 +1,63 @@
+"""Consecutive-miss change-point detection.
+
+BMBP treats a sufficiently long run of consecutive incorrect predictions
+(observations beyond the predicted bound) as evidence that the series has
+changed in some fundamental way, at which point old history is discarded.
+The run length that triggers this is the "rare event" threshold computed in
+:mod:`repro.core.rare_event` from the training data's lag-1 autocorrelation.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ConsecutiveMissDetector"]
+
+
+class ConsecutiveMissDetector:
+    """Counts consecutive misses and fires when a run reaches the threshold."""
+
+    def __init__(self, threshold: int):
+        if threshold < 1:
+            raise ValueError(f"threshold must be at least 1, got {threshold}")
+        self._threshold = threshold
+        self._run = 0
+        self._change_points = 0
+
+    @property
+    def threshold(self) -> int:
+        return self._threshold
+
+    @property
+    def current_run(self) -> int:
+        """Length of the in-progress run of consecutive misses."""
+        return self._run
+
+    @property
+    def change_points_seen(self) -> int:
+        """How many times the detector has fired."""
+        return self._change_points
+
+    def record(self, miss: bool) -> bool:
+        """Record one prediction outcome; return True when a change point fires.
+
+        A hit resets the run.  When the run reaches the threshold the
+        detector fires, resets the run (the history trim that follows makes
+        the old run irrelevant), and returns True.
+        """
+        if not miss:
+            self._run = 0
+            return False
+        self._run += 1
+        if self._run >= self._threshold:
+            self._run = 0
+            self._change_points += 1
+            return True
+        return False
+
+    def reset(self) -> None:
+        self._run = 0
+
+    def retune(self, threshold: int) -> None:
+        """Change the threshold (e.g. after retraining); keeps run state."""
+        if threshold < 1:
+            raise ValueError(f"threshold must be at least 1, got {threshold}")
+        self._threshold = threshold

@@ -1,0 +1,229 @@
+"""Attribute clustering: adaptive job grouping (the QBETS extension).
+
+The paper subdivides jobs by *fixed* processor-count ranges suggested by
+TACC staff (Section 6.2).  Its successor system, QBETS, learns the grouping
+from data instead: jobs are clustered by a submission attribute so that
+each cluster's wait behaviour is as homogeneous as possible, and each
+cluster gets its own predictor.
+
+This module implements that idea for one-dimensional ordered attributes
+(processor count being the canonical case):
+
+* :class:`AttributeClusterer` — greedy recursive binary splitting on the
+  attribute, choosing the split that most reduces the within-cluster sum of
+  squared log-waits (a 1-D regression tree), with a minimum-leaf-size
+  guard so every cluster can support a meaningful bound.
+* :class:`ClusteredPredictor` — fits the clusterer on a training set, then
+  runs one BMBP predictor per cluster plus a whole-population fallback for
+  attributes whose cluster is not yet quotable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.bmbp import BMBPPredictor
+from repro.core.predictor import BoundKind, QuantilePredictor
+
+__all__ = ["AttributeClusterer", "ClusteredPredictor"]
+
+
+def _sse(prefix_sum: np.ndarray, prefix_sq: np.ndarray, lo: int, hi: int) -> float:
+    """Sum of squared deviations of values[lo:hi] via prefix sums."""
+    n = hi - lo
+    if n <= 0:
+        return 0.0
+    total = prefix_sum[hi] - prefix_sum[lo]
+    total_sq = prefix_sq[hi] - prefix_sq[lo]
+    return float(total_sq - total * total / n)
+
+
+@dataclass(frozen=True)
+class _Segment:
+    """A candidate leaf over the attribute-sorted sample index range."""
+
+    lo: int
+    hi: int
+    sse: float
+
+
+class AttributeClusterer:
+    """1-D regression-tree clustering of jobs by an ordered attribute."""
+
+    def __init__(
+        self,
+        max_clusters: int = 4,
+        min_leaf: int = 200,
+        min_gain_fraction: float = 0.02,
+    ):
+        if max_clusters < 1:
+            raise ValueError(f"max_clusters must be positive, got {max_clusters}")
+        if min_leaf < 10:
+            raise ValueError(f"min_leaf too small: {min_leaf}")
+        if not 0.0 <= min_gain_fraction < 1.0:
+            raise ValueError(f"min_gain_fraction must be in [0, 1), got {min_gain_fraction}")
+        self.max_clusters = max_clusters
+        self.min_leaf = min_leaf
+        self.min_gain_fraction = min_gain_fraction
+        self._boundaries: Optional[List[float]] = None
+
+    @property
+    def boundaries(self) -> List[float]:
+        """Attribute split points (a job with attr <= b[0] is cluster 0...)."""
+        if self._boundaries is None:
+            raise ValueError("clusterer is not fitted")
+        return list(self._boundaries)
+
+    @property
+    def n_clusters(self) -> int:
+        return len(self.boundaries) + 1
+
+    def fit(
+        self, attributes: Sequence[float], waits: Sequence[float]
+    ) -> "AttributeClusterer":
+        """Learn split points from (attribute, wait) training pairs."""
+        attrs = np.asarray(attributes, dtype=float)
+        logs = np.log1p(np.clip(np.asarray(waits, dtype=float), 0.0, None))
+        if attrs.size != logs.size:
+            raise ValueError("attributes and waits must have equal length")
+        if attrs.size < 2 * self.min_leaf:
+            # Not enough data to justify any split.
+            self._boundaries = []
+            return self
+
+        order = np.argsort(attrs, kind="stable")
+        attrs = attrs[order]
+        logs = logs[order]
+        prefix_sum = np.concatenate(([0.0], np.cumsum(logs)))
+        prefix_sq = np.concatenate(([0.0], np.cumsum(logs * logs)))
+
+        total_sse = _sse(prefix_sum, prefix_sq, 0, attrs.size)
+        # A split must buy at least this much SSE reduction: stops noise
+        # splits on attribute-independent waits.
+        min_gain = self.min_gain_fraction * total_sse
+        segments = [_Segment(0, attrs.size, total_sse)]
+        split_values: List[float] = []
+        while len(segments) < self.max_clusters:
+            best: Optional[Tuple[float, int, int, float]] = None  # (gain, seg, cut, value)
+            for seg_index, segment in enumerate(segments):
+                cut = self._best_cut(attrs, prefix_sum, prefix_sq, segment)
+                if cut is None:
+                    continue
+                gain, position, value = cut
+                if best is None or gain > best[0]:
+                    best = (gain, seg_index, position, value)
+            if best is None or best[0] <= max(min_gain, 1e-9):
+                break
+            _, seg_index, position, value = best
+            segment = segments.pop(seg_index)
+            left = _Segment(
+                segment.lo, position, _sse(prefix_sum, prefix_sq, segment.lo, position)
+            )
+            right = _Segment(
+                position, segment.hi, _sse(prefix_sum, prefix_sq, position, segment.hi)
+            )
+            segments.extend([left, right])
+            split_values.append(value)
+        self._boundaries = sorted(split_values)
+        return self
+
+    def _best_cut(
+        self,
+        attrs: np.ndarray,
+        prefix_sum: np.ndarray,
+        prefix_sq: np.ndarray,
+        segment: _Segment,
+    ) -> Optional[Tuple[float, int, float]]:
+        """Best (gain, cut_index, boundary_value) inside one segment.
+
+        Cuts are only allowed between *distinct* attribute values, so a
+        cluster never straddles a single attribute level.
+        """
+        lo, hi = segment.lo, segment.hi
+        if hi - lo < 2 * self.min_leaf:
+            return None
+        best: Optional[Tuple[float, int, float]] = None
+        # Candidate positions: boundaries between distinct attribute values.
+        change = np.flatnonzero(np.diff(attrs[lo:hi])) + lo + 1
+        for position in change:
+            if position - lo < self.min_leaf or hi - position < self.min_leaf:
+                continue
+            gain = segment.sse - (
+                _sse(prefix_sum, prefix_sq, lo, position)
+                + _sse(prefix_sum, prefix_sq, position, hi)
+            )
+            if best is None or gain > best[0]:
+                boundary = (attrs[position - 1] + attrs[position]) / 2.0
+                best = (gain, int(position), float(boundary))
+        return best
+
+    def cluster_of(self, attribute: float) -> int:
+        """0-based cluster index for an attribute value."""
+        return int(np.searchsorted(self.boundaries, attribute, side="left"))
+
+
+class ClusteredPredictor:
+    """Per-cluster BMBP predictors behind one observe/predict interface.
+
+    ``train`` fits the clusterer and seeds every cluster's history; after
+    that, ``observe``/``refit``/``predict`` follow the usual protocol, with
+    the population-level predictor as a fallback for clusters that cannot
+    quote a bound yet.
+    """
+
+    def __init__(
+        self,
+        quantile: float = 0.95,
+        confidence: float = 0.95,
+        kind: BoundKind = BoundKind.UPPER,
+        max_clusters: int = 4,
+        min_leaf: int = 200,
+        factory: Optional[Callable[..., QuantilePredictor]] = None,
+    ):
+        self.quantile = quantile
+        self.confidence = confidence
+        self.kind = BoundKind(kind)
+        self.clusterer = AttributeClusterer(max_clusters=max_clusters, min_leaf=min_leaf)
+        self._factory = factory or (
+            lambda: BMBPPredictor(quantile=quantile, confidence=confidence, kind=kind)
+        )
+        self.fallback = self._factory()
+        self.members: List[QuantilePredictor] = []
+        self._trained = False
+
+    def train(self, attributes: Sequence[float], waits: Sequence[float]) -> None:
+        """Fit clusters and seed per-cluster histories from training data."""
+        self.clusterer.fit(attributes, waits)
+        self.members = [self._factory() for _ in range(self.clusterer.n_clusters)]
+        for attribute, wait in zip(attributes, waits):
+            self.members[self.clusterer.cluster_of(attribute)].observe(wait)
+            self.fallback.observe(wait)
+        for predictor in [*self.members, self.fallback]:
+            predictor.finish_training()
+        self._trained = True
+
+    def observe(self, attribute: float, wait: float) -> None:
+        self._require_trained()
+        member = self.members[self.clusterer.cluster_of(attribute)]
+        member.observe(wait, predicted=member.predict())
+        self.fallback.observe(wait, predicted=self.fallback.predict())
+
+    def refit(self) -> None:
+        self._require_trained()
+        for predictor in [*self.members, self.fallback]:
+            predictor.refit_if_stale()
+
+    def predict(self, attribute: float) -> Optional[float]:
+        """Cluster-specific bound, falling back to the population bound."""
+        self._require_trained()
+        bound = self.members[self.clusterer.cluster_of(attribute)].predict()
+        if bound is not None:
+            return bound
+        return self.fallback.predict()
+
+    def _require_trained(self) -> None:
+        if not self._trained:
+            raise ValueError("ClusteredPredictor requires train() first")

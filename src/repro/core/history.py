@@ -1,0 +1,110 @@
+"""Observation history for predictors.
+
+``HistoryWindow`` stores wait-time observations in arrival order (needed for
+change-point trimming, which keeps the *most recent* k observations) while
+also maintaining an ascending-sorted view (needed for order-statistic
+bounds).  Appends are O(1): new values accumulate in a pending buffer that
+is merged into the sorted array lazily, in one vectorized pass, the next
+time the sorted view is requested.  This matches the predictors' access
+pattern — many appends between epoch refits, one sorted read per refit —
+and keeps full-trace replays linear-ish instead of quadratic.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+__all__ = ["HistoryWindow"]
+
+
+class HistoryWindow:
+    """Arrival-ordered observation buffer with a lazily merged sorted view."""
+
+    def __init__(
+        self,
+        values: Iterable[float] = (),
+        max_size: Optional[int] = None,
+    ):
+        """Create a window, optionally bounded to the most recent ``max_size``.
+
+        ``max_size=None`` (the default, and the paper's configuration) keeps
+        the full history until a change point trims it.
+        """
+        if max_size is not None and max_size < 1:
+            raise ValueError(f"max_size must be positive, got {max_size}")
+        self._max_size = max_size
+        self._arrival: List[float] = []
+        self._sorted = np.empty(0, dtype=float)
+        self._pending: List[float] = []
+        for value in values:
+            self.append(value)
+
+    def __len__(self) -> int:
+        return len(self._arrival)
+
+    def __bool__(self) -> bool:
+        return bool(self._arrival)
+
+    @property
+    def max_size(self) -> Optional[int]:
+        return self._max_size
+
+    @property
+    def values(self) -> List[float]:
+        """Observations in arrival order (most recent last).  Copy."""
+        return list(self._arrival)
+
+    def append(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self._arrival.append(value)
+        self._pending.append(value)
+        if self._max_size is not None and len(self._arrival) > self._max_size:
+            self.trim_to_recent(self._max_size)
+
+    def extend(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.append(value)
+
+    def sorted_values(self) -> np.ndarray:
+        """Ascending-sorted observations.
+
+        The returned array is the window's internal buffer; callers must not
+        mutate it.  (Returning the live buffer avoids a copy per refit.)
+        """
+        self._flush()
+        return self._sorted
+
+    def trim_to_recent(self, k: int) -> None:
+        """Keep only the most recent ``k`` observations (arrival order).
+
+        This is the paper's change-point response: "trim the history as much
+        as we are able to while still producing meaningful confidence
+        bounds".  Trimming to more than the current length is a no-op.
+        """
+        if k < 0:
+            raise ValueError(f"cannot trim to negative length {k}")
+        if k >= len(self._arrival):
+            return
+        self._arrival = self._arrival[len(self._arrival) - k :]
+        self._pending = []
+        self._sorted = np.sort(np.asarray(self._arrival, dtype=float))
+
+    def clear(self) -> None:
+        self._arrival = []
+        self._pending = []
+        self._sorted = np.empty(0, dtype=float)
+
+    def _flush(self) -> None:
+        """Merge pending appends into the sorted array (vectorized)."""
+        if not self._pending:
+            return
+        batch = np.sort(np.asarray(self._pending, dtype=float))
+        self._pending = []
+        if self._sorted.size == 0:
+            self._sorted = batch
+            return
+        positions = np.searchsorted(self._sorted, batch)
+        self._sorted = np.insert(self._sorted, positions, batch)

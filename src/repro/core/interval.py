@@ -1,0 +1,152 @@
+"""Two-sided prediction intervals and multi-quantile predictor banks.
+
+Section 3 of the paper notes that the bound machinery "can be similarly
+formulated in terms of produc[ing] lower confidence bounds, or two-sided
+confidence intervals, at any desired level of confidence, for any
+population quantile".  This module packages that:
+
+* :class:`IntervalPredictor` — a pair of BMBP predictors quoting a
+  two-sided interval for one quantile (Bonferroni-split confidence).
+* :class:`QuantileBank` — several predictors over one history, quoting a
+  full queue outlook (the paper's Table 8 ladder) from a single stream of
+  observations.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from repro.core.bmbp import BMBPPredictor
+from repro.core.predictor import BoundKind, QuantilePredictor
+
+__all__ = ["IntervalPredictor", "QuantileBank"]
+
+#: Factory signature for bank/interval members.
+PredictorFactory = Callable[[float, float, BoundKind], QuantilePredictor]
+
+
+def _default_factory(
+    quantile: float, confidence: float, kind: BoundKind
+) -> QuantilePredictor:
+    return BMBPPredictor(quantile=quantile, confidence=confidence, kind=kind)
+
+
+class IntervalPredictor:
+    """A level-C two-sided interval for one wait-time quantile.
+
+    Internally two one-sided predictors at confidence ``(1 + C) / 2`` each
+    (Bonferroni), fed identical observations.  ``predict()`` returns the
+    ``(lower, upper)`` pair, either side ``None`` while its history is too
+    short.
+    """
+
+    def __init__(
+        self,
+        quantile: float = 0.5,
+        confidence: float = 0.95,
+        factory: PredictorFactory = _default_factory,
+    ):
+        if not 0.0 < confidence < 1.0:
+            raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+        self.quantile = quantile
+        self.confidence = confidence
+        side = (1.0 + confidence) / 2.0
+        self.lower = factory(quantile, side, BoundKind.LOWER)
+        self.upper = factory(quantile, side, BoundKind.UPPER)
+
+    def observe(self, wait: float) -> None:
+        """Absorb one completed wait into both sides.
+
+        Interval misses are two-sided; each side's change-point detector is
+        fed its own directional outcome against its current bound.
+        """
+        lower_bound = self.lower.predict()
+        upper_bound = self.upper.predict()
+        self.lower.observe(wait, predicted=lower_bound)
+        self.upper.observe(wait, predicted=upper_bound)
+
+    def refit(self) -> None:
+        self.lower.refit()
+        self.upper.refit()
+
+    def finish_training(self) -> None:
+        self.lower.finish_training()
+        self.upper.finish_training()
+
+    def predict(self) -> Tuple[Optional[float], Optional[float]]:
+        return self.lower.predict(), self.upper.predict()
+
+    def contains(self, wait: float) -> Optional[bool]:
+        """Whether a wait falls inside the current interval (None if no
+        interval is quotable yet)."""
+        low, high = self.predict()
+        if low is None or high is None:
+            return None
+        return low <= wait <= high
+
+
+class QuantileBank:
+    """Several quantile predictors over one observation stream.
+
+    The paper's Table 8 view: a lower bound on a low quantile plus upper
+    bounds on several high quantiles, all kept current together.  The
+    default bank is the paper's (.25 lower; .5, .75, .95 upper).
+    """
+
+    DEFAULT_SPEC: Tuple[Tuple[float, BoundKind], ...] = (
+        (0.25, BoundKind.LOWER),
+        (0.50, BoundKind.UPPER),
+        (0.75, BoundKind.UPPER),
+        (0.95, BoundKind.UPPER),
+    )
+
+    def __init__(
+        self,
+        spec: Sequence[Tuple[float, BoundKind]] = DEFAULT_SPEC,
+        confidence: float = 0.95,
+        factory: PredictorFactory = _default_factory,
+    ):
+        if not spec:
+            raise ValueError("bank needs at least one (quantile, kind) entry")
+        self.confidence = confidence
+        self.members: Dict[Tuple[float, BoundKind], QuantilePredictor] = {}
+        for quantile, kind in spec:
+            kind = BoundKind(kind)
+            key = (quantile, kind)
+            if key in self.members:
+                raise ValueError(f"duplicate bank entry {key}")
+            self.members[key] = factory(quantile, confidence, kind)
+
+    def observe(self, wait: float) -> None:
+        for predictor in self.members.values():
+            predictor.observe(wait, predicted=predictor.predict())
+
+    def refit(self) -> None:
+        for predictor in self.members.values():
+            predictor.refit()
+
+    def finish_training(self) -> None:
+        for predictor in self.members.values():
+            predictor.finish_training()
+
+    def predict(self) -> Dict[Tuple[float, BoundKind], Optional[float]]:
+        """Current bounds, keyed by (quantile, kind)."""
+        return {key: p.predict() for key, p in self.members.items()}
+
+    def outlook(self) -> str:
+        """A human-readable multi-line forecast (seconds)."""
+        lines = []
+        for (quantile, kind), predictor in sorted(
+            self.members.items(), key=lambda item: item[0][0]
+        ):
+            bound = predictor.predict()
+            if bound is None:
+                continue
+            if kind is BoundKind.LOWER:
+                lines.append(
+                    f"at least {1 - quantile:.0%} chance of waiting more "
+                    f"than {bound:,.0f} s"
+                )
+            else:
+                lines.append(f"{quantile:.0%} of jobs start within {bound:,.0f} s")
+        return "\n".join(lines) if lines else "no forecast available yet"

@@ -1,0 +1,183 @@
+"""The predictor API shared by BMBP, the log-normal methods, and baselines.
+
+A :class:`QuantilePredictor` follows the deployment protocol of Section 5.1:
+
+* ``observe(wait, predicted=...)`` — a job has *started*; its wait time
+  becomes visible history.  If a bound was predicted for it at submit time,
+  the hit/miss outcome feeds the change-point detector.
+* ``refit()`` — recompute the current bound from history (the simulator
+  calls this once per epoch, modelling the periodic state dump a live
+  deployment would receive).
+* ``predict()`` — the bound that would be quoted to a user right now (the
+  value cached by the last refit).
+* ``finish_training()`` — called once when the training prefix of a trace
+  has been absorbed; estimates the lag-1 autocorrelation of the history and
+  retunes the rare-event threshold accordingly.
+
+Subclasses implement a single method, ``_compute_bound``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+from repro.core import binomial
+from repro.core.changepoint import ConsecutiveMissDetector
+from repro.core.history import HistoryWindow
+from repro.core.rare_event import RareEventTable, default_rare_event_table
+from repro.stats.autocorrelation import first_autocorrelation
+
+__all__ = ["BoundKind", "Prediction", "QuantilePredictor"]
+
+#: Threshold used before any training data is available: the i.i.d. value
+#: from the paper's narrative ("three measurements in a row ... almost
+#: certain" to indicate nonstationarity).
+IID_MISS_THRESHOLD = 3
+
+
+class BoundKind(str, Enum):
+    """Which side of the quantile the prediction bounds."""
+
+    UPPER = "upper"
+    LOWER = "lower"
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """A quoted bound, with provenance, as returned by ``describe()``."""
+
+    value: float
+    quantile: float
+    confidence: float
+    kind: BoundKind
+    n_history: int
+    method: str
+
+
+class QuantilePredictor(ABC):
+    """Base class for bound predictors with optional change-point trimming."""
+
+    #: Human-readable method name, overridden by subclasses.
+    name = "base"
+
+    def __init__(
+        self,
+        quantile: float = 0.95,
+        confidence: float = 0.95,
+        kind: BoundKind = BoundKind.UPPER,
+        trim: bool = True,
+        trim_length: Optional[int] = None,
+        rare_event_table: Optional[RareEventTable] = None,
+        max_history: Optional[int] = None,
+    ):
+        if not 0.0 < quantile < 1.0:
+            raise ValueError(f"quantile must be in (0, 1), got {quantile}")
+        if not 0.0 < confidence < 1.0:
+            raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+        self.quantile = quantile
+        self.confidence = confidence
+        self.kind = BoundKind(kind)
+        self.trim = trim
+        if trim_length is None:
+            # "Trim the history as much as we are able to while still
+            # producing meaningful confidence bounds": the binomial minimum
+            # sample size for this quantile/confidence pair (59 for .95/.95).
+            if self.kind is BoundKind.UPPER:
+                trim_length = binomial.minimum_sample_size(quantile, confidence)
+            else:
+                trim_length = binomial.minimum_sample_size_lower(quantile, confidence)
+        self.trim_length = trim_length
+        self._table = rare_event_table
+        # max_history turns the predictor into a sliding-window variant:
+        # the simplest alternative to change-point trimming, kept for
+        # ablations (fixed windows forget good history and remember bad).
+        self.history = HistoryWindow(max_size=max_history)
+        self.detector = ConsecutiveMissDetector(IID_MISS_THRESHOLD) if trim else None
+        self._current: Optional[float] = None
+        self._observations_since_refit = 0
+        self._trained = False
+
+    # ------------------------------------------------------------------ API
+
+    def observe(self, wait: float, predicted: Optional[float] = None) -> None:
+        """Absorb a completed wait; optionally score it against its bound."""
+        if wait < 0.0:
+            raise ValueError(f"wait times are non-negative, got {wait}")
+        self.history.append(wait)
+        self._observations_since_refit += 1
+        if self.trim and predicted is not None:
+            miss = self._is_miss(wait, predicted)
+            if self.detector.record(miss):
+                self._on_change_point()
+
+    def refit(self) -> None:
+        """Recompute the quoted bound from the current history."""
+        self._current = self._compute_bound()
+        self._observations_since_refit = 0
+
+    def refit_if_stale(self) -> None:
+        """Refit only when new observations arrived since the last refit."""
+        if self._observations_since_refit > 0 or self._current is None:
+            self.refit()
+
+    def predict(self) -> Optional[float]:
+        """The bound quoted to a user right now (None if not computable)."""
+        return self._current
+
+    def describe(self) -> Optional[Prediction]:
+        """The current bound with full provenance, or None."""
+        if self._current is None:
+            return None
+        return Prediction(
+            value=self._current,
+            quantile=self.quantile,
+            confidence=self.confidence,
+            kind=self.kind,
+            n_history=len(self.history),
+            method=self.name,
+        )
+
+    def finish_training(self) -> None:
+        """Estimate autocorrelation from history; retune the detector; refit.
+
+        Called once, when a trace's training prefix has been absorbed.  Safe
+        to call for the NoTrim variants (it just refits).
+        """
+        if self.trim and len(self.history) >= 3:
+            rho = first_autocorrelation(self.history.values, log_space=True)
+            table = self._table or default_rare_event_table(self.quantile)
+            self.detector.retune(table.threshold_for(rho))
+        self._trained = True
+        self.refit()
+
+    @property
+    def trained(self) -> bool:
+        return self._trained
+
+    @property
+    def miss_threshold(self) -> Optional[int]:
+        """Current consecutive-miss threshold (None for NoTrim variants)."""
+        return self.detector.threshold if self.detector is not None else None
+
+    # ------------------------------------------------------------- internals
+
+    def _is_miss(self, wait: float, predicted: float) -> bool:
+        if self.kind is BoundKind.UPPER:
+            return wait > predicted
+        return wait < predicted
+
+    def _on_change_point(self) -> None:
+        """Paper's response to a rare event: trim history, restart predictions."""
+        self.history.trim_to_recent(self.trim_length)
+        self._on_history_trimmed()
+        self.refit()
+
+    def _on_history_trimmed(self) -> None:
+        """Hook for subclasses that keep running aggregates over history."""
+
+    @abstractmethod
+    def _compute_bound(self) -> Optional[float]:
+        """Compute the bound from ``self.history``; None if not computable."""

@@ -1,0 +1,48 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Every experiment takes an :class:`ExperimentConfig` and returns plain data
+(lists of rows) plus a rendered text table, so the CLI, the tests, and the
+benchmarks all drive the same code.
+"""
+
+from repro.experiments.runner import (
+    METHOD_ORDER,
+    ExperimentConfig,
+    make_predictors,
+    run_queue,
+    trace_for,
+)
+from repro.experiments.table1 import run_table1
+from repro.experiments.table3 import run_table3
+from repro.experiments.table4 import run_table4
+from repro.experiments.table5 import run_table5
+from repro.experiments.table6 import run_table6
+from repro.experiments.table7 import run_table7
+from repro.experiments.table8 import run_table8
+from repro.experiments.figure1 import run_figure1
+from repro.experiments.figure2 import run_figure2
+from repro.experiments.ablations import run_ablations
+from repro.experiments.clustering_eval import run_clustering_eval
+from repro.experiments.sensitivity import run_sensitivity
+from repro.experiments.latency import run_latency
+
+__all__ = [
+    "ExperimentConfig",
+    "METHOD_ORDER",
+    "make_predictors",
+    "run_ablations",
+    "run_clustering_eval",
+    "run_figure1",
+    "run_figure2",
+    "run_latency",
+    "run_queue",
+    "run_sensitivity",
+    "run_table1",
+    "run_table3",
+    "run_table4",
+    "run_table5",
+    "run_table6",
+    "run_table7",
+    "run_table8",
+    "trace_for",
+]

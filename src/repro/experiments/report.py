@@ -1,0 +1,83 @@
+"""Plain-text table rendering for experiment output.
+
+The paper's tables mark failures (coverage below the target quantile) with
+an asterisk and the most accurate correct method in boldface; terminals
+have no boldface, so we bracket the winner instead:
+
+    datastar  express   [0.976]   0.918*   0.943*
+
+Rendering is deliberately dumb — fixed-width columns computed from content,
+no external dependencies — and every render function also has a
+``to_csv``-style twin used by the figure experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+__all__ = ["format_cell", "render_table", "write_csv"]
+
+
+def format_cell(
+    value: Optional[float],
+    failed: bool = False,
+    winner: bool = False,
+    precision: int = 2,
+    scientific: bool = False,
+) -> str:
+    """One numeric cell with the paper's annotations.
+
+    ``None`` renders as the paper's "-" (insufficient data).  ``failed``
+    appends an asterisk; ``winner`` wraps in brackets (the boldface stand-in).
+    """
+    if value is None:
+        return "-"
+    text = f"{value:.{precision}e}" if scientific else f"{value:.{precision}f}"
+    if failed:
+        text += "*"
+    if winner:
+        text = f"[{text}]"
+    return text
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[str]],
+    title: str = "",
+) -> str:
+    """Fixed-width text table; first column left-aligned, rest right."""
+    materialized: List[List[str]] = [list(map(str, row)) for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}: {row}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt(row: Sequence[str]) -> str:
+        cells = [
+            row[0].ljust(widths[0]),
+            *(cell.rjust(widths[i + 1]) for i, cell in enumerate(row[1:])),
+        ]
+        return "  ".join(cells)
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(fmt(headers))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt(row) for row in materialized)
+    return "\n".join(lines)
+
+
+def write_csv(path: str, headers: Sequence[str], rows: Iterable[Sequence]) -> None:
+    """Minimal CSV writer (no quoting needs beyond commas in our data)."""
+    import csv
+
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        writer.writerows(rows)

@@ -1,0 +1,149 @@
+"""Shared experiment machinery: configuration, trace cache, method bank.
+
+The paper evaluates three methods side by side — BMBP, log-normal without
+history trimming ("logn NoTrim"), and log-normal with BMBP's trimming
+("logn Trim") — over every machine/queue trace, always predicting the 0.95
+quantile at 95% confidence with 300-second refit epochs and a 10% training
+prefix.  This module wires those defaults together and caches generated
+traces and replay results so that Table 3 and Table 4 (which share runs),
+the CLI, the tests, and the benchmarks never recompute the same replay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.bmbp import BMBPPredictor
+from repro.core.lognormal import LogNormalPredictor
+from repro.core.predictor import BoundKind, QuantilePredictor
+from repro.simulator.replay import ReplayConfig, replay
+from repro.simulator.results import ReplayResult
+from repro.workloads.generator import GeneratorConfig, generate_queue_trace
+from repro.workloads.spec import QUEUE_SPECS, QueueSpec, spec_for
+from repro.workloads.trace import Trace
+
+__all__ = [
+    "METHOD_ORDER",
+    "ExperimentConfig",
+    "make_predictors",
+    "run_queue",
+    "table3_specs",
+    "trace_for",
+]
+
+#: Column order used by every method-comparison table.
+METHOD_ORDER: Tuple[str, ...] = ("bmbp", "logn-notrim", "logn-trim")
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Knobs shared by all experiments; defaults reproduce the paper.
+
+    ``scale`` multiplies every queue's Table 1 job count; the per-cell
+    minimum job threshold of the by-size tables is pro-rated by it.
+    """
+
+    scale: float = 0.35
+    seed: int = 7
+    quantile: float = 0.95
+    confidence: float = 0.95
+    epoch: float = 300.0
+    training_fraction: float = 0.10
+    min_jobs: int = 1500
+
+    @property
+    def generator(self) -> GeneratorConfig:
+        return GeneratorConfig(
+            scale=self.scale, seed=self.seed, min_jobs=self.min_jobs
+        )
+
+    @property
+    def replay(self) -> ReplayConfig:
+        return ReplayConfig(
+            epoch=self.epoch, training_fraction=self.training_fraction
+        )
+
+    @property
+    def min_cell_jobs(self) -> int:
+        """Pro-rated version of the paper's 1000-job cell threshold."""
+        return max(60, int(round(1000 * self.scale)))
+
+
+# ----------------------------------------------------------------- caching
+
+_TRACE_CACHE: Dict[Tuple, Trace] = {}
+_RESULT_CACHE: Dict[Tuple, Dict[str, ReplayResult]] = {}
+
+
+def clear_caches() -> None:
+    """Drop all cached traces and replay results (mainly for tests)."""
+    _TRACE_CACHE.clear()
+    _RESULT_CACHE.clear()
+
+
+def trace_for(spec: QueueSpec, config: ExperimentConfig) -> Trace:
+    """The synthetic trace for one queue, cached per (seed, scale)."""
+    key = (spec.key, config.seed, config.scale, config.min_jobs)
+    if key not in _TRACE_CACHE:
+        _TRACE_CACHE[key] = generate_queue_trace(spec, config.generator)
+    return _TRACE_CACHE[key]
+
+
+def make_predictors(
+    config: ExperimentConfig,
+    kind: BoundKind = BoundKind.UPPER,
+) -> Dict[str, QuantilePredictor]:
+    """Fresh instances of the paper's three methods."""
+    return {
+        "bmbp": BMBPPredictor(
+            quantile=config.quantile, confidence=config.confidence, kind=kind
+        ),
+        "logn-notrim": LogNormalPredictor(
+            quantile=config.quantile,
+            confidence=config.confidence,
+            kind=kind,
+            trim=False,
+        ),
+        "logn-trim": LogNormalPredictor(
+            quantile=config.quantile,
+            confidence=config.confidence,
+            kind=kind,
+            trim=True,
+        ),
+    }
+
+
+def run_queue(
+    machine: str,
+    queue: str,
+    config: Optional[ExperimentConfig] = None,
+) -> Dict[str, ReplayResult]:
+    """Replay one queue against the three methods (cached)."""
+    config = config or ExperimentConfig()
+    key = ("queue", machine, queue, config)
+    if key not in _RESULT_CACHE:
+        spec = spec_for(machine, queue)
+        trace = trace_for(spec, config)
+        _RESULT_CACHE[key] = replay(trace, make_predictors(config), config.replay)
+    return _RESULT_CACHE[key]
+
+
+def run_trace(
+    cache_key: Tuple,
+    trace: Trace,
+    config: ExperimentConfig,
+    replay_config: Optional[ReplayConfig] = None,
+) -> Dict[str, ReplayResult]:
+    """Replay an arbitrary trace against the three methods (cached)."""
+    key = ("trace", cache_key, config)
+    if key not in _RESULT_CACHE:
+        _RESULT_CACHE[key] = replay(
+            trace, make_predictors(config), replay_config or config.replay
+        )
+    return _RESULT_CACHE[key]
+
+
+def table3_specs() -> List[QueueSpec]:
+    """The 32 machine/queue rows of Tables 3 and 4, in the paper's order."""
+    return [spec for spec in QUEUE_SPECS if spec.in_table3]

@@ -1,0 +1,92 @@
+"""Table 3: fraction of correct predictions per queue, three methods.
+
+For every machine/queue in the paper's Table 3, replay the trace against
+BMBP, log-normal NoTrim, and log-normal Trim, predicting the upper bound on
+the 0.95 quantile at 95% confidence, and report the fraction of evaluated
+jobs whose observed wait fell at or below the quoted bound.  Values below
+0.95 are marked with an asterisk (the method failed on that queue); the
+tightest *correct* method — highest median actual/predicted ratio among
+methods that reached 0.95 — is bracketed (the paper's boldface).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.experiments.report import format_cell, render_table
+from repro.experiments.runner import (
+    METHOD_ORDER,
+    ExperimentConfig,
+    run_queue,
+    table3_specs,
+)
+from repro.simulator.results import ReplayResult
+from repro.workloads.spec import QueueSpec
+
+__all__ = ["Table3Row", "run_table3"]
+
+
+@dataclass(frozen=True)
+class Table3Row:
+    """One machine/queue row across the three methods."""
+
+    spec: QueueSpec
+    results: Dict[str, ReplayResult]
+
+    def fraction(self, method: str) -> float:
+        return self.results[method].fraction_correct
+
+    def failed(self, method: str) -> bool:
+        return not self.results[method].correct
+
+    def winner(self) -> Optional[str]:
+        """Most accurate method among the correct ones (None if all fail).
+
+        Accuracy follows Table 4's metric: the median actual/predicted
+        ratio; higher (closer to 1) means a tighter, more useful bound.
+        """
+        correct = [m for m in METHOD_ORDER if self.results[m].correct]
+        if not correct:
+            return None
+        return max(correct, key=lambda m: self.results[m].median_ratio)
+
+
+def run_table3(config: Optional[ExperimentConfig] = None) -> List[Table3Row]:
+    """Replay every Table 3 queue against the three methods (cached)."""
+    config = config or ExperimentConfig()
+    return [
+        Table3Row(spec=spec, results=run_queue(spec.machine, spec.queue, config))
+        for spec in table3_specs()
+    ]
+
+
+def render(rows: List[Table3Row]) -> str:
+    headers = ["machine", "queue", "BMBP", "logn NoTrim", "logn Trim"]
+    body = []
+    for row in rows:
+        winner = row.winner()
+        body.append(
+            [
+                row.spec.machine,
+                row.spec.queue,
+                *(
+                    format_cell(
+                        row.fraction(method),
+                        failed=row.failed(method),
+                        winner=method == winner,
+                    )
+                    for method in METHOD_ORDER
+                ),
+            ]
+        )
+    title = (
+        "Table 3 — fraction of correct wait-time bound predictions "
+        "(0.95 quantile, 95% confidence; * = below 0.95, [] = tightest "
+        "correct method)"
+    )
+    return render_table(headers, body, title=title)
+
+
+def main(config: Optional[ExperimentConfig] = None) -> str:
+    return render(run_table3(config))

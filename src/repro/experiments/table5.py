@@ -1,0 +1,23 @@
+"""Table 5: BMBP correctness by queue and processor-count range."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.experiments.bin_tables import (
+    BinTableRow,
+    render_bin_table,
+    run_bin_tables,
+)
+from repro.experiments.runner import ExperimentConfig
+
+__all__ = ["run_table5"]
+
+
+def run_table5(config: Optional[ExperimentConfig] = None) -> List[BinTableRow]:
+    """Per-bin results (shared replays with Tables 6 and 7)."""
+    return run_bin_tables(config)
+
+
+def main(config: Optional[ExperimentConfig] = None) -> str:
+    return render_bin_table(run_table5(config), "bmbp", 5, "BMBP")

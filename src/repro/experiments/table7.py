@@ -1,0 +1,25 @@
+"""Table 7: log-normal (with BMBP history trimming) correctness by bin."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.experiments.bin_tables import (
+    BinTableRow,
+    render_bin_table,
+    run_bin_tables,
+)
+from repro.experiments.runner import ExperimentConfig
+
+__all__ = ["run_table7"]
+
+
+def run_table7(config: Optional[ExperimentConfig] = None) -> List[BinTableRow]:
+    """Per-bin results (shared replays with Tables 5 and 6)."""
+    return run_bin_tables(config)
+
+
+def main(config: Optional[ExperimentConfig] = None) -> str:
+    return render_bin_table(
+        run_table7(config), "logn-trim", 7, "log-normal with trimming"
+    )

@@ -1,0 +1,115 @@
+"""Table 8: one day in the life of the datastar/normal queue.
+
+The paper samples, every two hours across May 5, 2004, a lower bound on the
+0.25 quantile and upper bounds on the 0.5, 0.75, and 0.95 quantiles (all at
+95% confidence) for SDSC Datastar's "normal" queue — showing a user how the
+queue's outlook shifts over a day.  We replay the synthetic datastar/normal
+trace with a four-predictor BMBP bank and sample the recorded bound series
+on the same two-hour grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.bmbp import BMBPPredictor
+from repro.core.predictor import BoundKind
+from repro.experiments.report import render_table
+from repro.experiments.runner import ExperimentConfig, trace_for
+from repro.simulator.replay import ReplayConfig, replay
+from repro.workloads.spec import SECONDS_PER_MONTH, _month_index, spec_for
+
+__all__ = ["Table8Row", "run_table8"]
+
+SECONDS_PER_DAY = 86400.0
+
+#: Quantile bank: (column label, quantile, bound kind).
+QUANTILE_BANK: Tuple[Tuple[str, float, BoundKind], ...] = (
+    (".25 quantile (lower)", 0.25, BoundKind.LOWER),
+    (".5 quantile", 0.50, BoundKind.UPPER),
+    (".75 quantile", 0.75, BoundKind.UPPER),
+    (".95 quantile", 0.95, BoundKind.UPPER),
+)
+
+
+@dataclass(frozen=True)
+class Table8Row:
+    """Bounds sampled at one two-hour mark."""
+
+    hour: int
+    bounds: Dict[str, Optional[float]]
+
+
+def day_epoch(month_label: str, day_of_month: int) -> float:
+    """Epoch seconds for a calendar day, on the generator's month grid."""
+    return (
+        _month_index(month_label) * SECONDS_PER_MONTH
+        + (day_of_month - 1) * SECONDS_PER_DAY
+    )
+
+
+def run_table8(
+    config: Optional[ExperimentConfig] = None,
+    machine: str = "datastar",
+    queue: str = "normal",
+    month: str = "5/04",
+    day: int = 5,
+) -> List[Table8Row]:
+    """Sample the four-quantile BMBP bank every two hours across one day."""
+    config = config or ExperimentConfig()
+    spec = spec_for(machine, queue)
+    trace = trace_for(spec, config)
+
+    day_start = day_epoch(month, day)
+    # Record from a day earlier so every sample has a preceding bound.
+    window = (day_start - SECONDS_PER_DAY, day_start + SECONDS_PER_DAY + 1.0)
+    predictors = {
+        label: BMBPPredictor(
+            quantile=quantile, confidence=config.confidence, kind=kind
+        )
+        for label, quantile, kind in QUANTILE_BANK
+    }
+    replay_config = ReplayConfig(
+        epoch=config.epoch,
+        training_fraction=config.training_fraction,
+        record_series=True,
+        series_window=window,
+    )
+    results = replay(trace, predictors, replay_config)
+
+    rows: List[Table8Row] = []
+    for hour in range(0, 25, 2):
+        sample_time = day_start + hour * 3600.0
+        bounds: Dict[str, Optional[float]] = {}
+        for label, _, _ in QUANTILE_BANK:
+            times, values = results[label].series
+            idx = np.searchsorted(times, sample_time, side="right") - 1
+            bounds[label] = float(values[idx]) if idx >= 0 else None
+        rows.append(Table8Row(hour=hour, bounds=bounds))
+    return rows
+
+
+def render(rows: List[Table8Row]) -> str:
+    headers = ["time", *(label for label, _, _ in QUANTILE_BANK)]
+    body = [
+        [
+            f"{row.hour:02d}:00",
+            *(
+                "-" if row.bounds[label] is None else f"{row.bounds[label]:.0f}"
+                for label, _, _ in QUANTILE_BANK
+            ),
+        ]
+        for row in rows
+    ]
+    title = (
+        "Table 8 — one day of datastar/normal: BMBP quantile bounds "
+        "(seconds), sampled every two hours"
+    )
+    return render_table(headers, body, title=title)
+
+
+def main(config: Optional[ExperimentConfig] = None) -> str:
+    return render(run_table8(config))

@@ -1,0 +1,39 @@
+"""Space-shared batch-scheduler substrate.
+
+The paper's wait times are produced by production batch schedulers
+(PBS, LoadLeveler, EASY, Maui, ...) running space-sharing policies on real
+machines.  This subpackage implements that substrate: an event-driven
+simulator of a space-shared machine under FCFS, EASY-backfill, or
+priority-multiqueue scheduling, plus workload generators for the job
+streams.  Its output is an ordinary :class:`repro.workloads.Trace`, so
+BMBP can be evaluated on *organically generated* wait times — waits that
+emerge from queue contention rather than from any parametric family — as a
+cross-check that the predictor's coverage does not depend on the synthetic
+trace generator's assumptions.
+"""
+
+from repro.scheduler.constraints import QueueConstraints, QueueLimit, enforce, route
+from repro.scheduler.engine import SchedulerEngine, maintenance_jobs, simulate
+from repro.scheduler.job import SchedJob
+from repro.scheduler.machine import Machine
+from repro.scheduler.policies import (
+    ConservativeBackfillPolicy,
+    EasyBackfillPolicy,
+    FcfsPolicy,
+    PriorityPolicy,
+    SchedulingPolicy,
+)
+from repro.scheduler.workload import ClusterWorkloadConfig, generate_jobs
+
+__all__ = [
+    "ClusterWorkloadConfig",
+    "EasyBackfillPolicy",
+    "FcfsPolicy",
+    "Machine",
+    "PriorityPolicy",
+    "SchedJob",
+    "SchedulerEngine",
+    "SchedulingPolicy",
+    "generate_jobs",
+    "simulate",
+]

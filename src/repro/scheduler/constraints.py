@@ -1,0 +1,106 @@
+"""Published per-queue constraints (Section 5.2 of the paper).
+
+"Typically, a center publishes a set of constraints that will be imposed on
+all jobs submitted to a particular queue.  These constraints include
+maximum allowable run time, maximum allowable memory footprint, and maximum
+processor count which the batch-queue software enforces."
+
+This module implements that admission control for the scheduler substrate:
+a :class:`QueueConstraints` table validates submissions, and
+:func:`enforce` screens a job stream the way the batch software would —
+rejecting violations outright or (like real sites' submission filters)
+routing each job to the cheapest queue that accepts it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.scheduler.job import SchedJob
+
+__all__ = ["QueueConstraints", "QueueLimit", "enforce", "route"]
+
+
+@dataclass(frozen=True)
+class QueueLimit:
+    """Published limits for one queue (None = unlimited)."""
+
+    max_procs: Optional[int] = None
+    max_runtime: Optional[float] = None
+
+    def admits(self, job: SchedJob) -> bool:
+        """Whether the batch software would accept this submission.
+
+        Enforcement uses the user's *estimate*, not the true runtime —
+        the scheduler cannot see the future, so a padded estimate can get
+        a short job rejected, exactly as at real sites.
+        """
+        if self.max_procs is not None and job.procs > self.max_procs:
+            return False
+        if self.max_runtime is not None and job.estimate > self.max_runtime:
+            return False
+        return True
+
+
+class QueueConstraints:
+    """The published constraint table for one machine."""
+
+    def __init__(self, limits: Dict[str, QueueLimit]):
+        if not limits:
+            raise ValueError("constraint table needs at least one queue")
+        self._limits = dict(limits)
+
+    @property
+    def queues(self) -> List[str]:
+        return list(self._limits)
+
+    def limit_for(self, queue: str) -> QueueLimit:
+        try:
+            return self._limits[queue]
+        except KeyError:
+            raise KeyError(f"no published constraints for queue {queue!r}") from None
+
+    def admits(self, job: SchedJob) -> bool:
+        """Whether the job's own queue accepts it."""
+        return self.limit_for(job.queue).admits(job)
+
+
+def enforce(
+    jobs: Iterable[SchedJob],
+    constraints: QueueConstraints,
+) -> Tuple[List[SchedJob], List[SchedJob]]:
+    """Partition submissions into (accepted, rejected) per the table."""
+    accepted: List[SchedJob] = []
+    rejected: List[SchedJob] = []
+    for job in jobs:
+        (accepted if constraints.admits(job) else rejected).append(job)
+    return accepted, rejected
+
+
+def route(
+    jobs: Iterable[SchedJob],
+    constraints: QueueConstraints,
+    preference: Optional[List[str]] = None,
+) -> Tuple[List[SchedJob], List[SchedJob]]:
+    """Route each job to the first queue (by preference order) that admits it.
+
+    Models the rational user (or site submission filter) who picks the most
+    desirable queue whose published limits the job satisfies — which is what
+    couples job shape to queue identity in real logs.  Jobs admitted nowhere
+    are returned in the second list.
+    """
+    order = preference if preference is not None else constraints.queues
+    for queue in order:
+        constraints.limit_for(queue)  # validate the preference list
+    routed: List[SchedJob] = []
+    unroutable: List[SchedJob] = []
+    for job in jobs:
+        for queue in order:
+            if constraints.limit_for(queue).admits(job):
+                job.queue = queue
+                routed.append(job)
+                break
+        else:
+            unroutable.append(job)
+    return routed, unroutable

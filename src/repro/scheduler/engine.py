@@ -1,0 +1,160 @@
+"""Event-driven engine for the space-shared scheduler substrate.
+
+Drives a :class:`Machine` under a :class:`SchedulingPolicy` over a stream of
+:class:`SchedJob` arrivals, and emits the resulting waits as an ordinary
+:class:`repro.workloads.Trace` for the predictors to consume.
+
+Scheduling points are job arrivals and job completions (the standard
+event-driven formulation); administrator retune events can be interleaved
+to change priority weights mid-run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.scheduler.job import SchedJob
+from repro.scheduler.machine import Machine
+from repro.scheduler.policies import PriorityPolicy, SchedulingPolicy
+from repro.workloads.trace import Job, Trace
+
+__all__ = ["SchedulerEngine", "simulate"]
+
+
+class SchedulerEngine:
+    """Replayable event loop binding jobs, machine, and policy together."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        policy: SchedulingPolicy,
+        retune_schedule: Optional[Sequence[Tuple[float, Dict[str, float]]]] = None,
+    ):
+        """``retune_schedule`` is a list of (time, weights) administrator
+        actions, applied in time order; only meaningful for policies with a
+        ``retune`` method (:class:`PriorityPolicy`)."""
+        self.machine = machine
+        self.policy = policy
+        self.waiting: List[SchedJob] = []
+        self.finished: List[SchedJob] = []
+        self._retunes = sorted(retune_schedule or [], key=lambda item: item[0])
+        if self._retunes and not isinstance(policy, PriorityPolicy):
+            raise ValueError("retune_schedule requires a PriorityPolicy")
+
+    def run(self, jobs: Iterable[SchedJob]) -> List[SchedJob]:
+        """Process all arrivals to completion; returns jobs that started.
+
+        Jobs still waiting when arrivals are exhausted are started by
+        draining remaining completions (the machine empties eventually since
+        every runtime is finite) — mirroring a log that ends after the last
+        job has been scheduled.
+        """
+        arrivals = sorted(jobs, key=lambda job: (job.arrival, job.job_id))
+        retunes = list(self._retunes)
+        i = 0
+        now = 0.0
+        while i < len(arrivals) or self.waiting:
+            next_arrival = arrivals[i].arrival if i < len(arrivals) else float("inf")
+            next_completion = self.machine.next_completion_time()
+            now = min(next_arrival, next_completion)
+            if now == float("inf"):
+                raise RuntimeError(
+                    "deadlock: waiting jobs can never fit this machine"
+                )
+            # Administrator retunes strictly before the scheduling pass.
+            while retunes and retunes[0][0] <= now:
+                _, weights = retunes.pop(0)
+                self.policy.retune(weights)  # type: ignore[attr-defined]
+            self.finished.extend(self.machine.complete_until(now))
+            while i < len(arrivals) and arrivals[i].arrival <= now:
+                self._validate(arrivals[i])
+                self.waiting.append(arrivals[i])
+                i += 1
+            self._schedule(now)
+        self.finished.extend(self.machine.complete_until(float("inf")))
+        return self.finished
+
+    def _validate(self, job: SchedJob) -> None:
+        if job.procs > self.machine.total_procs:
+            raise ValueError(
+                f"job {job.job_id} requests {job.procs} procs; machine has "
+                f"{self.machine.total_procs}"
+            )
+
+    def _schedule(self, now: float) -> None:
+        """Invoke the policy until it makes no further progress."""
+        while True:
+            to_start = self.policy.select(self.waiting, self.machine, now)
+            if not to_start:
+                return
+            for job in to_start:
+                self.machine.start(job, now)
+                self.waiting.remove(job)
+
+
+#: Queue name used for injected maintenance blocks (filtered from output).
+MAINTENANCE_QUEUE = "__maintenance__"
+
+
+def maintenance_jobs(
+    windows: Sequence[Tuple[float, float]],
+    total_procs: int,
+    first_id: int = -1,
+) -> list:
+    """Whole-machine blocker jobs representing maintenance windows.
+
+    Each ``(start, duration)`` window becomes a job that requests every
+    processor.  Under FCFS-ordered policies it drains the machine and holds
+    it down for the duration — modelling the outages and upgrades the paper
+    lists among the causes of queue nonstationarity.  IDs count downward
+    from ``first_id`` so they never collide with workload job IDs.
+    """
+    blocks = []
+    for i, (start, duration) in enumerate(windows):
+        if duration <= 0.0:
+            raise ValueError(f"maintenance duration must be positive, got {duration}")
+        blocks.append(
+            SchedJob(
+                job_id=first_id - i,
+                arrival=start,
+                runtime=duration,
+                procs=total_procs,
+                estimate=duration,
+                queue=MAINTENANCE_QUEUE,
+                priority=float("inf"),
+            )
+        )
+    return blocks
+
+
+def simulate(
+    jobs: Iterable[SchedJob],
+    total_procs: int,
+    policy: SchedulingPolicy,
+    retune_schedule: Optional[Sequence[Tuple[float, Dict[str, float]]]] = None,
+    maintenance: Optional[Sequence[Tuple[float, float]]] = None,
+    trace_name: str = "scheduler",
+) -> Trace:
+    """Run the substrate end to end and return the resulting wait trace.
+
+    ``maintenance`` is a list of (start_time, duration) machine outages,
+    injected as whole-machine blocker jobs and excluded from the returned
+    trace.
+    """
+    all_jobs = list(jobs)
+    if maintenance:
+        all_jobs.extend(maintenance_jobs(maintenance, total_procs))
+    engine = SchedulerEngine(Machine(total_procs), policy, retune_schedule)
+    started = engine.run(all_jobs)
+    trace_jobs = [
+        Job(
+            submit_time=job.arrival,
+            wait=job.wait,
+            procs=job.procs,
+            queue=job.queue,
+            runtime=job.runtime,
+        )
+        for job in started
+        if job.queue != MAINTENANCE_QUEUE
+    ]
+    return Trace(jobs=trace_jobs, name=trace_name)

@@ -1,0 +1,70 @@
+"""Jobs as the batch scheduler sees them."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["SchedJob"]
+
+
+@dataclass
+class SchedJob:
+    """One job submitted to the space-shared machine.
+
+    Attributes
+    ----------
+    job_id:
+        Unique identifier (submission order).
+    arrival:
+        Submission timestamp (seconds).
+    runtime:
+        Actual execution duration (seconds); hidden from the scheduler
+        until completion.
+    procs:
+        Processors requested; the job holds all of them for its entire
+        runtime (space sharing).
+    estimate:
+        User-supplied runtime estimate (seconds) — what backfilling reasons
+        with.  Real estimates are notoriously inflated; the workload
+        generator models that.
+    queue:
+        Queue name the job was submitted to (drives priority policies).
+    priority:
+        Numeric priority (higher runs first) used by priority policies.
+    start_time:
+        Set by the engine when the job begins executing.
+    """
+
+    job_id: int
+    arrival: float
+    runtime: float
+    procs: int
+    estimate: float = 0.0
+    queue: str = "normal"
+    priority: float = 0.0
+    start_time: float = field(default=-1.0, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.runtime < 0.0:
+            raise ValueError(f"runtime must be non-negative, got {self.runtime}")
+        if self.procs < 1:
+            raise ValueError(f"procs must be at least 1, got {self.procs}")
+        if self.estimate <= 0.0:
+            self.estimate = max(self.runtime, 1.0)
+
+    @property
+    def started(self) -> bool:
+        return self.start_time >= 0.0
+
+    @property
+    def wait(self) -> float:
+        """Queuing delay; valid once the job has started."""
+        if not self.started:
+            raise ValueError(f"job {self.job_id} has not started")
+        return self.start_time - self.arrival
+
+    @property
+    def end_time(self) -> float:
+        if not self.started:
+            raise ValueError(f"job {self.job_id} has not started")
+        return self.start_time + self.runtime

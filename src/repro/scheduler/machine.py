@@ -1,0 +1,86 @@
+"""The space-shared machine: a pool of processors held by running jobs."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Tuple
+
+from repro.scheduler.job import SchedJob
+
+__all__ = ["Machine"]
+
+
+class Machine:
+    """Tracks processor occupancy of a space-shared machine.
+
+    Each running job holds a dedicated partition (its requested processor
+    count) for its entire runtime — the defining property of space sharing.
+    Completions are processed via an internal min-heap keyed on end time.
+    """
+
+    def __init__(self, total_procs: int):
+        if total_procs < 1:
+            raise ValueError(f"machine needs at least 1 processor, got {total_procs}")
+        self.total_procs = total_procs
+        self._free = total_procs
+        self._running: Dict[int, SchedJob] = {}
+        self._completions: List[Tuple[float, int]] = []
+
+    @property
+    def free_procs(self) -> int:
+        return self._free
+
+    @property
+    def used_procs(self) -> int:
+        return self.total_procs - self._free
+
+    @property
+    def running_jobs(self) -> List[SchedJob]:
+        return list(self._running.values())
+
+    def can_start(self, job: SchedJob) -> bool:
+        return job.procs <= self._free
+
+    def start(self, job: SchedJob, now: float) -> None:
+        """Allocate a partition to ``job`` at time ``now``."""
+        if job.procs > self._free:
+            raise ValueError(
+                f"job {job.job_id} wants {job.procs} procs, only {self._free} free"
+            )
+        if now < job.arrival:
+            raise ValueError(f"job {job.job_id} cannot start before it arrives")
+        job.start_time = now
+        self._free -= job.procs
+        self._running[job.job_id] = job
+        heapq.heappush(self._completions, (job.end_time, job.job_id))
+
+    def next_completion_time(self) -> float:
+        """End time of the soonest-finishing running job (inf if idle)."""
+        if not self._completions:
+            return float("inf")
+        return self._completions[0][0]
+
+    def complete_until(self, now: float) -> List[SchedJob]:
+        """Release every job whose end time is at or before ``now``."""
+        finished: List[SchedJob] = []
+        while self._completions and self._completions[0][0] <= now:
+            _, job_id = heapq.heappop(self._completions)
+            job = self._running.pop(job_id)
+            self._free += job.procs
+            finished.append(job)
+        return finished
+
+    def earliest_fit_time(self, procs: int, now: float) -> float:
+        """Earliest time at which ``procs`` processors will be free,
+        assuming running jobs hold their partitions until their *actual*
+        end times and nothing else starts.  Used by EASY backfill to compute
+        the head job's shadow time (with estimates substituted upstream).
+        """
+        if procs <= self._free:
+            return now
+        free = self._free
+        for end_time, job_id in sorted(self._completions):
+            free += self._running[job_id].procs
+            if free >= procs:
+                return end_time
+        return float("inf")

@@ -1,0 +1,14 @@
+"""Deployment layer: a live queue-delay forecasting service.
+
+The paper describes BMBP as "a practically realizable predictive
+capability for eventual deployment as a user and scheduling tool", with a
+working prototype being integrated with batch schedulers.  This subpackage
+is that tool: :class:`QueueForecaster` manages per-queue (and optionally
+per-processor-bin) predictor banks, follows the Section 5.1 information
+protocol in real time (quote at submit, learn at start, refit per epoch),
+and persists its state across restarts.
+"""
+
+from repro.service.forecaster import ForecasterConfig, QueueForecaster
+
+__all__ = ["ForecasterConfig", "QueueForecaster"]

@@ -1,0 +1,246 @@
+"""The live forecasting service.
+
+``QueueForecaster`` is the deployment wrapper around BMBP: a batch system
+(or a thin log-tailing shim) calls ``job_submitted`` when a job enters a
+queue and ``job_started`` when it begins executing; users and schedulers
+call ``forecast``/``outlook`` for current bounds.  The forecaster
+
+* keeps one predictor per queue, plus one per (queue, processor-bin) when
+  ``by_bin`` is on — the paper's Section 6.2 use case;
+* follows the paper's information protocol: quotes come from the last
+  refit epoch, waits become history only at job start, and the quoted
+  bound is scored against the eventual wait to drive change-point
+  detection;
+* trains itself: each predictor runs in a training mode until it has seen
+  ``training_jobs`` starts, then locks in its rare-event threshold;
+* serializes its complete state to JSON (``save``/``load``), so restarts
+  do not lose history — queue history spans months and is irreplaceable.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
+
+from repro.core.bmbp import BMBPPredictor
+from repro.workloads.bins import bin_label, bin_of
+
+__all__ = ["ForecasterConfig", "QueueForecaster"]
+
+#: Key for per-queue (None bin) or per-queue-and-bin predictors.
+PredictorKey = Tuple[str, Optional[str]]
+
+
+@dataclass(frozen=True)
+class ForecasterConfig:
+    """Service configuration; defaults are the paper's evaluation settings."""
+
+    quantile: float = 0.95
+    confidence: float = 0.95
+    epoch: float = 300.0
+    by_bin: bool = True
+    training_jobs: int = 100
+    method: str = "auto"
+
+    def __post_init__(self) -> None:
+        if self.epoch < 0.0:
+            raise ValueError(f"epoch must be non-negative, got {self.epoch}")
+        if self.training_jobs < 1:
+            raise ValueError("training_jobs must be positive")
+
+
+class QueueForecaster:
+    """Per-queue(/bin) BMBP banks behind a submit/start/forecast API."""
+
+    STATE_VERSION = 1
+
+    def __init__(self, config: Optional[ForecasterConfig] = None):
+        self.config = config or ForecasterConfig()
+        self._predictors: Dict[PredictorKey, BMBPPredictor] = {}
+        self._starts_seen: Dict[PredictorKey, int] = {}
+        self._last_refit: Dict[PredictorKey, float] = {}
+        # Open jobs: job_id -> (submit_time, [(key, quoted_bound), ...]).
+        self._pending: Dict[str, Tuple[float, list]] = {}
+
+    # ----------------------------------------------------------- lifecycle
+
+    def job_submitted(
+        self, job_id: str, queue: str, procs: int, now: float
+    ) -> Optional[float]:
+        """Record a submission; return the bound quoted to this job's user.
+
+        The returned bound comes from the most specific predictor available
+        (queue+bin if configured and trained, else the queue-level one).
+        ``None`` means no quotable bound yet (insufficient history).
+        """
+        if job_id in self._pending:
+            raise ValueError(f"job {job_id!r} already pending")
+        quotes = []
+        quoted: Optional[float] = None
+        for key in self._keys(queue, procs):
+            predictor = self._ensure(key)
+            self._maybe_refit(key, now)
+            bound = predictor.predict() if self._trained(key) else None
+            quotes.append((key, bound))
+            if bound is not None:
+                quoted = bound  # most specific trained predictor wins
+        self._pending[job_id] = (now, quotes)
+        return quoted
+
+    def job_started(self, job_id: str, now: float) -> float:
+        """Record that a pending job began executing; returns its wait.
+
+        Feeds the wait (and the outcome of any quoted bound) to every
+        predictor that covered the job.
+        """
+        try:
+            submit_time, quotes = self._pending.pop(job_id)
+        except KeyError:
+            raise KeyError(f"unknown or already-started job {job_id!r}") from None
+        wait = now - submit_time
+        if wait < 0.0:
+            raise ValueError(f"job {job_id!r} started before it was submitted")
+        for key, bound in quotes:
+            predictor = self._ensure(key)
+            predictor.observe(wait, predicted=bound)
+            self._starts_seen[key] = self._starts_seen.get(key, 0) + 1
+            if self._starts_seen[key] == self.config.training_jobs:
+                predictor.finish_training()
+        return wait
+
+    def job_cancelled(self, job_id: str) -> None:
+        """Forget a pending job (cancelled before starting)."""
+        self._pending.pop(job_id, None)
+
+    # ------------------------------------------------------------ queries
+
+    def forecast(
+        self, queue: str, procs: Optional[int] = None, now: Optional[float] = None
+    ) -> Optional[float]:
+        """Current upper bound for a hypothetical submission."""
+        procs_value = procs if procs is not None else 1
+        best: Optional[float] = None
+        for key in self._keys(queue, procs_value):
+            if procs is None and key[1] is not None:
+                continue
+            predictor = self._predictors.get(key)
+            if predictor is None or not self._trained(key):
+                continue
+            if now is not None:
+                self._maybe_refit(key, now)
+            bound = predictor.predict()
+            if bound is not None:
+                best = bound
+        return best
+
+    def queues(self) -> list:
+        """Queue names with at least one predictor."""
+        return sorted({queue for queue, _ in self._predictors})
+
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    def describe(self) -> str:
+        """One line per predictor: key, history size, current bound."""
+        lines = []
+        for key in sorted(self._predictors, key=str):
+            predictor = self._predictors[key]
+            bound = predictor.predict()
+            label = key[0] if key[1] is None else f"{key[0]}[{key[1]}]"
+            bound_text = f"{bound:,.0f} s" if bound is not None else "-"
+            trained = "trained" if self._trained(key) else "training"
+            lines.append(
+                f"{label}: n={len(predictor.history)} ({trained}), "
+                f"bound={bound_text}"
+            )
+        return "\n".join(lines) if lines else "no queues observed yet"
+
+    # -------------------------------------------------------- persistence
+
+    def to_state(self) -> dict:
+        """JSON-serializable snapshot of configuration and all histories."""
+        predictors = {}
+        for (queue, bin_name), predictor in self._predictors.items():
+            predictors["\x1f".join([queue, bin_name or ""])] = {
+                "history": list(predictor.history.values),
+                "starts_seen": self._starts_seen.get((queue, bin_name), 0),
+                "threshold": predictor.miss_threshold,
+                "trained": predictor.trained,
+            }
+        return {
+            "version": self.STATE_VERSION,
+            "config": asdict(self.config),
+            "predictors": predictors,
+            "pending": {
+                job_id: {
+                    "submit_time": submit_time,
+                    "quotes": [
+                        {"queue": key[0], "bin": key[1], "bound": bound}
+                        for key, bound in quotes
+                    ],
+                }
+                for job_id, (submit_time, quotes) in self._pending.items()
+            },
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "QueueForecaster":
+        if state.get("version") != cls.STATE_VERSION:
+            raise ValueError(f"unsupported state version {state.get('version')!r}")
+        forecaster = cls(ForecasterConfig(**state["config"]))
+        for packed, snapshot in state["predictors"].items():
+            queue, bin_name = packed.split("\x1f")
+            key = (queue, bin_name or None)
+            predictor = forecaster._ensure(key)
+            for wait in snapshot["history"]:
+                predictor.observe(wait)
+            forecaster._starts_seen[key] = snapshot["starts_seen"]
+            if snapshot["trained"]:
+                predictor.finish_training()
+                if snapshot["threshold"] is not None and predictor.detector:
+                    predictor.detector.retune(snapshot["threshold"])
+            else:
+                predictor.refit()
+        for job_id, record in state["pending"].items():
+            quotes = [
+                ((quote["queue"], quote["bin"]), quote["bound"])
+                for quote in record["quotes"]
+            ]
+            forecaster._pending[job_id] = (record["submit_time"], quotes)
+        return forecaster
+
+    def save(self, path: Union[str, Path]) -> None:
+        Path(path).write_text(json.dumps(self.to_state()))
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "QueueForecaster":
+        return cls.from_state(json.loads(Path(path).read_text()))
+
+    # ------------------------------------------------------------ helpers
+
+    def _keys(self, queue: str, procs: int) -> list:
+        keys: list = [(queue, None)]
+        if self.config.by_bin:
+            keys.append((queue, bin_label(bin_of(procs))))
+        return keys
+
+    def _ensure(self, key: PredictorKey) -> BMBPPredictor:
+        if key not in self._predictors:
+            self._predictors[key] = BMBPPredictor(
+                quantile=self.config.quantile,
+                confidence=self.config.confidence,
+                method=self.config.method,
+            )
+            self._starts_seen[key] = 0
+            self._last_refit[key] = float("-inf")
+        return self._predictors[key]
+
+    def _trained(self, key: PredictorKey) -> bool:
+        return self._predictors[key].trained
+
+    def _maybe_refit(self, key: PredictorKey, now: float) -> None:
+        if now - self._last_refit.get(key, float("-inf")) >= self.config.epoch:
+            self._predictors[key].refit_if_stale()
+            self._last_refit[key] = now

@@ -1,0 +1,6 @@
+"""Trace-driven event simulator reproducing the paper's evaluation protocol."""
+
+from repro.simulator.replay import ReplayConfig, replay, replay_by_queue, replay_single
+from repro.simulator.results import JobRecord, ReplayResult
+
+__all__ = ["JobRecord", "ReplayConfig", "ReplayResult", "replay", "replay_by_queue", "replay_single"]

@@ -1,0 +1,70 @@
+"""Autocorrelation estimation.
+
+BMBP uses the lag-1 ("first") autocorrelation of the training series to pick
+the consecutive-miss threshold that constitutes a "rare event" (Section 4.1
+of the paper).  Because wait-time series are heavy tailed, the paper's
+Monte-Carlo calibration works in log space; ``first_autocorrelation`` takes a
+``log_space`` flag for the same reason.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["autocorrelation", "autocorrelation_function", "first_autocorrelation"]
+
+
+def autocorrelation(values: Sequence[float], lag: int) -> float:
+    """Sample autocorrelation at a given lag.
+
+    Uses the standard biased estimator (normalizing by the lag-0
+    autocovariance computed over the full series), which is what statistical
+    packages report and what keeps the ACF positive semi-definite.
+
+    Returns 0.0 for degenerate inputs (constant series or too few points),
+    which is the conservative choice for threshold lookup: zero
+    autocorrelation maps to the smallest rare-event threshold.
+    """
+    if lag < 0:
+        raise ValueError(f"lag must be non-negative, got {lag}")
+    arr = np.asarray(values, dtype=float)
+    n = arr.size
+    if lag == 0:
+        return 1.0
+    if n <= lag + 1:
+        return 0.0
+    centered = arr - arr.mean()
+    denom = float(np.dot(centered, centered))
+    if denom <= 0.0 or not math.isfinite(denom):
+        return 0.0
+    num = float(np.dot(centered[:-lag], centered[lag:]))
+    return num / denom
+
+
+def autocorrelation_function(values: Sequence[float], max_lag: int) -> np.ndarray:
+    """Return the ACF at lags ``0..max_lag`` as an array of length max_lag+1."""
+    if max_lag < 0:
+        raise ValueError(f"max_lag must be non-negative, got {max_lag}")
+    return np.array([autocorrelation(values, lag) for lag in range(max_lag + 1)])
+
+
+def first_autocorrelation(values: Sequence[float], log_space: bool = True) -> float:
+    """Lag-1 autocorrelation of a wait-time series.
+
+    Parameters
+    ----------
+    values:
+        Non-negative wait times.
+    log_space:
+        When true (the default, matching the paper's log-normal Monte-Carlo
+        calibration), the ACF is computed on ``log(1 + x)`` so that the
+        heavy tail does not let a handful of huge waits dominate the
+        estimate.
+    """
+    arr = np.asarray(values, dtype=float)
+    if log_space:
+        arr = np.log1p(np.clip(arr, 0.0, None))
+    return autocorrelation(arr, 1)

@@ -1,0 +1,70 @@
+"""Descriptive statistics used to characterize wait-time traces.
+
+The paper's Table 1 reports, for every machine/queue, the job count and the
+mean, median, and sample standard deviation of queuing delay, and observes
+that every queue is heavy-tailed (median << mean, stddev >> mean).  This
+module computes those summaries and the heavy-tail indicator used by the
+workload calibrator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["DescriptiveSummary", "heavy_tail_ratio", "summarize"]
+
+
+@dataclass(frozen=True)
+class DescriptiveSummary:
+    """Summary statistics for one wait-time series (one Table 1 row)."""
+
+    count: int
+    mean: float
+    median: float
+    std: float
+
+    @property
+    def tail_ratio(self) -> float:
+        """Mean divided by median; >> 1 indicates a heavy right tail."""
+        if self.median <= 0.0:
+            return float("inf") if self.mean > 0.0 else 1.0
+        return self.mean / self.median
+
+    @property
+    def coefficient_of_variation(self) -> float:
+        """Standard deviation divided by the mean."""
+        if self.mean <= 0.0:
+            return 0.0
+        return self.std / self.mean
+
+    def is_heavy_tailed(self, ratio_threshold: float = 2.0) -> bool:
+        """Heuristic from the paper: median significantly below mean and large
+        variance relative to the mean."""
+        return self.tail_ratio >= ratio_threshold and self.coefficient_of_variation >= 1.0
+
+
+def summarize(values: Sequence[float]) -> DescriptiveSummary:
+    """Compute the Table 1 summary statistics for a series.
+
+    Uses the *sample* standard deviation (ddof=1) to match the paper's
+    "sample standard deviation" column; a single-element series reports a
+    standard deviation of zero.
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot summarize an empty series")
+    std = float(np.std(arr, ddof=1)) if arr.size > 1 else 0.0
+    return DescriptiveSummary(
+        count=int(arr.size),
+        mean=float(np.mean(arr)),
+        median=float(np.median(arr)),
+        std=std,
+    )
+
+
+def heavy_tail_ratio(values: Sequence[float]) -> float:
+    """Return mean/median for a series (inf when the median is zero)."""
+    return summarize(values).tail_ratio

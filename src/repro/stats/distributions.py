@@ -1,0 +1,209 @@
+"""Parametric and empirical distributions for wait-time modelling.
+
+Three families appear in the paper:
+
+* **Log-normal** — Downey's suggested model for overall wait times and the
+  comparison predictor's working assumption (Section 4.2).  Also the family
+  used by the rare-event Monte-Carlo calibration.
+* **Log-uniform** — Downey's model for the delay seen by the job at the head
+  of a FCFS queue; we implement it as a baseline predictor substrate.
+* **Empirical** — the nonparametric view BMBP itself takes.
+
+Wait times can legitimately be zero (interactive queues start jobs
+immediately), so every log-space operation works on ``x + shift`` with a
+configurable shift that defaults to one second.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+from scipy import stats as sps
+
+__all__ = [
+    "EmpiricalDistribution",
+    "LogNormalDistribution",
+    "LogUniformDistribution",
+    "fit_lognormal",
+    "fit_loguniform",
+]
+
+#: Default shift applied before taking logarithms, in seconds.  A one-second
+#: shift leaves multi-minute waits essentially unchanged while making
+#: zero-second waits representable.
+DEFAULT_LOG_SHIFT = 1.0
+
+
+@dataclass(frozen=True)
+class LogNormalDistribution:
+    """A (shifted) log-normal: ``log(X + shift)`` is Normal(mu, sigma)."""
+
+    mu: float
+    sigma: float
+    shift: float = DEFAULT_LOG_SHIFT
+
+    def __post_init__(self) -> None:
+        if self.sigma < 0.0:
+            raise ValueError(f"sigma must be non-negative, got {self.sigma}")
+
+    @property
+    def median(self) -> float:
+        return math.exp(self.mu) - self.shift
+
+    @property
+    def mean(self) -> float:
+        return math.exp(self.mu + self.sigma**2 / 2.0) - self.shift
+
+    @property
+    def variance(self) -> float:
+        s2 = self.sigma**2
+        return (math.exp(s2) - 1.0) * math.exp(2.0 * self.mu + s2)
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance)
+
+    def quantile(self, q: float) -> float:
+        """The q-quantile of X (inverse CDF)."""
+        if not 0.0 < q < 1.0:
+            raise ValueError(f"quantile must be in (0, 1), got {q}")
+        z = float(sps.norm.ppf(q))
+        return math.exp(self.mu + self.sigma * z) - self.shift
+
+    def cdf(self, x: float) -> float:
+        if x + self.shift <= 0.0:
+            return 0.0
+        if self.sigma == 0.0:
+            return 1.0 if math.log(x + self.shift) >= self.mu else 0.0
+        z = (math.log(x + self.shift) - self.mu) / self.sigma
+        return float(sps.norm.cdf(z))
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        draws = rng.normal(self.mu, self.sigma, size=n)
+        return np.exp(draws) - self.shift
+
+    @classmethod
+    def from_mean_median(
+        cls,
+        mean: float,
+        median: float,
+        shift: float = DEFAULT_LOG_SHIFT,
+    ) -> "LogNormalDistribution":
+        """Calibrate (mu, sigma) from a target mean and median.
+
+        For a log-normal, ``median = exp(mu)`` and ``mean = exp(mu + s^2/2)``;
+        inverting gives ``sigma = sqrt(2 ln(mean/median))``.  This is how the
+        synthetic workload generator turns a Table 1 row into distribution
+        parameters.  When ``mean <= median`` (not heavy tailed) sigma is
+        clamped to zero.
+        """
+        shifted_median = median + shift
+        shifted_mean = mean + shift
+        if shifted_median <= 0.0:
+            raise ValueError("median + shift must be positive")
+        mu = math.log(shifted_median)
+        ratio = shifted_mean / shifted_median
+        sigma = math.sqrt(2.0 * math.log(ratio)) if ratio > 1.0 else 0.0
+        return cls(mu=mu, sigma=sigma, shift=shift)
+
+
+@dataclass(frozen=True)
+class LogUniformDistribution:
+    """Downey's log-uniform: ``log(X + shift)`` is Uniform(log_lo, log_hi)."""
+
+    log_lo: float
+    log_hi: float
+    shift: float = DEFAULT_LOG_SHIFT
+
+    def __post_init__(self) -> None:
+        if self.log_hi < self.log_lo:
+            raise ValueError("log_hi must be >= log_lo")
+
+    def quantile(self, q: float) -> float:
+        if not 0.0 < q < 1.0:
+            raise ValueError(f"quantile must be in (0, 1), got {q}")
+        log_x = self.log_lo + q * (self.log_hi - self.log_lo)
+        return math.exp(log_x) - self.shift
+
+    def cdf(self, x: float) -> float:
+        if x + self.shift <= 0.0:
+            return 0.0
+        log_x = math.log(x + self.shift)
+        if log_x >= self.log_hi:
+            return 1.0
+        if log_x <= self.log_lo:
+            return 0.0
+        return (log_x - self.log_lo) / (self.log_hi - self.log_lo)
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        draws = rng.uniform(self.log_lo, self.log_hi, size=n)
+        return np.exp(draws) - self.shift
+
+
+class EmpiricalDistribution:
+    """The empirical distribution of a sample; BMBP's nonparametric view."""
+
+    def __init__(self, values: Sequence[float]):
+        arr = np.sort(np.asarray(values, dtype=float))
+        if arr.size == 0:
+            raise ValueError("empirical distribution requires at least one value")
+        self._sorted = arr
+
+    @property
+    def sorted_values(self) -> np.ndarray:
+        return self._sorted
+
+    def __len__(self) -> int:
+        return int(self._sorted.size)
+
+    def quantile(self, q: float) -> float:
+        """Conservative empirical quantile: the ceil(n*q)-th order statistic."""
+        if not 0.0 < q < 1.0:
+            raise ValueError(f"quantile must be in (0, 1), got {q}")
+        k = max(1, math.ceil(self._sorted.size * q))
+        return float(self._sorted[k - 1])
+
+    def cdf(self, x: float) -> float:
+        rank = int(np.searchsorted(self._sorted, x, side="right"))
+        return rank / self._sorted.size
+
+
+def fit_lognormal(
+    values: Sequence[float],
+    shift: float = DEFAULT_LOG_SHIFT,
+) -> LogNormalDistribution:
+    """Maximum-likelihood log-normal fit.
+
+    MLE for a log-normal reduces to the sample mean and (MLE, ddof=0)
+    standard deviation of the shifted logarithms.
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot fit a distribution to an empty sample")
+    if np.any(arr + shift <= 0.0):
+        raise ValueError("all values must exceed -shift for a log-normal fit")
+    logs = np.log(arr + shift)
+    mu = float(np.mean(logs))
+    sigma = float(np.std(logs, ddof=0))
+    return LogNormalDistribution(mu=mu, sigma=sigma, shift=shift)
+
+
+def fit_loguniform(
+    values: Sequence[float],
+    shift: float = DEFAULT_LOG_SHIFT,
+) -> LogUniformDistribution:
+    """MLE log-uniform fit: the support is the sample's log-range."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot fit a distribution to an empty sample")
+    if np.any(arr + shift <= 0.0):
+        raise ValueError("all values must exceed -shift for a log-uniform fit")
+    logs = np.log(arr + shift)
+    return LogUniformDistribution(
+        log_lo=float(np.min(logs)),
+        log_hi=float(np.max(logs)),
+        shift=shift,
+    )

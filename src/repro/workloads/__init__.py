@@ -1,0 +1,54 @@
+"""Workload substrate: trace model, Table 1 registry, generators, parsers."""
+
+from repro.workloads.analysis import (
+    miss_run_stats,
+    nonstationarity_score,
+    rolling_coverage,
+    rolling_median,
+)
+from repro.workloads.archive import ARCHIVE_LOGS, archive_log, load_archive_log
+from repro.workloads.bins import (
+    PROC_BINS,
+    bin_label,
+    bin_of,
+    partition_by_bin,
+)
+from repro.workloads.generator import (
+    GeneratorConfig,
+    generate_queue_trace,
+    generate_site_traces,
+)
+from repro.workloads.spec import (
+    QUEUE_SPECS,
+    QueueSpec,
+    spec_for,
+    specs_for_machine,
+)
+from repro.workloads.swf import load_swf, parse_swf_line, write_swf
+from repro.workloads.trace import Job, Trace
+
+__all__ = [
+    "ARCHIVE_LOGS",
+    "GeneratorConfig",
+    "Job",
+    "PROC_BINS",
+    "QUEUE_SPECS",
+    "QueueSpec",
+    "Trace",
+    "bin_label",
+    "bin_of",
+    "generate_queue_trace",
+    "generate_site_traces",
+    "archive_log",
+    "load_archive_log",
+    "load_swf",
+    "miss_run_stats",
+    "nonstationarity_score",
+    "parse_swf_line",
+    "partition_by_bin",
+    "rolling_coverage",
+    "rolling_median",
+    "spec_for",
+    "specs_for_machine",
+    "write_swf",
+]

@@ -1,0 +1,122 @@
+"""Trace and prediction diagnostics.
+
+Utilities for the kind of forensic questions the paper's authors asked of
+their own results ("we investigated the logs in detail and discovered
+that larger jobs were favored for this month"):
+
+* rolling statistics of a wait series (level shifts at a glance),
+* miss-run statistics for a replay (is the change-point detector seeing
+  clustered misses or scattered ones?),
+* a nonstationarity score comparing early vs late behaviour,
+* rolling coverage of a replay result (where in the trace a method lost
+  its correctness).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.simulator.results import ReplayResult
+from repro.workloads.trace import Trace
+
+__all__ = [
+    "MissRunStats",
+    "miss_run_stats",
+    "nonstationarity_score",
+    "rolling_coverage",
+    "rolling_median",
+]
+
+
+def rolling_median(values: Sequence[float], window: int) -> np.ndarray:
+    """Centered-ish rolling median (trailing window), same length as input.
+
+    Entries before the window fills use the partial prefix.
+    """
+    if window < 1:
+        raise ValueError(f"window must be positive, got {window}")
+    arr = np.asarray(values, dtype=float)
+    out = np.empty(arr.size)
+    for i in range(arr.size):
+        lo = max(0, i - window + 1)
+        out[i] = np.median(arr[lo : i + 1])
+    return out
+
+
+@dataclass(frozen=True)
+class MissRunStats:
+    """Run-length structure of a replay's misses."""
+
+    n_misses: int
+    n_runs: int
+    longest_run: int
+    mean_run: float
+
+    @property
+    def clustering(self) -> float:
+        """Mean run length; 1.0 means perfectly scattered misses."""
+        return self.mean_run
+
+
+def miss_run_stats(result: ReplayResult) -> MissRunStats:
+    """Compute miss-run statistics from a replay with ``record_jobs=True``."""
+    if not result.jobs:
+        raise ValueError(
+            "miss_run_stats needs per-job records; replay with record_jobs=True"
+        )
+    misses = np.array([not record.correct for record in result.jobs], dtype=bool)
+    padded = np.concatenate(([False], misses, [False]))
+    diffs = np.diff(padded.astype(np.int8))
+    starts = np.flatnonzero(diffs == 1)
+    ends = np.flatnonzero(diffs == -1)
+    lengths = ends - starts
+    if lengths.size == 0:
+        return MissRunStats(n_misses=0, n_runs=0, longest_run=0, mean_run=0.0)
+    return MissRunStats(
+        n_misses=int(misses.sum()),
+        n_runs=int(lengths.size),
+        longest_run=int(lengths.max()),
+        mean_run=float(lengths.mean()),
+    )
+
+
+def rolling_coverage(result: ReplayResult, window: int = 500) -> np.ndarray:
+    """Trailing-window fraction of correct predictions over the replay.
+
+    Shows *where* in a trace a method lost correctness (e.g. after a
+    policy change) rather than just the aggregate number.
+    """
+    if window < 1:
+        raise ValueError(f"window must be positive, got {window}")
+    if not result.jobs:
+        raise ValueError(
+            "rolling_coverage needs per-job records; replay with record_jobs=True"
+        )
+    correct = np.array([record.correct for record in result.jobs], dtype=float)
+    out = np.empty(correct.size)
+    cumulative = np.concatenate(([0.0], np.cumsum(correct)))
+    for i in range(correct.size):
+        lo = max(0, i - window + 1)
+        out[i] = (cumulative[i + 1] - cumulative[lo]) / (i + 1 - lo)
+    return out
+
+
+def nonstationarity_score(trace: Trace, pieces: int = 4) -> float:
+    """How much the wait level moves across the trace, in log units.
+
+    Splits the trace into ``pieces`` equal job-count segments and returns
+    the range (max - min) of the segments' median log-waits.  Zero means a
+    level-stationary trace; the strongly nonstationary synthetic queues
+    score >~ 1 (an e-fold of level movement).
+    """
+    if pieces < 2:
+        raise ValueError(f"need at least 2 pieces, got {pieces}")
+    if len(trace) < pieces:
+        raise ValueError(f"trace has {len(trace)} jobs; need >= {pieces}")
+    logs = np.log1p(trace.waits)
+    segments = np.array_split(logs, pieces)
+    medians = [float(np.median(segment)) for segment in segments]
+    return max(medians) - min(medians)

@@ -1,0 +1,171 @@
+"""Registry of public Parallel Workloads Archive logs.
+
+The paper's original logs are proprietary, but the Parallel Workloads
+Archive (https://www.cs.huji.ac.il/labs/parallel/workload/) publishes SWF
+logs from the same machine families — including the *actual* SDSC Paragon
+1995/1996 and SDSC SP2 machines from the paper's Table 1, and the LANL
+Origin 2000 that matches lanl/O2K.  This module records the metadata needed
+to run the reproduction on those logs once downloaded: file names, machine
+sizes, and the queue-number -> queue-name mappings documented in each log's
+header.
+
+Nothing here touches the network; point :func:`load_archive_log` at a
+downloaded ``.swf``/``.swf.gz`` file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
+
+from repro.workloads.swf import load_swf
+from repro.workloads.trace import Trace
+
+__all__ = ["ARCHIVE_LOGS", "ArchiveLog", "archive_log", "load_archive_log"]
+
+
+@dataclass(frozen=True)
+class ArchiveLog:
+    """Metadata for one public archive log.
+
+    ``queue_names`` comes from the log's SWF header ("Queue: ..." notes);
+    ``paper_overlap`` names the Table 1 machine the log corresponds to (or
+    is closest to), for cross-referencing results.
+    """
+
+    key: str
+    filename: str
+    machine: str
+    procs: int
+    period: str
+    jobs: int
+    queue_names: Dict[int, str] = field(default_factory=dict)
+    paper_overlap: Optional[str] = None
+    notes: str = ""
+
+
+#: Archive logs from the paper's machine families.  Job counts are the
+#: archive's cleaned-log figures; they differ from Table 1 because the
+#: paper's site logs covered different windows and queue subsets.
+ARCHIVE_LOGS: Tuple[ArchiveLog, ...] = (
+    ArchiveLog(
+        key="sdsc-par95",
+        filename="SDSC-Par-1995-3.1-cln.swf.gz",
+        machine="SDSC Intel Paragon",
+        procs=416,
+        period="1995",
+        jobs=53970,
+        queue_names={
+            1: "q16s", 2: "q32s", 3: "q64s", 4: "q128s", 5: "q256s",
+            6: "q16m", 7: "q32m", 8: "q64m", 9: "q128m", 10: "q256m",
+            11: "q16l", 12: "q32l", 13: "q64l", 14: "q128l", 15: "q256l",
+            16: "q64in", 17: "q256in", 18: "standby",
+        },
+        paper_overlap="paragon",
+        notes="The same machine and year as the paper's SDSC/Paragon rows.",
+    ),
+    ArchiveLog(
+        key="sdsc-par96",
+        filename="SDSC-Par-1996-3.1-cln.swf.gz",
+        machine="SDSC Intel Paragon",
+        procs=416,
+        period="1996",
+        jobs=32135,
+        queue_names={
+            1: "q16s", 2: "q32s", 3: "q64s", 4: "q128s", 5: "q256s",
+            6: "q16m", 7: "q32m", 8: "q64m", 9: "q128m", 10: "q256m",
+            11: "q16l", 12: "q32l", 13: "q64l", 14: "q128l", 15: "q256l",
+            16: "q64in", 17: "q256in", 18: "standby",
+        },
+        paper_overlap="paragon",
+    ),
+    ArchiveLog(
+        key="sdsc-sp2",
+        filename="SDSC-SP2-1998-4.2-cln.swf.gz",
+        machine="SDSC IBM SP2",
+        procs=128,
+        period="4/1998 - 4/2000",
+        jobs=59725,
+        queue_names={1: "express", 2: "high", 3: "normal", 4: "low"},
+        paper_overlap="sdsc",
+        notes="The same machine and window as the paper's SDSC/SP rows.",
+    ),
+    ArchiveLog(
+        key="lanl-o2k",
+        filename="LANL-O2K-1999-2.swf.gz",
+        machine="LANL Origin 2000 (Nirvana)",
+        procs=2048,
+        period="11/1999 - 4/2000",
+        jobs=121989,
+        # The archive log exposes partition/host rather than the paper's
+        # scheduler queues; queue numbers are the archive's.
+        queue_names={},
+        paper_overlap="lanl",
+        notes="Same machine and period as the paper's LANL/O2K rows.",
+    ),
+    ArchiveLog(
+        key="ctc-sp2",
+        filename="CTC-SP2-1996-3.1-cln.swf.gz",
+        machine="Cornell Theory Center IBM SP2",
+        procs=430,
+        period="6/1996 - 5/1997",
+        jobs=77222,
+        queue_names={},
+        paper_overlap=None,
+        notes="Same machine family as the paper's NERSC/SDSC SP rows.",
+    ),
+    ArchiveLog(
+        key="kth-sp2",
+        filename="KTH-SP2-1996-2.1-cln.swf.gz",
+        machine="KTH IBM SP2",
+        procs=100,
+        period="9/1996 - 8/1997",
+        jobs=28489,
+        queue_names={},
+        paper_overlap=None,
+    ),
+)
+
+_BY_KEY = {log.key: log for log in ARCHIVE_LOGS}
+
+
+def archive_log(key: str) -> ArchiveLog:
+    """Look up an archive log's metadata by its short key."""
+    try:
+        return _BY_KEY[key]
+    except KeyError:
+        available = ", ".join(sorted(_BY_KEY))
+        raise KeyError(f"unknown archive log {key!r}; known: {available}") from None
+
+
+def load_archive_log(key: str, path: Union[str, Path]) -> Trace:
+    """Load a downloaded archive file with its registered queue names.
+
+    ``path`` may be the file itself or a directory containing the log under
+    its canonical filename.
+    """
+    log = archive_log(key)
+    path = Path(path)
+    if path.is_dir():
+        path = path / log.filename
+    if not path.exists():
+        raise FileNotFoundError(
+            f"archive log not found at {path}; download {log.filename} from "
+            "the Parallel Workloads Archive first"
+        )
+    return load_swf(path, queue_names=log.queue_names or None, name=log.key)
+
+
+def describe_archive() -> str:
+    """Human-readable summary of the registered logs."""
+    lines = ["Public archive logs usable with this reproduction:", ""]
+    for log in ARCHIVE_LOGS:
+        overlap = f" (paper machine: {log.paper_overlap})" if log.paper_overlap else ""
+        lines.append(
+            f"  {log.key:11s} {log.machine}, {log.procs} procs, {log.period}, "
+            f"~{log.jobs} jobs{overlap}"
+        )
+        if log.notes:
+            lines.append(f"  {'':11s} {log.notes}")
+    return "\n".join(lines)

@@ -1,0 +1,62 @@
+"""Processor-count bins for the by-size experiments (Tables 5-7).
+
+The ranges — 1-4, 5-16, 17-64, 65+ — were suggested to the authors by TACC
+as the divisions most meaningful to their user community.  Jobs are assigned
+to the bin containing their requested processor count, and the paper
+discards any queue/bin cell with fewer than 1000 jobs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.workloads.trace import Trace
+
+__all__ = ["PROC_BINS", "bin_index", "bin_label", "bin_of", "partition_by_bin"]
+
+#: (low, high) processor-count ranges, inclusive; ``None`` means unbounded.
+PROC_BINS: Tuple[Tuple[int, Optional[int]], ...] = (
+    (1, 4),
+    (5, 16),
+    (17, 64),
+    (65, None),
+)
+
+#: Number of jobs a queue/bin cell must hold to be reported (Section 6.2).
+MIN_JOBS_PER_CELL = 1000
+
+
+def bin_label(bin_range: Tuple[int, Optional[int]]) -> str:
+    """Human-readable label: ``(1, 4)`` -> ``"1-4"``, ``(65, None)`` -> ``"65+"``."""
+    low, high = bin_range
+    return f"{low}+" if high is None else f"{low}-{high}"
+
+
+def bin_index(procs: int) -> int:
+    """0-based index of the bin containing a processor count."""
+    if procs < 1:
+        raise ValueError(f"processor count must be at least 1, got {procs}")
+    for i, (low, high) in enumerate(PROC_BINS):
+        if procs >= low and (high is None or procs <= high):
+            return i
+    raise AssertionError("unreachable: bins cover [1, inf)")
+
+
+def bin_of(procs: int) -> Tuple[int, Optional[int]]:
+    """The (low, high) bin containing a processor count."""
+    return PROC_BINS[bin_index(procs)]
+
+
+def partition_by_bin(trace: Trace) -> Dict[str, Trace]:
+    """Split a trace into the four processor-count bins.
+
+    Returns a dict keyed by bin label ("1-4", ...); every label is present,
+    possibly with an empty trace.
+    """
+    buckets: Dict[str, list] = {bin_label(b): [] for b in PROC_BINS}
+    for job in trace:
+        buckets[bin_label(bin_of(job.procs))].append(job)
+    return {
+        label: Trace(jobs=jobs, name=f"{trace.name}[{label}]")
+        for label, jobs in buckets.items()
+    }

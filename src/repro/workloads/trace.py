@@ -1,0 +1,167 @@
+"""Job and trace containers.
+
+A :class:`Trace` is what the paper's simulator consumes: a submit-time
+ordered sequence of jobs, each carrying the time it was submitted, the delay
+it experienced in queue, and the processor count it requested.  Everything
+downstream (the replay simulator, the experiments, the SWF parser, the
+synthetic generator, and the scheduler substrate's output) speaks this type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.stats.descriptive import DescriptiveSummary, summarize
+
+__all__ = ["Job", "Trace"]
+
+
+@dataclass(frozen=True)
+class Job:
+    """One batch job as recorded in a scheduler log.
+
+    Attributes
+    ----------
+    submit_time:
+        UNIX-style timestamp (seconds) when the job entered the queue.
+    wait:
+        Seconds the job spent in queue before starting.
+    procs:
+        Processor count requested.
+    queue:
+        Name of the queue it was submitted to.
+    runtime:
+        Execution duration in seconds, when known (used by the scheduler
+        substrate; the predictors never look at it).
+    """
+
+    submit_time: float
+    wait: float
+    procs: int = 1
+    queue: str = ""
+    runtime: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.wait < 0.0:
+            raise ValueError(f"job wait must be non-negative, got {self.wait}")
+        if self.procs < 1:
+            raise ValueError(f"job procs must be at least 1, got {self.procs}")
+
+    @property
+    def start_time(self) -> float:
+        """When the job left the queue and began executing."""
+        return self.submit_time + self.wait
+
+    def with_queue(self, queue: str) -> "Job":
+        return replace(self, queue=queue)
+
+
+@dataclass
+class Trace:
+    """A submit-time ordered sequence of jobs from one machine/queue."""
+
+    jobs: List[Job] = field(default_factory=list)
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        self.jobs = sorted(self.jobs, key=lambda job: job.submit_time)
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+    def __iter__(self) -> Iterator[Job]:
+        return iter(self.jobs)
+
+    def __getitem__(self, index: int) -> Job:
+        return self.jobs[index]
+
+    @property
+    def waits(self) -> np.ndarray:
+        return np.array([job.wait for job in self.jobs], dtype=float)
+
+    @property
+    def submit_times(self) -> np.ndarray:
+        return np.array([job.submit_time for job in self.jobs], dtype=float)
+
+    @property
+    def procs(self) -> np.ndarray:
+        return np.array([job.procs for job in self.jobs], dtype=int)
+
+    @property
+    def duration(self) -> float:
+        """Seconds between the first and last submission (0 for <2 jobs)."""
+        if len(self.jobs) < 2:
+            return 0.0
+        return self.jobs[-1].submit_time - self.jobs[0].submit_time
+
+    def summary(self) -> DescriptiveSummary:
+        """The Table 1 statistics (count, mean, median, std) of the waits."""
+        return summarize(self.waits)
+
+    def filter(self, predicate: Callable[[Job], bool], name: str = "") -> "Trace":
+        """A new trace containing the jobs for which ``predicate`` holds."""
+        return Trace(
+            jobs=[job for job in self.jobs if predicate(job)],
+            name=name or self.name,
+        )
+
+    def queues(self) -> List[str]:
+        """Distinct queue names, in first-appearance order."""
+        seen: List[str] = []
+        for job in self.jobs:
+            if job.queue not in seen:
+                seen.append(job.queue)
+        return seen
+
+    def by_queue(self, queue: str) -> "Trace":
+        return self.filter(
+            lambda job: job.queue == queue, name=f"{self.name}/{queue}"
+        )
+
+    def time_slice(self, start: float, end: float, name: str = "") -> "Trace":
+        """Jobs submitted in ``[start, end)``."""
+        return self.filter(
+            lambda job: start <= job.submit_time < end,
+            name=name or self.name,
+        )
+
+    @classmethod
+    def from_arrays(
+        cls,
+        submit_times: Sequence[float],
+        waits: Sequence[float],
+        procs: Optional[Sequence[int]] = None,
+        queue: str = "",
+        runtimes: Optional[Sequence[float]] = None,
+        name: str = "",
+    ) -> "Trace":
+        """Build a trace from parallel arrays (the generator's fast path)."""
+        n = len(submit_times)
+        if len(waits) != n:
+            raise ValueError("submit_times and waits must have equal length")
+        if procs is not None and len(procs) != n:
+            raise ValueError("procs must match submit_times in length")
+        if runtimes is not None and len(runtimes) != n:
+            raise ValueError("runtimes must match submit_times in length")
+        jobs = [
+            Job(
+                submit_time=float(submit_times[i]),
+                wait=float(waits[i]),
+                procs=int(procs[i]) if procs is not None else 1,
+                queue=queue,
+                runtime=float(runtimes[i]) if runtimes is not None else None,
+            )
+            for i in range(n)
+        ]
+        return cls(jobs=jobs, name=name)
+
+    @classmethod
+    def merge(cls, traces: Iterable["Trace"], name: str = "") -> "Trace":
+        """Merge traces into one, re-sorted by submit time."""
+        jobs: List[Job] = []
+        for trace in traces:
+            jobs.extend(trace.jobs)
+        return cls(jobs=jobs, name=name)

@@ -1,0 +1,94 @@
+"""Tests for the bootstrap and Weibull baseline predictors."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import BootstrapQuantilePredictor, WeibullPredictor
+from repro.core.bmbp import BMBPPredictor
+from repro.core.predictor import BoundKind
+from repro.simulator.replay import replay_single
+
+from tests.conftest import make_trace
+
+
+def feed(predictor, values):
+    for value in values:
+        predictor.observe(float(value))
+    predictor.refit()
+    return predictor
+
+
+class TestBootstrap:
+    def test_bound_near_bmbp_on_iid_data(self, rng):
+        values = rng.lognormal(4, 1, 2000)
+        boot = feed(BootstrapQuantilePredictor(seed=1), values).predict()
+        bmbp = feed(BMBPPredictor(), values).predict()
+        # Both target the same object; they should agree within ~25%.
+        assert boot == pytest.approx(bmbp, rel=0.25)
+
+    def test_bound_above_point_quantile(self, rng):
+        values = rng.lognormal(4, 1, 1000)
+        boot = feed(BootstrapQuantilePredictor(seed=2), values).predict()
+        point = float(np.quantile(values, 0.95))
+        assert boot >= point * 0.95  # at or above, modulo resampling noise
+
+    def test_lower_kind(self, rng):
+        values = rng.lognormal(4, 1, 1000)
+        upper = feed(BootstrapQuantilePredictor(seed=3), values).predict()
+        lower = feed(
+            BootstrapQuantilePredictor(seed=3, kind=BoundKind.LOWER), values
+        ).predict()
+        assert lower < upper
+
+    def test_needs_thirty_points(self):
+        predictor = BootstrapQuantilePredictor()
+        for value in range(29):
+            predictor.observe(float(value))
+        predictor.refit()
+        assert predictor.predict() is None
+
+    def test_history_cap_bounds_cost(self, rng):
+        predictor = BootstrapQuantilePredictor(max_history=100, seed=4)
+        feed(predictor, rng.lognormal(4, 1, 5000))
+        # Bound computed from the last 100 only: close to their quantile.
+        recent = predictor.history.values[-100:]
+        assert predictor.predict() <= max(recent)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BootstrapQuantilePredictor(n_resamples=5)
+        with pytest.raises(ValueError):
+            BootstrapQuantilePredictor(max_history=10)
+
+    def test_coverage_in_replay(self, rng):
+        trace = make_trace(rng.lognormal(4, 1.2, 1500), gap=120.0)
+        result = replay_single(trace, BootstrapQuantilePredictor(seed=5))
+        assert result.fraction_correct >= 0.93
+
+
+class TestWeibullPredictor:
+    def test_quantile_of_true_weibull(self, rng):
+        from repro.stats.weibull import WeibullDistribution
+
+        true = WeibullDistribution(shape=0.8, scale=600.0)
+        values = true.sample(5000, rng)
+        predictor = feed(WeibullPredictor(), values)
+        assert predictor.predict() == pytest.approx(true.quantile(0.95), rel=0.1)
+
+    def test_needs_ten_points(self):
+        predictor = WeibullPredictor()
+        for value in range(9):
+            predictor.observe(float(value))
+        predictor.refit()
+        assert predictor.predict() is None
+
+    def test_under_covers_heavier_tails(self, rng):
+        # On log-normal data with sigma ~ 1.5, the fitted Weibull's .95
+        # quantile under-covers: a model-mismatch baseline.
+        trace = make_trace(rng.lognormal(4, 1.5, 2000), gap=60.0)
+        result = replay_single(trace, WeibullPredictor())
+        assert result.fraction_correct < 0.96
+
+    def test_invalid_shift(self):
+        with pytest.raises(ValueError):
+            WeibullPredictor(shift=0.0)

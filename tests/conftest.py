@@ -1,0 +1,35 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads.trace import Trace
+
+
+@pytest.fixture
+def rng():
+    """Deterministic RNG for statistical tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def lognormal_sample(rng):
+    """A moderately heavy-tailed i.i.d. wait sample."""
+    return rng.lognormal(mean=5.0, sigma=1.5, size=2000)
+
+
+def make_trace(waits, start=0.0, gap=60.0, procs=None, queue="q"):
+    """A simple trace with regular arrivals (helper, not a fixture)."""
+    n = len(waits)
+    submit = [start + i * gap for i in range(n)]
+    procs = procs if procs is not None else [1] * n
+    return Trace.from_arrays(submit, list(waits), procs=procs, queue=queue, name="test")
+
+
+@pytest.fixture
+def small_trace(rng):
+    """A 500-job stationary trace with exponential-ish waits."""
+    waits = rng.lognormal(mean=4.0, sigma=1.0, size=500)
+    return make_trace(waits)

@@ -1,0 +1,190 @@
+"""Tests for the binomial quantile-bound machinery (paper Eq. 1/Appendix)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import stats as sps
+
+from repro.core import binomial
+
+QUANTILES = st.floats(min_value=0.05, max_value=0.99)
+CONFIDENCES = st.floats(min_value=0.5, max_value=0.999)
+SIZES = st.integers(min_value=1, max_value=5000)
+
+
+class TestWorkedExamples:
+    """The specific numbers quoted in the paper."""
+
+    def test_minimum_history_for_95_95_is_59(self):
+        # Section 4.1: "the minimum history from which a statistically
+        # meaningful inference can be drawn is 59".
+        assert binomial.minimum_sample_size(0.95, 0.95) == 59
+
+    def test_58_observations_are_not_enough(self):
+        assert binomial.upper_bound_rank(58, 0.95, 0.95) is None
+
+    def test_59_observations_use_the_maximum(self):
+        assert binomial.upper_bound_rank(59, 0.95, 0.95) == 59
+
+    def test_appendix_normal_approximation_example(self):
+        # Appendix: 95%-confidence upper bound on the .9 quantile from a
+        # sample of 1000 is the 916th order statistic.
+        assert binomial.normal_approx_upper_rank(1000, 0.9, 0.95) == 916
+
+    def test_rare_event_probability_narrative(self):
+        # Section 4.1: two consecutive exceedances of the .95 quantile have
+        # probability .0025 for i.i.d. data.  An exceedance is "zero of one
+        # observation at or below X_q".
+        p_exceed = binomial.binomial_cdf(0, 1, 0.95)
+        assert p_exceed == pytest.approx(0.05)
+        assert p_exceed**2 == pytest.approx(0.0025)
+
+
+class TestBinomialCdf:
+    def test_matches_direct_sum(self):
+        n, q, k = 20, 0.7, 12
+        direct = sum(
+            math.comb(n, j) * q**j * (1 - q) ** (n - j) for j in range(k + 1)
+        )
+        assert binomial.binomial_cdf(k, n, q) == pytest.approx(direct)
+
+    def test_boundaries(self):
+        assert binomial.binomial_cdf(-1, 10, 0.5) == 0.0
+        assert binomial.binomial_cdf(10, 10, 0.5) == 1.0
+        assert binomial.binomial_cdf(15, 10, 0.5) == 1.0
+
+
+class TestUpperBoundRank:
+    def test_definition_smallest_valid_rank(self):
+        # The returned rank k must satisfy CDF(k-1) >= C and be minimal.
+        for n in (59, 100, 500, 2000):
+            k = binomial.upper_bound_rank(n, 0.95, 0.95)
+            assert binomial.binomial_cdf(k - 1, n, 0.95) >= 0.95
+            assert binomial.binomial_cdf(k - 2, n, 0.95) < 0.95
+
+    @given(n=SIZES, q=QUANTILES, c=CONFIDENCES)
+    @settings(max_examples=200)
+    def test_rank_in_range_or_none(self, n, q, c):
+        k = binomial.upper_bound_rank(n, q, c)
+        assert k is None or 1 <= k <= n
+
+    @given(n=st.integers(min_value=30, max_value=2000), q=QUANTILES)
+    @settings(max_examples=100)
+    def test_monotone_in_confidence(self, n, q):
+        ranks = [binomial.upper_bound_rank(n, q, c) for c in (0.6, 0.8, 0.95)]
+        present = [r for r in ranks if r is not None]
+        assert present == sorted(present)
+        # Once a confidence level is unattainable, all higher ones are too.
+        seen_none = False
+        for r in ranks:
+            if r is None:
+                seen_none = True
+            else:
+                assert not seen_none
+
+    @given(n=st.integers(min_value=100, max_value=2000), c=CONFIDENCES)
+    @settings(max_examples=100)
+    def test_monotone_in_quantile(self, n, c):
+        ranks = [binomial.upper_bound_rank(n, q, c) for q in (0.5, 0.75, 0.9)]
+        present = [r for r in ranks if r is not None]
+        assert present == sorted(present)
+
+    def test_rank_exceeds_naive_quantile_rank(self):
+        # The confidence margin always pushes the rank above ceil(n*q).
+        for n in (100, 500, 1000):
+            k = binomial.upper_bound_rank(n, 0.9, 0.95)
+            assert k > math.ceil(n * 0.9)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            binomial.upper_bound_rank(100, 0.0, 0.95)
+        with pytest.raises(ValueError):
+            binomial.upper_bound_rank(100, 0.95, 1.0)
+        assert binomial.upper_bound_rank(0, 0.95, 0.95) is None
+
+
+class TestLowerBoundRank:
+    def test_definition_largest_valid_rank(self):
+        for n in (50, 200, 1000):
+            k = binomial.lower_bound_rank(n, 0.25, 0.95)
+            assert k is not None
+            # P(x_(k) < X_q) = 1 - CDF(k-1) must reach the confidence.
+            assert 1 - binomial.binomial_cdf(k - 1, n, 0.25) >= 0.95
+            assert 1 - binomial.binomial_cdf(k, n, 0.25) < 0.95
+
+    def test_minimum_sample_size_lower(self):
+        n_min = binomial.minimum_sample_size_lower(0.25, 0.95)
+        assert binomial.lower_bound_rank(n_min, 0.25, 0.95) is not None
+        assert binomial.lower_bound_rank(n_min - 1, 0.25, 0.95) is None
+
+    @given(n=SIZES, q=QUANTILES, c=CONFIDENCES)
+    @settings(max_examples=200)
+    def test_rank_in_range_or_none(self, n, q, c):
+        k = binomial.lower_bound_rank(n, q, c)
+        assert k is None or 1 <= k <= n
+
+    @given(n=st.integers(min_value=100, max_value=2000))
+    @settings(max_examples=50)
+    def test_lower_below_upper(self, n):
+        lower = binomial.lower_bound_rank(n, 0.5, 0.95)
+        upper = binomial.upper_bound_rank(n, 0.5, 0.95)
+        assert lower is not None and upper is not None
+        assert lower < upper
+
+
+class TestNormalApproximation:
+    @given(q=st.floats(min_value=0.2, max_value=0.9))
+    @settings(max_examples=50)
+    def test_close_to_exact_for_large_n(self, q):
+        n = 5000
+        exact = binomial.upper_bound_rank(n, q, 0.95)
+        approx = binomial.normal_approx_upper_rank(n, q, 0.95)
+        assert abs(exact - approx) <= 3
+
+    def test_lower_mirror(self):
+        n = 2000
+        upper = binomial.normal_approx_upper_rank(n, 0.5, 0.95)
+        lower = binomial.normal_approx_lower_rank(n, 0.5, 0.95)
+        # Symmetric around the median rank.
+        assert abs((upper - n * 0.5) + (lower - n * 0.5)) <= 2
+
+    def test_none_when_out_of_range(self):
+        assert binomial.normal_approx_upper_rank(20, 0.95, 0.95) is None
+        assert binomial.normal_approx_lower_rank(20, 0.05, 0.95) is None
+
+    def test_switch_rule(self):
+        assert not binomial.use_normal_approximation(100, 0.95)  # n(1-q)=5
+        assert binomial.use_normal_approximation(200, 0.95)
+        assert not binomial.use_normal_approximation(15, 0.5)
+
+
+class TestCoverage:
+    """The statistical guarantee itself, checked by Monte Carlo."""
+
+    def test_upper_bound_covers_quantile_at_stated_rate(self, rng):
+        n, q, c = 200, 0.9, 0.9
+        k = binomial.upper_bound_rank(n, q, c)
+        true_q = float(sps.norm.ppf(q))
+        reps = 3000
+        covered = 0
+        for _ in range(reps):
+            sample = np.sort(rng.standard_normal(n))
+            covered += sample[k - 1] >= true_q
+        rate = covered / reps
+        # Should be >= c, within MC noise (3 sigma below is a real failure).
+        assert rate >= c - 3 * math.sqrt(c * (1 - c) / reps)
+
+    def test_lower_bound_covers_quantile_at_stated_rate(self, rng):
+        n, q, c = 200, 0.25, 0.9
+        k = binomial.lower_bound_rank(n, q, c)
+        true_q = float(sps.norm.ppf(q))
+        reps = 3000
+        covered = 0
+        for _ in range(reps):
+            sample = np.sort(rng.standard_normal(n))
+            covered += sample[k - 1] <= true_q
+        rate = covered / reps
+        assert rate >= c - 3 * math.sqrt(c * (1 - c) / reps)

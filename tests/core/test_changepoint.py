@@ -1,0 +1,81 @@
+"""Tests for the consecutive-miss change-point detector."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.changepoint import ConsecutiveMissDetector
+
+
+class TestFiring:
+    def test_fires_exactly_at_threshold(self):
+        detector = ConsecutiveMissDetector(3)
+        assert not detector.record(True)
+        assert not detector.record(True)
+        assert detector.record(True)
+
+    def test_hit_resets_run(self):
+        detector = ConsecutiveMissDetector(3)
+        detector.record(True)
+        detector.record(True)
+        detector.record(False)
+        assert detector.current_run == 0
+        assert not detector.record(True)
+        assert not detector.record(True)
+        assert detector.record(True)
+
+    def test_run_resets_after_firing(self):
+        detector = ConsecutiveMissDetector(2)
+        detector.record(True)
+        assert detector.record(True)
+        assert detector.current_run == 0
+        assert detector.change_points_seen == 1
+
+    def test_threshold_one_fires_every_miss(self):
+        detector = ConsecutiveMissDetector(1)
+        assert detector.record(True)
+        assert not detector.record(False)
+        assert detector.record(True)
+        assert detector.change_points_seen == 2
+
+    @given(
+        misses=st.lists(st.booleans(), max_size=200),
+        threshold=st.integers(min_value=1, max_value=10),
+    )
+    @settings(max_examples=100)
+    def test_fire_count_matches_reference(self, misses, threshold):
+        """Detector output equals a straightforward reference simulation."""
+        detector = ConsecutiveMissDetector(threshold)
+        fired = sum(detector.record(miss) for miss in misses)
+        run = expected = 0
+        for miss in misses:
+            run = run + 1 if miss else 0
+            if run >= threshold:
+                expected += 1
+                run = 0
+        assert fired == expected
+        assert detector.change_points_seen == expected
+
+
+class TestConfiguration:
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            ConsecutiveMissDetector(0)
+
+    def test_retune(self):
+        detector = ConsecutiveMissDetector(5)
+        detector.record(True)
+        detector.retune(2)
+        assert detector.threshold == 2
+        assert detector.record(True)  # run was 1, now reaches 2
+
+    def test_retune_invalid(self):
+        with pytest.raises(ValueError):
+            ConsecutiveMissDetector(3).retune(0)
+
+    def test_reset(self):
+        detector = ConsecutiveMissDetector(3)
+        detector.record(True)
+        detector.record(True)
+        detector.reset()
+        assert detector.current_run == 0

@@ -1,0 +1,124 @@
+"""Tests for attribute clustering and the clustered predictor."""
+
+import numpy as np
+import pytest
+
+from repro.core.clustering import AttributeClusterer, ClusteredPredictor
+
+
+def two_level_sample(rng, n=4000, small_mu=3.0, large_mu=7.0, boundary=16):
+    """Attributes 1..64; waits depend on which side of `boundary` they sit."""
+    attrs = rng.choice([1, 2, 4, 8, 32, 64], size=n)
+    mus = np.where(attrs <= boundary, small_mu, large_mu)
+    waits = np.exp(mus + 0.5 * rng.standard_normal(n))
+    return attrs.astype(float), waits
+
+
+class TestClusterer:
+    def test_finds_the_true_boundary(self, rng):
+        attrs, waits = two_level_sample(rng)
+        clusterer = AttributeClusterer(max_clusters=2, min_leaf=100).fit(attrs, waits)
+        assert clusterer.n_clusters == 2
+        (boundary,) = clusterer.boundaries
+        assert 8.0 < boundary < 32.0
+
+    def test_no_split_on_homogeneous_data(self, rng):
+        attrs = rng.choice([1, 2, 4, 8], size=2000).astype(float)
+        waits = rng.lognormal(4, 1, 2000)  # independent of attrs
+        clusterer = AttributeClusterer(max_clusters=4, min_leaf=100).fit(attrs, waits)
+        # Splits may happen by chance but gains are tiny; allow at most one.
+        assert clusterer.n_clusters <= 2
+
+    def test_min_leaf_respected(self, rng):
+        attrs, waits = two_level_sample(rng, n=300)
+        clusterer = AttributeClusterer(max_clusters=4, min_leaf=200).fit(attrs, waits)
+        assert clusterer.n_clusters == 1  # not enough data to split
+
+    def test_three_level_structure(self, rng):
+        attrs = rng.choice([1, 8, 64], size=6000).astype(float)
+        mus = np.select([attrs == 1, attrs == 8, attrs == 64], [2.0, 5.0, 8.0])
+        waits = np.exp(mus + 0.4 * rng.standard_normal(6000))
+        clusterer = AttributeClusterer(max_clusters=3, min_leaf=100).fit(attrs, waits)
+        assert clusterer.n_clusters == 3
+        assert clusterer.cluster_of(1) == 0
+        assert clusterer.cluster_of(8) == 1
+        assert clusterer.cluster_of(64) == 2
+
+    def test_cluster_of_requires_fit(self):
+        with pytest.raises(ValueError):
+            AttributeClusterer().cluster_of(4)
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            AttributeClusterer().fit([1.0, 2.0], [1.0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AttributeClusterer(max_clusters=0)
+        with pytest.raises(ValueError):
+            AttributeClusterer(min_leaf=5)
+
+    def test_never_splits_within_one_attribute_value(self, rng):
+        attrs = np.full(2000, 8.0)
+        waits = rng.lognormal(4, 2, 2000)  # wildly variable but one attr level
+        clusterer = AttributeClusterer(max_clusters=4, min_leaf=100).fit(attrs, waits)
+        assert clusterer.n_clusters == 1
+
+
+class TestClusteredPredictor:
+    def test_cluster_specific_bounds(self, rng):
+        attrs, waits = two_level_sample(rng)
+        predictor = ClusteredPredictor(max_clusters=2, min_leaf=100)
+        predictor.train(attrs, waits)
+        small_bound = predictor.predict(2)
+        large_bound = predictor.predict(64)
+        assert small_bound is not None and large_bound is not None
+        # e^7 vs e^3 wait levels: bounds must separate by a wide margin.
+        assert large_bound > 10 * small_bound
+
+    def test_beats_population_bound_for_small_jobs(self, rng):
+        attrs, waits = two_level_sample(rng)
+        predictor = ClusteredPredictor(max_clusters=2, min_leaf=100)
+        predictor.train(attrs, waits)
+        population = predictor.fallback.predict()
+        assert predictor.predict(2) < population  # much tighter for small jobs
+
+    def test_observe_routes_to_the_right_cluster(self, rng):
+        attrs, waits = two_level_sample(rng, n=2000)
+        predictor = ClusteredPredictor(max_clusters=2, min_leaf=100)
+        predictor.train(attrs, waits)
+        before = len(predictor.members[0].history)
+        predictor.observe(2, 50.0)
+        predictor.refit()
+        assert len(predictor.members[0].history) == before + 1
+
+    def test_fallback_when_cluster_not_quotable(self, rng):
+        # One cluster with too little data to quote: falls back to population.
+        attrs = np.concatenate([np.full(3000, 1.0), np.full(30, 64.0)])
+        waits = np.concatenate([rng.lognormal(3, 1, 3000), rng.lognormal(8, 1, 30)])
+        predictor = ClusteredPredictor(max_clusters=2, min_leaf=15)
+        predictor.train(attrs, waits)
+        bound = predictor.predict(64)
+        assert bound is not None  # quotable via some path
+
+    def test_requires_training(self):
+        predictor = ClusteredPredictor()
+        with pytest.raises(ValueError):
+            predictor.predict(4)
+        with pytest.raises(ValueError):
+            predictor.observe(4, 1.0)
+
+    def test_sequential_coverage(self, rng):
+        attrs, waits = two_level_sample(rng, n=3000)
+        predictor = ClusteredPredictor(max_clusters=2, min_leaf=100)
+        predictor.train(attrs[:1000], waits[:1000])
+        hits = total = 0
+        for attribute, wait in zip(attrs[1000:], waits[1000:]):
+            bound = predictor.predict(attribute)
+            if bound is not None:
+                total += 1
+                hits += wait <= bound
+            predictor.observe(attribute, wait)
+            predictor.refit()
+        assert total > 1500
+        assert hits / total >= 0.94

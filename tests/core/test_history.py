@@ -1,0 +1,127 @@
+"""Tests for the observation history window."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.history import HistoryWindow
+
+FLOATS = st.floats(min_value=-1e9, max_value=1e9, allow_nan=False)
+
+
+class TestBasics:
+    def test_empty(self):
+        window = HistoryWindow()
+        assert len(window) == 0
+        assert not window
+        assert window.sorted_values().size == 0
+
+    def test_append_preserves_arrival_order(self):
+        window = HistoryWindow()
+        for value in (3.0, 1.0, 2.0):
+            window.append(value)
+        assert window.values == [3.0, 1.0, 2.0]
+
+    def test_init_from_iterable(self):
+        window = HistoryWindow([5.0, 1.0, 3.0])
+        assert len(window) == 3
+        assert list(window.sorted_values()) == [1.0, 3.0, 5.0]
+
+    def test_clear(self):
+        window = HistoryWindow([1.0, 2.0])
+        window.clear()
+        assert len(window) == 0
+        assert window.sorted_values().size == 0
+
+
+class TestSortedView:
+    @given(values=st.lists(FLOATS, max_size=300))
+    @settings(max_examples=100)
+    def test_sorted_matches_python_sorted(self, values):
+        window = HistoryWindow()
+        for value in values:
+            window.append(value)
+        assert list(window.sorted_values()) == sorted(values)
+
+    @given(
+        batches=st.lists(st.lists(FLOATS, max_size=30), min_size=1, max_size=10)
+    )
+    @settings(max_examples=50)
+    def test_interleaved_reads_and_writes(self, batches):
+        """Reading the sorted view between append batches must not corrupt it."""
+        window = HistoryWindow()
+        everything = []
+        for batch in batches:
+            for value in batch:
+                window.append(value)
+            everything.extend(batch)
+            assert list(window.sorted_values()) == sorted(everything)
+
+    def test_sorted_view_reflects_later_appends(self):
+        window = HistoryWindow([2.0, 1.0])
+        assert list(window.sorted_values()) == [1.0, 2.0]
+        window.append(0.5)
+        assert list(window.sorted_values()) == [0.5, 1.0, 2.0]
+
+
+class TestTrimming:
+    def test_trim_keeps_most_recent(self):
+        window = HistoryWindow(range(10))
+        window.trim_to_recent(3)
+        assert window.values == [7.0, 8.0, 9.0]
+        assert list(window.sorted_values()) == [7.0, 8.0, 9.0]
+
+    def test_trim_larger_than_length_is_noop(self):
+        window = HistoryWindow([1.0, 2.0])
+        window.trim_to_recent(5)
+        assert window.values == [1.0, 2.0]
+
+    def test_trim_to_zero(self):
+        window = HistoryWindow([1.0, 2.0])
+        window.trim_to_recent(0)
+        assert len(window) == 0
+
+    def test_trim_negative_rejected(self):
+        with pytest.raises(ValueError):
+            HistoryWindow([1.0]).trim_to_recent(-1)
+
+    @given(
+        values=st.lists(FLOATS, min_size=1, max_size=200),
+        keep=st.integers(min_value=0, max_value=200),
+    )
+    @settings(max_examples=100)
+    def test_trim_then_append_stays_consistent(self, values, keep):
+        window = HistoryWindow(values)
+        window.trim_to_recent(keep)
+        window.append(42.0)
+        expected = values[max(0, len(values) - keep):] + [42.0]
+        assert window.values == expected
+        assert list(window.sorted_values()) == sorted(expected)
+
+
+class TestMaxSize:
+    def test_bounded_window_drops_oldest(self):
+        window = HistoryWindow(max_size=3)
+        for value in range(5):
+            window.append(float(value))
+        assert window.values == [2.0, 3.0, 4.0]
+
+    def test_invalid_max_size(self):
+        with pytest.raises(ValueError):
+            HistoryWindow(max_size=0)
+
+    def test_sorted_view_of_bounded_window(self):
+        window = HistoryWindow(max_size=4)
+        for value in (9.0, 1.0, 8.0, 2.0, 7.0, 3.0):
+            window.append(value)
+        assert list(window.sorted_values()) == [2.0, 3.0, 7.0, 8.0]
+
+
+class TestBufferSafety:
+    def test_returned_array_is_not_recreated_per_call(self):
+        window = HistoryWindow([3.0, 1.0, 2.0])
+        first = window.sorted_values()
+        second = window.sorted_values()
+        assert first is second  # no copy when nothing changed
+        assert isinstance(first, np.ndarray)

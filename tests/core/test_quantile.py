@@ -1,0 +1,94 @@
+"""Tests for sample-level quantile confidence bounds."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import binomial
+from repro.core.quantile import (
+    lower_confidence_bound,
+    two_sided_confidence_interval,
+    upper_confidence_bound,
+)
+
+SAMPLES = st.lists(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+    min_size=60,
+    max_size=400,
+)
+
+
+class TestUpperBound:
+    def test_value_is_the_documented_order_statistic(self, lognormal_sample):
+        bound = upper_confidence_bound(lognormal_sample, 0.95, 0.95, method="exact")
+        sample = np.sort(lognormal_sample)
+        rank = binomial.upper_bound_rank(sample.size, 0.95, 0.95)
+        assert bound.value == sample[rank - 1]
+        assert bound.rank == rank
+        assert bound.side == "upper"
+        assert bound.method == "exact"
+
+    def test_none_for_insufficient_sample(self):
+        assert upper_confidence_bound([1.0] * 58, 0.95, 0.95, method="exact") is None
+        assert upper_confidence_bound([], 0.95, 0.95) is None
+
+    def test_auto_switches_to_normal_for_large_samples(self, lognormal_sample):
+        bound = upper_confidence_bound(lognormal_sample, 0.95, 0.95, method="auto")
+        assert bound.method == "normal"  # n(1-q) = 100 >= 10
+
+    def test_auto_stays_exact_for_small_samples(self):
+        bound = upper_confidence_bound(list(range(100)), 0.95, 0.95, method="auto")
+        assert bound.method == "exact"  # n(1-q) = 5 < 10
+
+    def test_assume_sorted_consistency(self, lognormal_sample):
+        sorted_sample = np.sort(lognormal_sample)
+        a = upper_confidence_bound(lognormal_sample, 0.9, 0.9)
+        b = upper_confidence_bound(sorted_sample, 0.9, 0.9, assume_sorted=True)
+        assert a == b
+
+    def test_rejects_bad_method_and_shape(self, lognormal_sample):
+        with pytest.raises(ValueError):
+            upper_confidence_bound(lognormal_sample, 0.9, 0.9, method="magic")
+        with pytest.raises(ValueError):
+            upper_confidence_bound(np.ones((5, 5)), 0.9, 0.9)
+
+    @given(values=SAMPLES)
+    @settings(max_examples=50)
+    def test_bound_is_above_empirical_quantile(self, values):
+        bound = upper_confidence_bound(values, 0.9, 0.95)
+        if bound is None:
+            return
+        assert bound.value >= float(np.quantile(values, 0.9, method="lower"))
+
+
+class TestLowerBound:
+    def test_below_upper(self, lognormal_sample):
+        lower = lower_confidence_bound(lognormal_sample, 0.5, 0.95)
+        upper = upper_confidence_bound(lognormal_sample, 0.5, 0.95)
+        assert lower.value <= upper.value
+
+    def test_lower_bound_of_low_quantile(self, lognormal_sample):
+        bound = lower_confidence_bound(lognormal_sample, 0.25, 0.95)
+        assert bound.side == "lower"
+        # The bound sits below the empirical .25 quantile.
+        assert bound.value <= float(np.quantile(lognormal_sample, 0.25))
+
+    def test_none_for_insufficient_sample(self):
+        n_min = binomial.minimum_sample_size_lower(0.25, 0.95)
+        assert lower_confidence_bound([1.0] * (n_min - 1), 0.25, 0.95, method="exact") is None
+
+
+class TestTwoSided:
+    def test_interval_brackets_quantile_estimate(self, lognormal_sample):
+        interval = two_sided_confidence_interval(lognormal_sample, 0.5, 0.9)
+        assert interval is not None
+        lower, upper = interval
+        median = float(np.median(lognormal_sample))
+        assert lower.value <= median <= upper.value
+        # Bonferroni split: each side at (1+0.9)/2.
+        assert lower.confidence == pytest.approx(0.95)
+        assert upper.confidence == pytest.approx(0.95)
+
+    def test_none_when_either_side_unattainable(self):
+        assert two_sided_confidence_interval([1.0] * 30, 0.95, 0.95) is None

@@ -1,0 +1,50 @@
+"""Smoke tests: the quickest example scripts run end to end.
+
+The longer examples (compare_sites, job_size_advisor, scheduler_substrate,
+forecaster_service) exercise code paths the integration tests already
+cover at smaller scale; the two here are fast enough to run every time and
+verify the example code itself stays in sync with the API.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name, capsys):
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestQuickstart:
+    def test_runs_and_prints_bounds(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "95% confidence upper bound" in out
+        assert "your job will start within" in out
+        assert "change points detected" in out
+
+    def test_forecast_ladder_is_sensible(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "95% of jobs start within" in out
+
+
+class TestSwfWorkloads:
+    def test_runs(self, capsys, tmp_path):
+        # Redirect the demo SWF into the test's tmp dir.
+        import importlib.util
+
+        spec = importlib.util.spec_from_file_location(
+            "swf_workloads_example", EXAMPLES / "swf_workloads.py"
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        module.SWF_PATH = tmp_path / "demo.swf"
+        module.main()
+        out = capsys.readouterr().out
+        assert "loaded" in out
+        assert "bmbp" in out
+        assert "coverage" in out

@@ -1,0 +1,54 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_all_experiments_are_choices(self):
+        parser = build_parser()
+        args = parser.parse_args(["table3"])
+        assert args.experiment == "table3"
+        assert args.scale == 0.35
+
+    def test_overrides(self):
+        args = build_parser().parse_args(
+            ["table1", "--scale", "0.1", "--seed", "3", "--epoch", "600"]
+        )
+        assert args.scale == 0.1
+        assert args.seed == 3
+        assert args.epoch == 600.0
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table99"])
+
+    def test_registry_covers_every_table_and_figure(self):
+        expected = {
+            "table1", "table3", "table4", "table5", "table6", "table7",
+            "table8", "figure1", "figure2", "ablations", "latency",
+            "sensitivity", "clustering",
+        }
+        assert set(EXPERIMENTS) == expected
+
+
+class TestMain:
+    def test_table1_runs(self, capsys):
+        code = main(["table1", "--scale", "0.01"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "datastar/normal" in out
+
+    def test_csv_only_for_figures(self, capsys, tmp_path):
+        code = main(["table1", "--scale", "0.01", "--csv", str(tmp_path / "x.csv")])
+        assert code == 2
+
+    def test_figure_csv_output(self, tmp_path, capsys):
+        path = tmp_path / "fig2.csv"
+        code = main(["figure2", "--scale", "0.08", "--csv", str(path)])
+        assert code == 0
+        content = path.read_text().splitlines()
+        assert content[0] == "procs_bin,time_epoch_s,bound_s"
+        assert len(content) > 1

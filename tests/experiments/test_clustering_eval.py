@@ -1,0 +1,50 @@
+"""Tests for the grouping-strategy evaluation."""
+
+import math
+
+import pytest
+
+from repro.experiments.clustering_eval import (
+    CLUSTERING_QUEUES,
+    STRATEGIES,
+    render,
+    run_clustering_eval,
+)
+from repro.experiments.runner import ExperimentConfig, clear_caches
+
+TINY = ExperimentConfig(scale=0.02, seed=5, min_jobs=1200)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def fresh_caches():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+class TestClusteringEval:
+    def test_full_grid(self):
+        rows = run_clustering_eval(TINY)
+        assert len(rows) == len(CLUSTERING_QUEUES) * len(STRATEGIES)
+
+    def test_every_strategy_quotes_bounds(self):
+        for row in run_clustering_eval(TINY):
+            assert row.n_evaluated > 500
+            assert not math.isnan(row.fraction_correct)
+
+    def test_coverage_reasonable_everywhere(self):
+        for row in run_clustering_eval(TINY):
+            assert row.fraction_correct >= 0.90
+
+    def test_group_counts(self):
+        rows = run_clustering_eval(TINY)
+        by = {(r.machine, r.queue, r.strategy): r for r in rows}
+        for machine, queue in CLUSTERING_QUEUES:
+            assert by[(machine, queue, "population")].n_groups == 1
+            assert by[(machine, queue, "fixed-bins")].n_groups >= 2
+            assert by[(machine, queue, "clustered")].n_groups >= 1
+
+    def test_render(self):
+        text = render(run_clustering_eval(TINY))
+        assert "Grouping strategies" in text
+        assert "clustered" in text

@@ -1,0 +1,176 @@
+"""Integration tests for the experiment harness.
+
+These run every table/figure end to end at a tiny scale — checking
+structure, bookkeeping, and the qualitative properties that must hold at
+any scale — not the paper-level numbers (those need the default scale and
+live in the benchmarks).
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ExperimentConfig,
+    run_figure1,
+    run_figure2,
+    run_latency,
+    run_table1,
+    run_table3,
+    run_table4,
+    run_table5,
+    run_table8,
+)
+from repro.experiments.bin_tables import BIN_LABELS
+from repro.experiments.runner import (
+    clear_caches,
+    make_predictors,
+    run_queue,
+    table3_specs,
+    trace_for,
+)
+from repro.workloads.spec import spec_for
+
+#: Small but statistically meaningful: every queue gets >= 600 jobs.
+TINY = ExperimentConfig(scale=0.01, seed=5, min_jobs=600)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def fresh_caches():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+class TestRunner:
+    def test_trace_cache_returns_same_object(self):
+        spec = spec_for("llnl", "all")
+        assert trace_for(spec, TINY) is trace_for(spec, TINY)
+
+    def test_run_queue_cache(self):
+        a = run_queue("llnl", "all", TINY)
+        b = run_queue("llnl", "all", TINY)
+        assert a is b
+
+    def test_make_predictors_are_fresh(self):
+        a = make_predictors(TINY)
+        b = make_predictors(TINY)
+        assert a["bmbp"] is not b["bmbp"]
+        assert set(a) == {"bmbp", "logn-notrim", "logn-trim"}
+
+    def test_table3_specs_order_and_count(self):
+        specs = table3_specs()
+        assert len(specs) == 32
+        assert specs[0].machine == "datastar"
+
+
+class TestTable1:
+    def test_rows_and_calibration(self):
+        rows = run_table1(TINY)
+        assert len(rows) == 39
+        for row in rows:
+            if row.spec.key == ("lanl", "short"):
+                # The injected end-of-log surge (the paper's BMBP failure
+                # case) deliberately blows up this queue's mean.
+                continue
+            # At tiny job counts the capped tail stretch can undershoot the
+            # published mean by several percent; the benchmarks check the
+            # default-scale calibration much more tightly.
+            assert row.mean_error < 0.15
+            assert row.median_error < 0.10 or row.spec.median <= 10
+
+
+class TestTables3And4:
+    def test_structure(self):
+        rows = run_table3(TINY)
+        assert len(rows) == 32
+        for row in rows:
+            for method in ("bmbp", "logn-notrim", "logn-trim"):
+                fraction = row.fraction(method)
+                assert math.isnan(fraction) or 0.0 <= fraction <= 1.0
+
+    def test_bmbp_mostly_correct_even_at_tiny_scale(self):
+        rows = run_table3(TINY)
+        correct = sum(not row.failed("bmbp") for row in rows)
+        assert correct >= 26  # >80% of queues
+
+    def test_table4_shares_replays_with_table3(self):
+        rows3 = run_table3(TINY)
+        rows4 = run_table4(TINY)
+        assert rows4[0].results is rows3[0].results
+
+    def test_winner_is_a_correct_method(self):
+        for row in run_table3(TINY):
+            winner = row.winner()
+            if winner is not None:
+                assert not row.failed(winner)
+
+
+class TestBinTables:
+    def test_structure_matches_registry(self):
+        rows = run_table5(TINY)
+        assert len(rows) == 27
+        for row in rows:
+            assert set(row.cells) == set(BIN_LABELS)
+            for label, cell in row.cells.items():
+                present = row.spec.table5_bins[BIN_LABELS.index(label)]
+                if not present:
+                    # Bins the paper marked "-" stay under threshold.
+                    assert cell is None
+
+    def test_fractions_in_range(self):
+        for row in run_table5(TINY):
+            for label in BIN_LABELS:
+                fraction = row.fraction("bmbp", label)
+                if fraction is not None and not math.isnan(fraction):
+                    assert 0.0 <= fraction <= 1.0
+
+
+class TestTable8:
+    def test_thirteen_two_hour_rows(self):
+        rows = run_table8(TINY)
+        assert [row.hour for row in rows] == list(range(0, 25, 2))
+
+    def test_quantile_ladder_is_ordered(self):
+        rows = run_table8(TINY)
+        for row in rows:
+            q25 = row.bounds[".25 quantile (lower)"]
+            q50 = row.bounds[".5 quantile"]
+            q75 = row.bounds[".75 quantile"]
+            q95 = row.bounds[".95 quantile"]
+            values = [q25, q50, q75, q95]
+            present = [v for v in values if v is not None]
+            assert present == sorted(present)
+
+
+class TestFigures:
+    def test_figure1_two_sites_with_series(self):
+        series = run_figure1(TINY)
+        assert [s.label for s in series] == ["datastar/normal", "tacc2/normal"]
+        for s in series:
+            assert s.times.size > 0
+            assert np.all(s.bounds > 0)
+
+    def test_figure2_inversion_present(self):
+        # Needs enough 17-64 jobs for a bound to exist by June; use a
+        # slightly larger scale than the other smoke tests.
+        config = ExperimentConfig(scale=0.08, seed=5, min_jobs=600)
+        result = run_figure2(config)
+        assert result.inversion_fraction() > 0.5
+
+    def test_figure2_sampling(self):
+        config = ExperimentConfig(scale=0.08, seed=5, min_jobs=600)
+        samples = run_figure2(config).sampled("1-4", n_samples=10)
+        assert 0 < len(samples) <= 10
+
+
+class TestLatency:
+    def test_latency_rows(self):
+        rows = run_latency(TINY, n_cycles=2000)
+        assert {row.method for row in rows} == {"bmbp", "logn-notrim", "logn-trim"}
+        for row in rows:
+            assert row.mean_us > 0
+            # The paper's bar: 8 ms on 2006 hardware.  Anything modern
+            # should beat it comfortably.
+            assert row.mean_ms < 8.0

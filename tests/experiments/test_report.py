@@ -1,0 +1,66 @@
+"""Tests for the report rendering helpers."""
+
+import pytest
+
+from repro.experiments.report import format_cell, render_table, write_csv
+
+
+class TestFormatCell:
+    def test_plain_value(self):
+        assert format_cell(0.957) == "0.96"
+        assert format_cell(0.957, precision=3) == "0.957"
+
+    def test_failed_marker(self):
+        assert format_cell(0.91, failed=True) == "0.91*"
+
+    def test_winner_brackets(self):
+        assert format_cell(0.97, winner=True) == "[0.97]"
+
+    def test_failed_winner_combination(self):
+        assert format_cell(0.91, failed=True, winner=True) == "[0.91*]"
+
+    def test_missing_value(self):
+        assert format_cell(None) == "-"
+        assert format_cell(None, failed=True) == "-"
+
+    def test_scientific(self):
+        assert format_cell(0.000123, scientific=True) == "1.23e-04"
+
+
+class TestRenderTable:
+    def test_alignment_and_structure(self):
+        text = render_table(
+            ["name", "value"],
+            [["a", "1"], ["long-name", "23"]],
+            title="Demo",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Demo"
+        assert lines[1] == "===="
+        # All body lines equal width.
+        widths = {len(line) for line in lines[2:]}
+        assert len(widths) == 1
+        assert "long-name" in lines[-1]
+
+    def test_no_title(self):
+        text = render_table(["a"], [["x"]])
+        assert not text.startswith("\n")
+        assert text.splitlines()[0].strip() == "a"
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [["only-one"]])
+
+    def test_numeric_cells_right_aligned(self):
+        text = render_table(["q", "val"], [["x", "1"], ["y", "100"]])
+        lines = text.splitlines()
+        assert lines[-2].endswith("  1")
+        assert lines[-1].endswith("100")
+
+
+class TestWriteCsv:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "out.csv"
+        write_csv(str(path), ["a", "b"], [[1, 2], [3, 4]])
+        content = path.read_text().strip().splitlines()
+        assert content == ["a,b", "1,2", "3,4"]

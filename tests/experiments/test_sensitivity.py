@@ -1,0 +1,62 @@
+"""Tests for the quantile/confidence sensitivity experiment."""
+
+import pytest
+
+from repro.experiments.runner import ExperimentConfig, clear_caches
+from repro.experiments.sensitivity import (
+    CONFIDENCE_GRID,
+    QUANTILE_GRID,
+    SENSITIVITY_QUEUES,
+    render,
+    run_sensitivity,
+)
+
+TINY = ExperimentConfig(scale=0.01, seed=5, min_jobs=600)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def fresh_caches():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+class TestGrid:
+    def test_full_grid_produced(self):
+        rows = run_sensitivity(TINY)
+        expected = len(SENSITIVITY_QUEUES) * len(QUANTILE_GRID) * len(CONFIDENCE_GRID)
+        assert len(rows) == expected
+
+    def test_coverage_tracks_quantile(self):
+        rows = run_sensitivity(TINY)
+        # Per queue and confidence, coverage is non-decreasing in quantile
+        # (allowing small sample noise).
+        for machine, queue in SENSITIVITY_QUEUES:
+            for confidence in CONFIDENCE_GRID:
+                series = [
+                    row.fraction_correct
+                    for row in rows
+                    if (row.machine, row.queue) == (machine, queue)
+                    and row.confidence == confidence
+                ]
+                for a, b in zip(series, series[1:]):
+                    assert b >= a - 0.03
+
+    def test_most_combinations_correct(self):
+        rows = run_sensitivity(TINY)
+        correct = sum(row.correct for row in rows)
+        assert correct >= 0.8 * len(rows)
+
+    def test_higher_quantile_means_looser_ratio(self):
+        rows = run_sensitivity(TINY)
+        for machine, queue in SENSITIVITY_QUEUES:
+            low = next(r for r in rows if (r.machine, r.queue) == (machine, queue)
+                       and r.quantile == 0.5 and r.confidence == 0.95)
+            high = next(r for r in rows if (r.machine, r.queue) == (machine, queue)
+                        and r.quantile == 0.95 and r.confidence == 0.95)
+            assert high.median_ratio < low.median_ratio
+
+    def test_render(self):
+        text = render(run_sensitivity(TINY))
+        assert "Sensitivity" in text
+        assert "llnl/all" in text

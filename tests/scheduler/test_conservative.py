@@ -1,0 +1,97 @@
+"""Tests for conservative backfilling."""
+
+import pytest
+
+from repro.scheduler.engine import SchedulerEngine, simulate
+from repro.scheduler.job import SchedJob
+from repro.scheduler.machine import Machine
+from repro.scheduler.policies import (
+    ConservativeBackfillPolicy,
+    EasyBackfillPolicy,
+    FcfsPolicy,
+)
+from repro.scheduler.workload import ClusterWorkloadConfig, generate_jobs
+
+
+def job(job_id, arrival=0.0, runtime=100.0, procs=4, estimate=None, queue="normal"):
+    return SchedJob(
+        job_id=job_id,
+        arrival=arrival,
+        runtime=runtime,
+        procs=procs,
+        estimate=estimate if estimate is not None else runtime,
+        queue=queue,
+    )
+
+
+def fresh(jobs):
+    return [SchedJob(j.job_id, j.arrival, j.runtime, j.procs, j.estimate, j.queue)
+            for j in jobs]
+
+
+class TestSelection:
+    def test_backfills_harmless_short_job(self):
+        machine = Machine(8)
+        machine.start(job(99, runtime=100.0, procs=6), now=0.0)
+        # Head (8 procs) waits until t=100; a 2-proc 50 s job is harmless.
+        waiting = [job(0, procs=8, estimate=500.0), job(1, procs=2, runtime=50.0)]
+        started = ConservativeBackfillPolicy().select(waiting, machine, now=0.0)
+        assert [j.job_id for j in started] == [1]
+
+    def test_blocks_backfill_that_delays_any_reservation(self):
+        machine = Machine(8)
+        machine.start(job(99, runtime=100.0, procs=6), now=0.0)
+        # Job 0 (8 procs) reserved at t=100; job 1 (4 procs, long) reserved
+        # after job 0; job 2 (2 procs, 400 s) fits now but would overlap
+        # job 0's reservation with procs job 0 needs: blocked.
+        waiting = [
+            job(0, procs=8, estimate=500.0),
+            job(1, procs=4, estimate=500.0),
+            job(2, procs=2, runtime=400.0),
+        ]
+        started = ConservativeBackfillPolicy().select(waiting, machine, now=0.0)
+        assert started == []
+
+    def test_plain_fcfs_progress_when_machine_free(self):
+        machine = Machine(8)
+        waiting = [job(0, procs=4), job(1, procs=4)]
+        started = ConservativeBackfillPolicy().select(waiting, machine, now=0.0)
+        assert [j.job_id for j in started] == [0, 1]
+
+    def test_empty_queue(self):
+        assert ConservativeBackfillPolicy().select([], Machine(8), now=0.0) == []
+
+
+class TestEndToEnd:
+    def test_never_oversubscribes(self):
+        jobs = generate_jobs(
+            ClusterWorkloadConfig(n_jobs=600, machine_procs=64, utilization=0.9, seed=8)
+        )
+        engine = SchedulerEngine(Machine(64), ConservativeBackfillPolicy())
+        finished = engine.run(jobs)
+        events = []
+        for j in finished:
+            events.append((j.start_time, 1, j.procs))
+            events.append((j.end_time, 0, -j.procs))
+        events.sort()
+        used = 0
+        for _, _, delta in events:
+            used += delta
+            assert 0 <= used <= 64
+
+    def test_between_fcfs_and_easy_on_mean_wait(self):
+        """The classic ordering: FCFS >= conservative >= EASY mean waits."""
+        jobs = generate_jobs(
+            ClusterWorkloadConfig(n_jobs=1000, machine_procs=64, utilization=0.85, seed=9)
+        )
+        means = {}
+        for policy in (FcfsPolicy(), ConservativeBackfillPolicy(), EasyBackfillPolicy()):
+            trace = simulate(fresh(jobs), 64, policy)
+            means[policy.name] = trace.summary().mean
+        assert means["fcfs"] >= means["conservative"] * 0.99
+        assert means["conservative"] >= means["easy"] * 0.99
+
+    def test_all_jobs_complete(self):
+        jobs = [job(i, arrival=float(i * 5), procs=(i % 8) + 1) for i in range(100)]
+        trace = simulate(jobs, 8, ConservativeBackfillPolicy())
+        assert len(trace) == 100

@@ -1,0 +1,92 @@
+"""Tests for published queue constraints."""
+
+import pytest
+
+from repro.scheduler.constraints import QueueConstraints, QueueLimit, enforce, route
+from repro.scheduler.job import SchedJob
+from repro.scheduler.workload import ClusterWorkloadConfig, generate_jobs
+
+
+def job(job_id=0, procs=4, runtime=100.0, estimate=None, queue="normal"):
+    return SchedJob(
+        job_id=job_id, arrival=0.0, runtime=runtime, procs=procs,
+        estimate=estimate if estimate is not None else runtime, queue=queue,
+    )
+
+
+TABLE = QueueConstraints({
+    "express": QueueLimit(max_procs=4, max_runtime=1800.0),
+    "normal": QueueLimit(max_procs=64, max_runtime=43200.0),
+    "long": QueueLimit(max_procs=16, max_runtime=None),
+})
+
+
+class TestLimits:
+    def test_admits_within_limits(self):
+        assert TABLE.limit_for("express").admits(job(procs=4, runtime=1800.0))
+
+    def test_rejects_too_many_procs(self):
+        assert not TABLE.limit_for("express").admits(job(procs=8, runtime=60.0))
+
+    def test_rejects_long_estimate_even_if_runtime_short(self):
+        # Enforcement sees the padded estimate, not the true runtime.
+        padded = job(procs=2, runtime=60.0, estimate=7200.0)
+        assert not TABLE.limit_for("express").admits(padded)
+
+    def test_unlimited_dimensions(self):
+        week = job(procs=8, runtime=7 * 86400.0)
+        assert TABLE.limit_for("long").admits(week)
+
+    def test_unknown_queue(self):
+        with pytest.raises(KeyError):
+            TABLE.limit_for("hero")
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(ValueError):
+            QueueConstraints({})
+
+
+class TestEnforce:
+    def test_partition(self):
+        jobs = [
+            job(0, procs=2, runtime=600.0, queue="express"),
+            job(1, procs=32, runtime=600.0, queue="express"),  # too wide
+            job(2, procs=32, runtime=600.0, queue="normal"),
+        ]
+        accepted, rejected = enforce(jobs, TABLE)
+        assert [j.job_id for j in accepted] == [0, 2]
+        assert [j.job_id for j in rejected] == [1]
+
+
+class TestRoute:
+    def test_routes_to_first_admitting_queue(self):
+        quick = job(0, procs=2, runtime=300.0)
+        wide = job(1, procs=32, runtime=300.0)
+        week = job(2, procs=8, runtime=7 * 86400.0)
+        routed, unroutable = route(
+            [quick, wide, week], TABLE, preference=["express", "normal", "long"]
+        )
+        assert [j.queue for j in routed] == ["express", "normal", "long"]
+        assert unroutable == []
+
+    def test_unroutable_jobs(self):
+        monster = job(0, procs=128, runtime=600.0)
+        routed, unroutable = route([monster], TABLE)
+        assert routed == []
+        assert [j.job_id for j in unroutable] == [0]
+
+    def test_invalid_preference(self):
+        with pytest.raises(KeyError):
+            route([job()], TABLE, preference=["hero"])
+
+    def test_routing_couples_shape_to_queue(self):
+        """On a realistic stream, express gets only small/short jobs."""
+        jobs = generate_jobs(ClusterWorkloadConfig(n_jobs=2000, seed=12))
+        routed, _ = route(jobs, TABLE, preference=["express", "normal", "long"])
+        express = [j for j in routed if j.queue == "express"]
+        assert express, "some jobs should qualify for express"
+        assert all(j.procs <= 4 and j.estimate <= 1800.0 for j in express)
+        normal = [j for j in routed if j.queue == "normal"]
+        # Queues now differ in composition: express is smaller on average.
+        mean = lambda xs: sum(xs) / len(xs)
+        assert mean([j.procs for j in express]) < mean([j.procs for j in normal])

@@ -1,0 +1,88 @@
+"""Tests for the scheduler event engine."""
+
+import numpy as np
+import pytest
+
+from repro.scheduler.engine import SchedulerEngine, simulate
+from repro.scheduler.job import SchedJob
+from repro.scheduler.machine import Machine
+from repro.scheduler.policies import EasyBackfillPolicy, FcfsPolicy
+from repro.scheduler.workload import ClusterWorkloadConfig, generate_jobs
+
+
+def job(job_id, arrival=0.0, runtime=100.0, procs=4):
+    return SchedJob(job_id=job_id, arrival=arrival, runtime=runtime, procs=procs)
+
+
+class TestBasicOperation:
+    def test_all_jobs_eventually_start(self):
+        jobs = [job(i, arrival=float(i), procs=8) for i in range(20)]
+        trace = simulate(jobs, 8, FcfsPolicy())
+        assert len(trace) == 20
+        assert all(j.wait >= 0.0 for j in trace)
+
+    def test_empty_machine_starts_job_immediately(self):
+        trace = simulate([job(0, arrival=42.0)], 8, FcfsPolicy())
+        assert trace[0].wait == 0.0
+
+    def test_analytic_serialization(self):
+        # Three full-machine jobs arriving together: waits 0, 100, 200.
+        jobs = [job(i, arrival=0.0, runtime=100.0, procs=8) for i in range(3)]
+        trace = simulate(jobs, 8, FcfsPolicy())
+        assert sorted(j.wait for j in trace) == [0.0, 100.0, 200.0]
+
+    def test_oversized_job_rejected(self):
+        with pytest.raises(ValueError):
+            simulate([job(0, procs=100)], 8, FcfsPolicy())
+
+    def test_output_trace_carries_metadata(self):
+        trace = simulate(
+            [SchedJob(job_id=0, arrival=1.0, runtime=5.0, procs=2, queue="q1")],
+            8,
+            FcfsPolicy(),
+            trace_name="mysim",
+        )
+        assert trace.name == "mysim"
+        assert trace[0].queue == "q1"
+        assert trace[0].runtime == 5.0
+
+
+class TestInvariants:
+    def test_never_oversubscribed(self):
+        """Replay a realistic stream and check occupancy at every start."""
+        jobs = generate_jobs(
+            ClusterWorkloadConfig(n_jobs=800, machine_procs=64, utilization=0.9, seed=5)
+        )
+        engine = SchedulerEngine(Machine(64), EasyBackfillPolicy())
+        finished = engine.run(jobs)
+        # Sweep the exact (start_time, end_time) intervals the engine
+        # assigned; completions are processed before starts at equal times
+        # (backfill starts genuinely coincide with completions).
+        events = []
+        for j in finished:
+            events.append((j.start_time, 1, j.procs))
+            events.append((j.end_time, 0, -j.procs))
+        events.sort()
+        used = 0
+        for _, _, delta in events:
+            used += delta
+            assert 0 <= used <= 64
+
+    def test_no_job_starts_before_arrival(self):
+        jobs = generate_jobs(ClusterWorkloadConfig(n_jobs=500, seed=6))
+        trace = simulate(jobs, 128, EasyBackfillPolicy())
+        assert all(j.wait >= 0.0 for j in trace)
+
+    def test_work_conserving_fcfs_on_single_proc_jobs(self):
+        # Single-proc jobs on a big machine never wait.
+        jobs = [job(i, arrival=float(i), runtime=1000.0, procs=1) for i in range(50)]
+        trace = simulate(jobs, 64, FcfsPolicy())
+        assert all(j.wait == 0.0 for j in trace)
+
+
+class TestEngineObject:
+    def test_run_returns_started_jobs(self):
+        engine = SchedulerEngine(Machine(8), FcfsPolicy())
+        finished = engine.run([job(0), job(1, arrival=10.0)])
+        assert len(finished) == 2
+        assert all(j.started for j in finished)

@@ -1,0 +1,84 @@
+"""Tests for the space-shared machine model."""
+
+import pytest
+
+from repro.scheduler.job import SchedJob
+from repro.scheduler.machine import Machine
+
+
+def job(job_id=0, arrival=0.0, runtime=100.0, procs=4, **kwargs):
+    return SchedJob(job_id=job_id, arrival=arrival, runtime=runtime, procs=procs, **kwargs)
+
+
+class TestAllocation:
+    def test_start_reserves_partition(self):
+        machine = Machine(16)
+        machine.start(job(procs=10), now=0.0)
+        assert machine.free_procs == 6
+        assert machine.used_procs == 10
+
+    def test_cannot_oversubscribe(self):
+        machine = Machine(8)
+        machine.start(job(procs=6), now=0.0)
+        assert not machine.can_start(job(job_id=1, procs=4))
+        with pytest.raises(ValueError):
+            machine.start(job(job_id=1, procs=4), now=0.0)
+
+    def test_cannot_start_before_arrival(self):
+        machine = Machine(8)
+        with pytest.raises(ValueError):
+            machine.start(job(arrival=100.0), now=50.0)
+
+    def test_invalid_machine(self):
+        with pytest.raises(ValueError):
+            Machine(0)
+
+
+class TestCompletion:
+    def test_completion_releases_procs(self):
+        machine = Machine(16)
+        machine.start(job(job_id=0, runtime=100.0, procs=10), now=0.0)
+        machine.start(job(job_id=1, runtime=200.0, procs=6), now=0.0)
+        assert machine.free_procs == 0
+        finished = machine.complete_until(100.0)
+        assert [j.job_id for j in finished] == [0]
+        assert machine.free_procs == 10
+        finished = machine.complete_until(1000.0)
+        assert [j.job_id for j in finished] == [1]
+        assert machine.free_procs == 16
+
+    def test_next_completion_time(self):
+        machine = Machine(16)
+        assert machine.next_completion_time() == float("inf")
+        machine.start(job(runtime=50.0), now=10.0)
+        assert machine.next_completion_time() == 60.0
+
+    def test_wait_and_end_time(self):
+        j = job(arrival=10.0, runtime=100.0)
+        machine = Machine(8)
+        machine.start(j, now=25.0)
+        assert j.wait == 15.0
+        assert j.end_time == 125.0
+
+    def test_wait_before_start_raises(self):
+        with pytest.raises(ValueError):
+            _ = job().wait
+
+
+class TestEarliestFit:
+    def test_immediate_when_free(self):
+        machine = Machine(16)
+        assert machine.earliest_fit_time(16, now=5.0) == 5.0
+
+    def test_waits_for_completions(self):
+        machine = Machine(16)
+        machine.start(job(job_id=0, runtime=100.0, procs=10), now=0.0)
+        machine.start(job(job_id=1, runtime=300.0, procs=6), now=0.0)
+        # 8 procs need job 0's partition (ends at 100).
+        assert machine.earliest_fit_time(8, now=0.0) == 100.0
+        # 14 procs need both (job 1 ends at 300).
+        assert machine.earliest_fit_time(14, now=0.0) == 300.0
+
+    def test_infeasible_is_inf(self):
+        machine = Machine(8)
+        assert machine.earliest_fit_time(100, now=0.0) == float("inf")

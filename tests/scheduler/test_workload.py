@@ -1,0 +1,77 @@
+"""Tests for the cluster workload generator."""
+
+import numpy as np
+import pytest
+
+from repro.scheduler.workload import ClusterWorkloadConfig, generate_jobs
+
+
+class TestGeneration:
+    def test_job_count_and_ordering(self):
+        jobs = generate_jobs(ClusterWorkloadConfig(n_jobs=500, seed=1))
+        assert len(jobs) == 500
+        arrivals = [j.arrival for j in jobs]
+        assert arrivals == sorted(arrivals)
+
+    def test_procs_within_machine(self):
+        config = ClusterWorkloadConfig(n_jobs=2000, machine_procs=64, seed=2)
+        jobs = generate_jobs(config)
+        assert all(1 <= j.procs <= 64 for j in jobs)
+
+    def test_small_jobs_dominate(self):
+        jobs = generate_jobs(ClusterWorkloadConfig(n_jobs=5000, seed=3))
+        small = sum(j.procs <= 4 for j in jobs)
+        assert small > len(jobs) / 2
+
+    def test_estimates_at_least_runtime(self):
+        jobs = generate_jobs(ClusterWorkloadConfig(n_jobs=1000, seed=4))
+        assert all(j.estimate >= j.runtime for j in jobs)
+
+    def test_estimates_are_inflated_on_average(self):
+        jobs = generate_jobs(ClusterWorkloadConfig(n_jobs=5000, seed=5))
+        inflations = [j.estimate / j.runtime for j in jobs]
+        assert np.mean(inflations) > 1.5
+
+    def test_queue_mix(self):
+        config = ClusterWorkloadConfig(
+            n_jobs=3000, queues=(("a", 0.5), ("b", 0.5)), seed=6
+        )
+        jobs = generate_jobs(config)
+        share = sum(j.queue == "a" for j in jobs) / len(jobs)
+        assert share == pytest.approx(0.5, abs=0.05)
+
+    def test_utilization_controls_load(self):
+        low = generate_jobs(ClusterWorkloadConfig(n_jobs=2000, utilization=0.3, seed=7))
+        high = generate_jobs(ClusterWorkloadConfig(n_jobs=2000, utilization=0.9, seed=7))
+        # Same work arriving faster: the high-utilization span is shorter.
+        assert high[-1].arrival < low[-1].arrival
+
+    def test_determinism(self):
+        a = generate_jobs(ClusterWorkloadConfig(n_jobs=100, seed=8))
+        b = generate_jobs(ClusterWorkloadConfig(n_jobs=100, seed=8))
+        assert [(j.arrival, j.runtime, j.procs) for j in a] == [
+            (j.arrival, j.runtime, j.procs) for j in b
+        ]
+
+    def test_runtimes_heavy_tailed(self):
+        jobs = generate_jobs(ClusterWorkloadConfig(n_jobs=10_000, seed=9))
+        runtimes = np.array([j.runtime for j in jobs])
+        assert np.mean(runtimes) > 1.5 * np.median(runtimes)
+
+
+class TestValidation:
+    def test_bad_n_jobs(self):
+        with pytest.raises(ValueError):
+            ClusterWorkloadConfig(n_jobs=0)
+
+    def test_bad_utilization(self):
+        with pytest.raises(ValueError):
+            ClusterWorkloadConfig(utilization=0.0)
+
+    def test_bad_daily_amplitude(self):
+        with pytest.raises(ValueError):
+            ClusterWorkloadConfig(daily_amplitude=1.0)
+
+    def test_queue_probabilities_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            ClusterWorkloadConfig(queues=(("a", 0.5), ("b", 0.2)))

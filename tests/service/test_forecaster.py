@@ -1,0 +1,153 @@
+"""Tests for the live queue-delay forecasting service."""
+
+import numpy as np
+import pytest
+
+from repro.service import ForecasterConfig, QueueForecaster
+
+
+def drive(forecaster, waits, queue="normal", procs=1, start_time=0.0, gap=400.0):
+    """Submit/start a stream of jobs with the given waits; returns quotes."""
+    quotes = []
+    for i, wait in enumerate(waits):
+        submit = start_time + i * gap
+        job_id = f"j{queue}{i}"
+        quotes.append(forecaster.job_submitted(job_id, queue, procs, submit))
+        forecaster.job_started(job_id, submit + float(wait))
+    return quotes
+
+
+class TestLifecycle:
+    def test_quotes_none_until_trained(self, rng):
+        forecaster = QueueForecaster(ForecasterConfig(training_jobs=50, by_bin=False))
+        waits = rng.lognormal(3, 1, 120)
+        quotes = drive(forecaster, waits)
+        assert all(q is None for q in quotes[:50])
+        assert any(q is not None for q in quotes[60:])
+
+    def test_wait_computed_from_submit_and_start(self):
+        forecaster = QueueForecaster()
+        forecaster.job_submitted("a", "normal", 4, now=100.0)
+        wait = forecaster.job_started("a", now=350.0)
+        assert wait == 250.0
+
+    def test_double_submit_rejected(self):
+        forecaster = QueueForecaster()
+        forecaster.job_submitted("a", "q", 1, now=0.0)
+        with pytest.raises(ValueError):
+            forecaster.job_submitted("a", "q", 1, now=1.0)
+
+    def test_unknown_start_rejected(self):
+        with pytest.raises(KeyError):
+            QueueForecaster().job_started("ghost", now=0.0)
+
+    def test_start_before_submit_rejected(self):
+        forecaster = QueueForecaster()
+        forecaster.job_submitted("a", "q", 1, now=100.0)
+        with pytest.raises(ValueError):
+            forecaster.job_started("a", now=50.0)
+
+    def test_cancel(self):
+        forecaster = QueueForecaster()
+        forecaster.job_submitted("a", "q", 1, now=0.0)
+        forecaster.job_cancelled("a")
+        assert forecaster.pending_count() == 0
+        forecaster.job_cancelled("a")  # idempotent
+
+
+class TestForecasts:
+    def test_forecast_reflects_history(self, rng):
+        forecaster = QueueForecaster(ForecasterConfig(training_jobs=60, by_bin=False))
+        waits = rng.lognormal(4, 1, 400)
+        drive(forecaster, waits)
+        bound = forecaster.forecast("normal")
+        assert bound is not None
+        # In the right ballpark of the true .95 quantile.
+        true_q95 = float(np.quantile(waits, 0.95))
+        assert 0.5 * true_q95 <= bound <= 5.0 * true_q95
+
+    def test_unknown_queue_has_no_forecast(self):
+        assert QueueForecaster().forecast("nonexistent") is None
+
+    def test_bin_specific_forecast_overrides_queue_level(self, rng):
+        config = ForecasterConfig(training_jobs=60, by_bin=True)
+        forecaster = QueueForecaster(config)
+        # Small jobs wait ~e^3, large jobs ~e^6.
+        drive(forecaster, rng.lognormal(3, 0.4, 200), procs=1, gap=300.0)
+        drive(forecaster, rng.lognormal(6, 0.4, 200), procs=32,
+              start_time=1e6, gap=300.0)
+        small = forecaster.forecast("normal", procs=1)
+        large = forecaster.forecast("normal", procs=32)
+        assert small is not None and large is not None
+        assert large > 3 * small
+
+    def test_queue_level_forecast_without_procs(self, rng):
+        forecaster = QueueForecaster(ForecasterConfig(training_jobs=60))
+        drive(forecaster, rng.lognormal(4, 1, 200))
+        assert forecaster.forecast("normal") is not None
+
+    def test_describe_lists_predictors(self, rng):
+        forecaster = QueueForecaster(ForecasterConfig(training_jobs=30))
+        drive(forecaster, rng.lognormal(3, 1, 100))
+        text = forecaster.describe()
+        assert "normal" in text
+        assert "trained" in text
+        assert QueueForecaster().describe() == "no queues observed yet"
+
+    def test_queues_listing(self, rng):
+        forecaster = QueueForecaster()
+        drive(forecaster, rng.lognormal(3, 1, 10), queue="a")
+        drive(forecaster, rng.lognormal(3, 1, 10), queue="b", start_time=1e5)
+        assert forecaster.queues() == ["a", "b"]
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, rng, tmp_path):
+        config = ForecasterConfig(training_jobs=60, by_bin=True)
+        forecaster = QueueForecaster(config)
+        drive(forecaster, rng.lognormal(4, 1, 300), procs=4)
+        forecaster.job_submitted("open", "normal", 4, now=1e9)
+
+        path = tmp_path / "state.json"
+        forecaster.save(path)
+        restored = QueueForecaster.load(path)
+
+        assert restored.config == config
+        assert restored.pending_count() == 1
+        assert restored.forecast("normal", procs=4) == pytest.approx(
+            forecaster.forecast("normal", procs=4)
+        )
+        # The restored pending job can still be started.
+        wait = restored.job_started("open", now=1e9 + 500.0)
+        assert wait == 500.0
+
+    def test_state_is_json_serializable(self, rng):
+        import json
+
+        forecaster = QueueForecaster()
+        drive(forecaster, rng.lognormal(3, 1, 50))
+        json.dumps(forecaster.to_state())  # must not raise
+
+    def test_version_check(self):
+        with pytest.raises(ValueError):
+            QueueForecaster.from_state({"version": 99})
+
+
+class TestEpochBehavior:
+    def test_quotes_stable_within_epoch(self, rng):
+        config = ForecasterConfig(training_jobs=60, by_bin=False, epoch=1e9)
+        forecaster = QueueForecaster(config)
+        drive(forecaster, rng.lognormal(4, 1, 100), gap=10.0)
+        # After training, with an enormous epoch, consecutive quotes at
+        # nearby times are identical even as history grows.
+        a = forecaster.job_submitted("x1", "normal", 1, now=1e6)
+        forecaster.job_started("x1", now=1e6 + 5.0)
+        b = forecaster.job_submitted("x2", "normal", 1, now=1e6 + 10.0)
+        forecaster.job_started("x2", now=1e6 + 15.0)
+        assert a == b
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ForecasterConfig(epoch=-1.0)
+        with pytest.raises(ValueError):
+            ForecasterConfig(training_jobs=0)

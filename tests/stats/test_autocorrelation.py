@@ -1,0 +1,74 @@
+"""Tests for autocorrelation estimation."""
+
+import numpy as np
+import pytest
+
+from repro.stats.autocorrelation import (
+    autocorrelation,
+    autocorrelation_function,
+    first_autocorrelation,
+)
+
+
+class TestAutocorrelation:
+    def test_lag_zero_is_one(self, rng):
+        assert autocorrelation(rng.normal(size=100), 0) == 1.0
+
+    def test_ar1_estimate(self, rng):
+        rho = 0.6
+        n = 100_000
+        series = np.empty(n)
+        series[0] = rng.normal()
+        noise = rng.normal(size=n) * np.sqrt(1 - rho**2)
+        for i in range(1, n):
+            series[i] = rho * series[i - 1] + noise[i]
+        assert autocorrelation(series, 1) == pytest.approx(rho, abs=0.02)
+        assert autocorrelation(series, 2) == pytest.approx(rho**2, abs=0.02)
+
+    def test_alternating_series_is_negative(self):
+        series = np.array([1.0, -1.0] * 50)
+        assert autocorrelation(series, 1) == pytest.approx(-1.0, abs=0.02)
+
+    def test_constant_series_returns_zero(self):
+        assert autocorrelation([5.0] * 100, 1) == 0.0
+
+    def test_short_series_returns_zero(self):
+        assert autocorrelation([1.0, 2.0], 5) == 0.0
+        assert autocorrelation([1.0], 1) == 0.0
+
+    def test_negative_lag_rejected(self):
+        with pytest.raises(ValueError):
+            autocorrelation([1.0, 2.0, 3.0], -1)
+
+
+class TestAcf:
+    def test_shape_and_first_element(self, rng):
+        acf = autocorrelation_function(rng.normal(size=500), 10)
+        assert acf.shape == (11,)
+        assert acf[0] == 1.0
+
+    def test_iid_acf_near_zero(self, rng):
+        acf = autocorrelation_function(rng.normal(size=50_000), 5)
+        assert np.all(np.abs(acf[1:]) < 0.03)
+
+    def test_negative_max_lag_rejected(self):
+        with pytest.raises(ValueError):
+            autocorrelation_function([1.0, 2.0], -1)
+
+
+class TestFirstAutocorrelation:
+    def test_log_space_tames_heavy_tails(self, rng):
+        # A single enormous outlier dominates the linear-space estimate but
+        # not the log-space one.
+        series = list(rng.lognormal(2, 0.5, 500))
+        series[250] = 1e12
+        linear = first_autocorrelation(series, log_space=False)
+        logged = first_autocorrelation(series, log_space=True)
+        assert abs(logged) < 0.5
+        assert abs(logged - autocorrelation(np.log1p(np.array(series)), 1)) < 1e-12
+        assert linear != logged
+
+    def test_zero_waits_are_handled(self):
+        series = [0.0, 5.0, 0.0, 7.0] * 50
+        value = first_autocorrelation(series)
+        assert -1.0 <= value <= 1.0

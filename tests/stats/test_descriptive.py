@@ -1,0 +1,69 @@
+"""Tests for descriptive trace statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.descriptive import DescriptiveSummary, heavy_tail_ratio, summarize
+
+
+class TestSummarize:
+    def test_basic_statistics(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0, 100.0])
+        assert summary.count == 5
+        assert summary.mean == pytest.approx(22.0)
+        assert summary.median == pytest.approx(3.0)
+        assert summary.std == pytest.approx(np.std([1, 2, 3, 4, 100], ddof=1))
+
+    def test_single_element(self):
+        summary = summarize([7.0])
+        assert summary.std == 0.0
+        assert summary.mean == summary.median == 7.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=0.0, max_value=1e9, allow_nan=False), min_size=1
+        )
+    )
+    @settings(max_examples=100)
+    def test_median_between_min_and_max(self, values):
+        summary = summarize(values)
+        lo, hi = min(values), max(values)
+        assert lo <= summary.median <= hi
+        # Mean may carry a few ULPs of float rounding.
+        tolerance = 1e-12 * max(hi, 1.0)
+        assert lo - tolerance <= summary.mean <= hi + tolerance
+
+
+class TestHeavyTail:
+    def test_tail_ratio(self):
+        assert heavy_tail_ratio([1.0, 1.0, 10.0]) == pytest.approx(4.0)
+
+    def test_zero_median_gives_inf(self):
+        summary = DescriptiveSummary(count=3, mean=5.0, median=0.0, std=1.0)
+        assert summary.tail_ratio == float("inf")
+
+    def test_all_zero_gives_one(self):
+        summary = DescriptiveSummary(count=3, mean=0.0, median=0.0, std=0.0)
+        assert summary.tail_ratio == 1.0
+
+    def test_is_heavy_tailed_on_table1_like_numbers(self):
+        # datastar/normal: mean 35886, median 1795, std 100255.
+        summary = DescriptiveSummary(count=48543, mean=35886, median=1795, std=100255)
+        assert summary.is_heavy_tailed()
+
+    def test_symmetric_queue_is_not_heavy(self):
+        # lanl/schammpq: mean 7955, median 8450 (mean < median).
+        summary = DescriptiveSummary(count=1386, mean=7955, median=8450, std=8481)
+        assert not summary.is_heavy_tailed()
+
+    def test_coefficient_of_variation(self):
+        summary = DescriptiveSummary(count=10, mean=100.0, median=50.0, std=250.0)
+        assert summary.coefficient_of_variation == pytest.approx(2.5)
+        zero = DescriptiveSummary(count=10, mean=0.0, median=0.0, std=0.0)
+        assert zero.coefficient_of_variation == 0.0

@@ -1,0 +1,127 @@
+"""Tests for the parametric and empirical distributions."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.distributions import (
+    EmpiricalDistribution,
+    LogNormalDistribution,
+    LogUniformDistribution,
+    fit_lognormal,
+    fit_loguniform,
+)
+
+
+class TestLogNormal:
+    def test_median_and_mean_closed_forms(self):
+        dist = LogNormalDistribution(mu=3.0, sigma=1.0, shift=0.0)
+        assert dist.median == pytest.approx(math.exp(3.0))
+        assert dist.mean == pytest.approx(math.exp(3.5))
+        assert dist.std == pytest.approx(
+            math.sqrt((math.e - 1) * math.exp(7.0))
+        )
+
+    def test_quantile_inverts_cdf(self):
+        dist = LogNormalDistribution(mu=2.0, sigma=1.5)
+        for q in (0.1, 0.5, 0.9, 0.99):
+            assert dist.cdf(dist.quantile(q)) == pytest.approx(q, abs=1e-9)
+
+    def test_from_mean_median_roundtrip(self):
+        dist = LogNormalDistribution.from_mean_median(1000.0, 100.0, shift=1.0)
+        assert dist.median == pytest.approx(100.0, rel=1e-9)
+        assert dist.mean == pytest.approx(1000.0, rel=1e-9)
+
+    def test_from_mean_median_light_tail_clamps_sigma(self):
+        # mean <= median cannot come from a log-normal; sigma clamps to 0.
+        dist = LogNormalDistribution.from_mean_median(50.0, 100.0)
+        assert dist.sigma == 0.0
+
+    def test_sampling_matches_parameters(self, rng):
+        dist = LogNormalDistribution(mu=3.0, sigma=0.8, shift=1.0)
+        draws = dist.sample(100_000, rng)
+        assert float(np.median(draws)) == pytest.approx(dist.median, rel=0.03)
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            LogNormalDistribution(mu=0.0, sigma=-1.0)
+
+    def test_invalid_quantile(self):
+        with pytest.raises(ValueError):
+            LogNormalDistribution(mu=0.0, sigma=1.0).quantile(1.0)
+
+    def test_mle_fit_recovers_parameters(self, rng):
+        true = LogNormalDistribution(mu=4.0, sigma=1.2, shift=1.0)
+        draws = np.clip(true.sample(50_000, rng), 0.0, None)
+        fitted = fit_lognormal(draws, shift=1.0)
+        assert fitted.mu == pytest.approx(4.0, abs=0.05)
+        assert fitted.sigma == pytest.approx(1.2, abs=0.05)
+
+    def test_fit_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            fit_lognormal([])
+        with pytest.raises(ValueError):
+            fit_lognormal([-5.0], shift=1.0)
+
+
+class TestLogUniform:
+    def test_quantiles_span_support(self):
+        dist = LogUniformDistribution(log_lo=0.0, log_hi=10.0, shift=0.0)
+        assert dist.quantile(0.5) == pytest.approx(math.exp(5.0))
+        assert dist.cdf(math.exp(2.5)) == pytest.approx(0.25)
+
+    def test_cdf_clamps_outside_support(self):
+        dist = LogUniformDistribution(log_lo=1.0, log_hi=2.0, shift=0.0)
+        assert dist.cdf(0.1) == 0.0
+        assert dist.cdf(math.exp(3.0)) == 1.0
+
+    def test_degenerate_support(self):
+        dist = LogUniformDistribution(log_lo=2.0, log_hi=2.0, shift=0.0)
+        assert dist.cdf(math.exp(2.0)) == 1.0
+
+    def test_invalid_support(self):
+        with pytest.raises(ValueError):
+            LogUniformDistribution(log_lo=2.0, log_hi=1.0)
+
+    def test_fit_uses_sample_range(self):
+        fitted = fit_loguniform([0.0, 7.0, 63.0], shift=1.0)
+        assert fitted.log_lo == pytest.approx(0.0)
+        assert fitted.log_hi == pytest.approx(math.log(64.0))
+
+    def test_sampling_within_support(self, rng):
+        dist = LogUniformDistribution(log_lo=1.0, log_hi=5.0, shift=1.0)
+        draws = dist.sample(1000, rng)
+        assert draws.min() >= math.exp(1.0) - 1.0 - 1e-9
+        assert draws.max() <= math.exp(5.0) - 1.0 + 1e-9
+
+
+class TestEmpirical:
+    def test_quantile_is_conservative_order_statistic(self):
+        dist = EmpiricalDistribution([5.0, 1.0, 3.0, 2.0, 4.0])
+        assert dist.quantile(0.5) == 3.0
+        assert dist.quantile(0.9) == 5.0
+        assert dist.quantile(0.1) == 1.0
+
+    def test_cdf(self):
+        dist = EmpiricalDistribution([1.0, 2.0, 3.0, 4.0])
+        assert dist.cdf(2.5) == pytest.approx(0.5)
+        assert dist.cdf(0.0) == 0.0
+        assert dist.cdf(10.0) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            EmpiricalDistribution([])
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=0, max_value=1e6, allow_nan=False), min_size=1
+        ),
+        q=st.floats(min_value=0.01, max_value=0.99),
+    )
+    @settings(max_examples=100)
+    def test_quantile_within_sample_range(self, values, q):
+        dist = EmpiricalDistribution(values)
+        assert min(values) <= dist.quantile(q) <= max(values)

@@ -1,0 +1,92 @@
+"""Tests for normal one-sided tolerance factors (Guttman's K')."""
+
+import math
+
+import numpy as np
+import pytest
+from scipy import stats as sps
+
+from repro.stats.tolerance import (
+    minimum_sample_size_normal,
+    normal_quantile_lower_factor,
+    normal_quantile_upper_factor,
+)
+
+
+class TestPublishedValues:
+    """Spot-check against widely tabulated one-sided tolerance factors."""
+
+    @pytest.mark.parametrize(
+        "n, expected",
+        [
+            # k factors for P=0.95, confidence 0.95 (standard tables).
+            (10, 2.911),
+            (20, 2.396),
+            (50, 2.065),
+            (100, 1.927),
+        ],
+    )
+    def test_k_factor_p95_c95(self, n, expected):
+        assert normal_quantile_upper_factor(n, 0.95, 0.95) == pytest.approx(
+            expected, abs=0.005
+        )
+
+    def test_converges_to_z_quantile(self):
+        z95 = float(sps.norm.ppf(0.95))
+        factor = normal_quantile_upper_factor(10_000_000, 0.95, 0.95)
+        assert factor == pytest.approx(z95, abs=0.002)
+
+
+class TestStructure:
+    def test_monotone_decreasing_in_n(self):
+        factors = [
+            normal_quantile_upper_factor(n, 0.95, 0.95) for n in (5, 20, 100, 1000)
+        ]
+        assert factors == sorted(factors, reverse=True)
+
+    def test_monotone_in_confidence(self):
+        factors = [
+            normal_quantile_upper_factor(50, 0.95, c) for c in (0.5, 0.8, 0.95, 0.99)
+        ]
+        assert factors == sorted(factors)
+
+    def test_monotone_in_quantile(self):
+        factors = [
+            normal_quantile_upper_factor(50, q, 0.95) for q in (0.5, 0.75, 0.9, 0.99)
+        ]
+        assert factors == sorted(factors)
+
+    def test_lower_factor_symmetry(self):
+        upper = normal_quantile_upper_factor(40, 0.95, 0.9)
+        lower = normal_quantile_lower_factor(40, 0.05, 0.9)
+        assert lower == pytest.approx(-upper)
+
+    def test_median_factors_bracket_zero(self):
+        assert normal_quantile_upper_factor(30, 0.5, 0.95) > 0.0
+        assert normal_quantile_lower_factor(30, 0.5, 0.95) < 0.0
+
+    def test_minimum_sample_size(self):
+        assert minimum_sample_size_normal() == 2
+        with pytest.raises(ValueError):
+            normal_quantile_upper_factor(1, 0.95, 0.95)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            normal_quantile_upper_factor(10, 0.0, 0.95)
+        with pytest.raises(ValueError):
+            normal_quantile_upper_factor(10, 0.95, 1.0)
+
+
+class TestCoverage:
+    def test_upper_bound_coverage_by_monte_carlo(self, rng):
+        """m + K's exceeds the true quantile in ~confidence of samples."""
+        n, q, c = 30, 0.9, 0.9
+        k = normal_quantile_upper_factor(n, q, c)
+        true_quantile = float(sps.norm.ppf(q))
+        reps = 4000
+        covered = 0
+        for _ in range(reps):
+            sample = rng.standard_normal(n)
+            covered += sample.mean() + k * sample.std(ddof=1) >= true_quantile
+        rate = covered / reps
+        assert rate == pytest.approx(c, abs=3 * math.sqrt(c * (1 - c) / reps))

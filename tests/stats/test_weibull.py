@@ -1,0 +1,64 @@
+"""Tests for the Weibull distribution and MLE fit."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.stats.weibull import WeibullDistribution, fit_weibull
+
+
+class TestDistribution:
+    def test_exponential_special_case(self):
+        # shape=1 is the exponential distribution.
+        dist = WeibullDistribution(shape=1.0, scale=100.0)
+        assert dist.mean == pytest.approx(100.0)
+        assert dist.quantile(1 - math.exp(-1)) == pytest.approx(100.0)
+
+    def test_quantile_inverts_cdf(self):
+        dist = WeibullDistribution(shape=0.7, scale=500.0)
+        for q in (0.1, 0.5, 0.9, 0.99):
+            assert dist.cdf(dist.quantile(q)) == pytest.approx(q)
+
+    def test_median(self):
+        dist = WeibullDistribution(shape=2.0, scale=10.0)
+        assert dist.median == pytest.approx(10.0 * math.log(2) ** 0.5)
+
+    def test_cdf_at_zero(self):
+        assert WeibullDistribution(shape=1.5, scale=1.0).cdf(0.0) == 0.0
+        assert WeibullDistribution(shape=1.5, scale=1.0).cdf(-5.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WeibullDistribution(shape=0.0, scale=1.0)
+        with pytest.raises(ValueError):
+            WeibullDistribution(shape=1.0, scale=-1.0)
+        with pytest.raises(ValueError):
+            WeibullDistribution(shape=1.0, scale=1.0).quantile(1.0)
+
+    def test_sampling(self, rng):
+        dist = WeibullDistribution(shape=1.5, scale=200.0)
+        draws = dist.sample(100_000, rng)
+        assert float(np.mean(draws)) == pytest.approx(dist.mean, rel=0.02)
+
+
+class TestFit:
+    @pytest.mark.parametrize("shape, scale", [(0.6, 300.0), (1.0, 50.0), (2.5, 1000.0)])
+    def test_recovers_parameters(self, rng, shape, scale):
+        true = WeibullDistribution(shape=shape, scale=scale)
+        draws = true.sample(50_000, rng)
+        fitted = fit_weibull(draws, shift=0.0 + 1e-12)
+        assert fitted.shape == pytest.approx(shape, rel=0.03)
+        assert fitted.scale == pytest.approx(scale, rel=0.03)
+
+    def test_handles_zero_waits_via_shift(self):
+        fitted = fit_weibull([0.0, 1.0, 5.0, 20.0, 100.0], shift=1.0)
+        assert fitted.shape > 0.0
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            fit_weibull([1.0])
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ValueError):
+            fit_weibull([-10.0, 5.0], shift=1.0)

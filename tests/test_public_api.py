@@ -1,0 +1,56 @@
+"""The public API surface: what a downstream user imports must exist."""
+
+import importlib
+
+import pytest
+
+
+class TestTopLevel:
+    def test_version(self):
+        import repro
+
+        assert repro.__version__
+
+    def test_headline_exports(self):
+        from repro import (  # noqa: F401
+            BMBPPredictor,
+            BoundKind,
+            HistoryWindow,
+            IntervalPredictor,
+            LogNormalPredictor,
+            QuantileBank,
+            QuantilePredictor,
+            lower_confidence_bound,
+            two_sided_confidence_interval,
+            upper_confidence_bound,
+        )
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.core",
+            "repro.stats",
+            "repro.workloads",
+            "repro.simulator",
+            "repro.scheduler",
+            "repro.baselines",
+            "repro.service",
+            "repro.experiments",
+            "repro.cli",
+        ],
+    )
+    def test_all_names_resolve(self, module):
+        mod = importlib.import_module(module)
+        for name in getattr(mod, "__all__", []):
+            assert hasattr(mod, name), f"{module}.__all__ lists missing {name!r}"
+
+    def test_no_private_leaks_in_all(self):
+        import repro
+
+        for name in repro.__all__:
+            assert not name.startswith("_") or name == "__version__"
+
+    def test_cli_entry_point(self):
+        from repro.cli import main
+
+        assert callable(main)

@@ -1,0 +1,120 @@
+"""Tests for the trace/prediction diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.core.bmbp import BMBPPredictor
+from repro.simulator.replay import ReplayConfig, replay_single
+from repro.workloads.analysis import (
+    miss_run_stats,
+    nonstationarity_score,
+    rolling_coverage,
+    rolling_median,
+)
+from repro.workloads.generator import GeneratorConfig, generate_queue_trace
+from repro.workloads.spec import spec_for
+
+from tests.conftest import make_trace
+
+
+class TestRollingMedian:
+    def test_constant_series(self):
+        out = rolling_median([5.0] * 10, window=3)
+        assert np.all(out == 5.0)
+
+    def test_tracks_level_change(self):
+        series = [1.0] * 50 + [100.0] * 50
+        out = rolling_median(series, window=10)
+        assert out[40] == 1.0
+        assert out[99] == 100.0
+
+    def test_partial_prefix(self):
+        out = rolling_median([1.0, 3.0, 5.0], window=10)
+        assert out[0] == 1.0
+        assert out[1] == 2.0
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            rolling_median([1.0], window=0)
+
+
+class TestMissRuns:
+    def _result_with_misses(self, waits, bound):
+        from repro.simulator.results import JobRecord, ReplayResult
+
+        result = ReplayResult(
+            trace_name="t", predictor_name="p", quantile=0.95, confidence=0.95
+        )
+        for i, wait in enumerate(waits):
+            correct = wait <= bound
+            result.record_outcome(wait / bound, correct)
+            result.jobs.append(
+                JobRecord(submit_time=float(i), predicted=bound, actual=wait, correct=correct)
+            )
+        return result
+
+    def test_counts_runs(self):
+        # misses at indexes 1,2 and 5: two runs of lengths 2 and 1.
+        waits = [1, 10, 10, 1, 1, 10, 1]
+        result = self._result_with_misses(waits, bound=5.0)
+        stats = miss_run_stats(result)
+        assert stats.n_misses == 3
+        assert stats.n_runs == 2
+        assert stats.longest_run == 2
+        assert stats.mean_run == pytest.approx(1.5)
+
+    def test_no_misses(self):
+        result = self._result_with_misses([1, 1, 1], bound=5.0)
+        stats = miss_run_stats(result)
+        assert stats.n_misses == 0
+        assert stats.longest_run == 0
+
+    def test_requires_job_records(self):
+        from repro.simulator.results import ReplayResult
+
+        empty = ReplayResult(
+            trace_name="t", predictor_name="p", quantile=0.95, confidence=0.95
+        )
+        with pytest.raises(ValueError):
+            miss_run_stats(empty)
+
+
+class TestRollingCoverage:
+    def test_detects_localized_failure(self, rng):
+        # Stationary waits, then a sudden 50x surge: rolling coverage dips.
+        waits = np.concatenate(
+            [rng.lognormal(3, 0.5, 1500), rng.lognormal(3 + np.log(50), 0.5, 200),
+             rng.lognormal(3 + np.log(50), 0.5, 300)]
+        )
+        trace = make_trace(waits, gap=60.0)
+        result = replay_single(
+            trace, BMBPPredictor(), ReplayConfig(record_jobs=True)
+        )
+        coverage = rolling_coverage(result, window=100)
+        surge_start = 1500 - int(0.1 * len(trace))  # index in evaluated jobs
+        assert coverage[:surge_start - 100].min() > 0.85
+        assert coverage[surge_start:surge_start + 200].min() < 0.85
+
+    def test_validation(self, rng):
+        trace = make_trace(rng.lognormal(3, 1, 200))
+        result = replay_single(trace, BMBPPredictor(), ReplayConfig(record_jobs=True))
+        with pytest.raises(ValueError):
+            rolling_coverage(result, window=0)
+
+
+class TestNonstationarityScore:
+    def test_stationary_scores_low(self, rng):
+        trace = make_trace(rng.lognormal(4, 1, 2000))
+        assert nonstationarity_score(trace) < 0.5
+
+    def test_strong_queue_scores_high(self):
+        config = GeneratorConfig(scale=0.1, seed=11, min_jobs=1000)
+        trace = generate_queue_trace(spec_for("datastar", "normal"), config)
+        assert nonstationarity_score(trace) > 0.8
+
+    def test_validation(self, rng):
+        trace = make_trace(rng.lognormal(3, 1, 10))
+        with pytest.raises(ValueError):
+            nonstationarity_score(trace, pieces=1)
+        with pytest.raises(ValueError):
+            nonstationarity_score(make_trace([1.0, 2.0]), pieces=4)

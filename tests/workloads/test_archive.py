@@ -1,0 +1,79 @@
+"""Tests for the archive-log registry."""
+
+import pytest
+
+from repro.workloads.archive import (
+    ARCHIVE_LOGS,
+    archive_log,
+    describe_archive,
+    load_archive_log,
+)
+from repro.workloads.spec import specs_for_machine
+from repro.workloads.swf import write_swf
+from repro.workloads.trace import Job, Trace
+
+
+class TestRegistry:
+    def test_keys_unique(self):
+        keys = [log.key for log in ARCHIVE_LOGS]
+        assert len(set(keys)) == len(keys)
+
+    def test_lookup(self):
+        log = archive_log("sdsc-sp2")
+        assert log.procs == 128
+        assert log.queue_names[3] == "normal"
+
+    def test_unknown_key(self):
+        with pytest.raises(KeyError) as excinfo:
+            archive_log("bluegene")
+        assert "known:" in str(excinfo.value)
+
+    def test_paper_overlaps_reference_real_machines(self):
+        for log in ARCHIVE_LOGS:
+            if log.paper_overlap is not None:
+                assert specs_for_machine(log.paper_overlap)
+
+    def test_sdsc_sp2_queue_names_match_table1(self):
+        # The archive's SDSC SP2 queues are the paper's sdsc/* queue names.
+        log = archive_log("sdsc-sp2")
+        paper_queues = {spec.queue for spec in specs_for_machine("sdsc")}
+        assert set(log.queue_names.values()) == paper_queues
+
+    def test_describe(self):
+        text = describe_archive()
+        assert "sdsc-sp2" in text
+        assert "Paragon" in text
+
+
+class TestLoading:
+    def _fake_log(self, tmp_path, filename):
+        trace = Trace(
+            jobs=[
+                Job(submit_time=0.0, wait=10.0, procs=4, queue="3"),
+                Job(submit_time=60.0, wait=5.0, procs=8, queue="1"),
+            ]
+        )
+        path = tmp_path / filename
+        # Write with queue numbers as names 3 and 1.
+        write_swf(trace, path, queue_numbers={"3": 3, "1": 1})
+        return path
+
+    def test_load_by_file(self, tmp_path):
+        path = self._fake_log(tmp_path, "anything.swf")
+        trace = load_archive_log("sdsc-sp2", path)
+        assert len(trace) == 2
+        # Numbers mapped to the registered names.
+        assert set(trace.queues()) == {"normal", "express"}
+        assert trace.name == "sdsc-sp2"
+
+    def test_load_by_directory(self, tmp_path):
+        log = archive_log("sdsc-sp2")
+        # The registry expects a .gz name; write it compressed.
+        self._fake_log(tmp_path, log.filename)
+        trace = load_archive_log("sdsc-sp2", tmp_path)
+        assert len(trace) == 2
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError) as excinfo:
+            load_archive_log("sdsc-sp2", tmp_path / "nope.swf")
+        assert "Parallel Workloads Archive" in str(excinfo.value)

@@ -1,0 +1,66 @@
+"""Tests for the processor-count bins."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.bins import (
+    PROC_BINS,
+    bin_index,
+    bin_label,
+    bin_of,
+    partition_by_bin,
+)
+from repro.workloads.trace import Job, Trace
+
+
+class TestBinAssignment:
+    @pytest.mark.parametrize(
+        "procs, expected",
+        [
+            (1, "1-4"), (4, "1-4"),
+            (5, "5-16"), (16, "5-16"),
+            (17, "17-64"), (64, "17-64"),
+            (65, "65+"), (4096, "65+"),
+        ],
+    )
+    def test_boundaries(self, procs, expected):
+        assert bin_label(bin_of(procs)) == expected
+
+    def test_invalid_procs(self):
+        with pytest.raises(ValueError):
+            bin_index(0)
+
+    @given(procs=st.integers(min_value=1, max_value=100_000))
+    @settings(max_examples=200)
+    def test_every_count_lands_in_exactly_one_bin(self, procs):
+        matches = [
+            (lo, hi)
+            for lo, hi in PROC_BINS
+            if procs >= lo and (hi is None or procs <= hi)
+        ]
+        assert len(matches) == 1
+        assert bin_of(procs) == matches[0]
+
+    def test_labels(self):
+        assert bin_label((1, 4)) == "1-4"
+        assert bin_label((65, None)) == "65+"
+
+
+class TestPartition:
+    def test_all_labels_present_and_jobs_conserved(self):
+        jobs = [Job(submit_time=float(i), wait=1.0, procs=p)
+                for i, p in enumerate([1, 2, 8, 32, 100, 3])]
+        parts = partition_by_bin(Trace(jobs=jobs, name="t"))
+        assert set(parts) == {"1-4", "5-16", "17-64", "65+"}
+        assert sum(len(part) for part in parts.values()) == len(jobs)
+        assert len(parts["1-4"]) == 3
+        assert len(parts["65+"]) == 1
+
+    def test_empty_trace(self):
+        parts = partition_by_bin(Trace(jobs=[]))
+        assert all(len(part) == 0 for part in parts.values())
+
+    def test_part_names_carry_bin_label(self):
+        parts = partition_by_bin(Trace(jobs=[Job(submit_time=0.0, wait=0.0)], name="q"))
+        assert parts["1-4"].name == "q[1-4]"

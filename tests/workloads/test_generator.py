@@ -1,0 +1,177 @@
+"""Tests for the synthetic workload generator."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.bins import partition_by_bin
+from repro.workloads.generator import (
+    GeneratorConfig,
+    _recalibrate,
+    generate_queue_trace,
+    generate_site_traces,
+)
+from repro.workloads.spec import QUEUE_SPECS, spec_for
+
+
+SMALL = GeneratorConfig(scale=0.1, seed=11, min_jobs=400)
+
+
+class TestCalibration:
+    @pytest.mark.parametrize(
+        "machine, queue",
+        [
+            ("datastar", "normal"),
+            ("nersc", "interactive"),
+            ("tacc2", "normal"),
+            ("nersc", "regularlong"),
+            ("lanl", "chammpq"),
+        ],
+    )
+    def test_mean_and_median_match_table1(self, machine, queue):
+        spec = spec_for(machine, queue)
+        summary = generate_queue_trace(spec, SMALL).summary()
+        assert summary.mean == pytest.approx(spec.mean, rel=0.02)
+        assert summary.median == pytest.approx(spec.median, rel=0.05, abs=2.0)
+
+    def test_job_count_scales(self):
+        spec = spec_for("tacc2", "normal")  # 356487 jobs
+        for scale in (0.01, 0.05):
+            trace = generate_queue_trace(
+                spec, GeneratorConfig(scale=scale, seed=1, min_jobs=400)
+            )
+            assert len(trace) == int(round(spec.job_count * scale))
+
+    def test_min_jobs_floor(self):
+        spec = spec_for("lanl", "schammpq")  # 1386 jobs
+        trace = generate_queue_trace(
+            spec, GeneratorConfig(scale=0.01, seed=1, min_jobs=800)
+        )
+        assert len(trace) == 800
+
+    def test_arrivals_span_the_trace_period(self):
+        spec = spec_for("datastar", "normal")
+        trace = generate_queue_trace(spec, SMALL)
+        assert trace.duration == pytest.approx(spec.duration_seconds, rel=0.02)
+
+    def test_waits_are_non_negative(self):
+        for key in [("nersc", "interactive"), ("lanl", "shared")]:
+            trace = generate_queue_trace(spec_for(*key), SMALL)
+            assert trace.waits.min() >= 0.0
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        spec = spec_for("sdsc", "express")
+        a = generate_queue_trace(spec, SMALL)
+        b = generate_queue_trace(spec, SMALL)
+        assert np.array_equal(a.waits, b.waits)
+        assert np.array_equal(a.submit_times, b.submit_times)
+        assert np.array_equal(a.procs, b.procs)
+
+    def test_different_seeds_differ(self):
+        spec = spec_for("sdsc", "express")
+        a = generate_queue_trace(spec, GeneratorConfig(scale=0.1, seed=1, min_jobs=400))
+        b = generate_queue_trace(spec, GeneratorConfig(scale=0.1, seed=2, min_jobs=400))
+        assert not np.array_equal(a.waits, b.waits)
+
+    def test_queues_have_independent_streams(self):
+        a = generate_queue_trace(spec_for("sdsc", "low"), SMALL)
+        b = generate_queue_trace(spec_for("sdsc", "high"), SMALL)
+        n = min(len(a), len(b))
+        assert not np.array_equal(a.waits[:n], b.waits[:n])
+
+
+class TestBinStructure:
+    def test_present_bins_exceed_prorated_threshold(self):
+        spec = spec_for("datastar", "normal")  # bins 1-4, 5-16, 17-64
+        trace = generate_queue_trace(spec, SMALL)
+        parts = partition_by_bin(trace)
+        threshold = 1000 * 0.1
+        assert len(parts["1-4"]) >= threshold
+        assert len(parts["5-16"]) >= threshold
+        assert len(parts["17-64"]) >= threshold
+        assert len(parts["65+"]) < threshold  # the "-" cell
+
+    def test_single_bin_queue(self):
+        spec = spec_for("tacc2", "serial")  # only 1-4 present
+        trace = generate_queue_trace(spec, SMALL)
+        parts = partition_by_bin(trace)
+        threshold = 1000 * 0.1
+        assert len(parts["1-4"]) >= threshold
+        for label in ("5-16", "17-64", "65+"):
+            assert len(parts[label]) < threshold
+
+
+class TestPathologies:
+    def test_lanl_short_end_surge(self):
+        spec = spec_for("lanl", "short")
+        trace = generate_queue_trace(spec, SMALL)
+        end_of_log = trace.submit_times[-1]
+        unseen = sum(job.start_time > end_of_log for job in trace)
+        # ~8% of jobs should start after the log ends.
+        assert 0.04 * len(trace) <= unseen <= 0.12 * len(trace)
+
+    def test_end_surge_can_be_disabled(self):
+        spec = spec_for("lanl", "short")
+        config = GeneratorConfig(scale=0.1, seed=11, min_jobs=400, end_surge=False)
+        trace = generate_queue_trace(spec, config)
+        end_of_log = trace.submit_times[-1]
+        unseen = sum(job.start_time > end_of_log for job in trace)
+        assert unseen < 0.04 * len(trace)
+
+    def test_figure2_regime_favors_large_jobs_in_june(self):
+        trace = generate_queue_trace(spec_for("datastar", "normal"), SMALL)
+        from repro.workloads.spec import SECONDS_PER_MONTH, _month_index
+
+        june = _month_index("6/04") * SECONDS_PER_MONTH
+        window = trace.time_slice(june, june + 30 * 86400.0)
+        small = [j.wait for j in window if j.procs <= 4]
+        large = [j.wait for j in window if 17 <= j.procs <= 64]
+        assert len(small) > 20 and len(large) > 20
+        assert np.median(large) < np.median(small)
+
+
+class TestRecalibrate:
+    def test_pins_median_and_mean(self, rng):
+        spec = spec_for("datastar", "normal")
+        raw = rng.normal(5.0, 2.0, size=5000)
+        adjusted = _recalibrate(raw, spec, 1.0)
+        waits = np.exp(adjusted) - 1.0
+        assert float(np.median(waits)) == pytest.approx(spec.median, rel=0.01)
+        assert float(np.mean(waits)) == pytest.approx(spec.mean, rel=0.01)
+
+    def test_constant_input(self):
+        spec = spec_for("datastar", "normal")
+        adjusted = _recalibrate(np.full(100, 3.0), spec, 1.0)
+        assert np.allclose(adjusted, np.log(spec.median + 1.0))
+
+    def test_preserves_ordering(self, rng):
+        spec = spec_for("nersc", "regular")
+        raw = rng.normal(2.0, 1.0, size=1000)
+        adjusted = _recalibrate(raw, spec, 1.0)
+        # Monotone transform: order of values preserved.
+        assert np.array_equal(np.argsort(raw), np.argsort(adjusted))
+
+
+class TestSiteTraces:
+    def test_generate_all_table3(self):
+        config = GeneratorConfig(scale=0.002, seed=3, min_jobs=100)
+        traces = generate_site_traces(config, table3_only=True)
+        assert len(traces) == 32
+        assert all(len(trace) >= 100 for trace in traces.values())
+
+    def test_subset_of_specs(self):
+        config = GeneratorConfig(scale=0.002, seed=3, min_jobs=100)
+        subset = [spec_for("llnl", "all")]
+        traces = generate_site_traces(config, specs=subset)
+        assert set(traces) == {("llnl", "all")}
+
+
+class TestConfigValidation:
+    def test_bad_scale(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(scale=0.0)
+
+    def test_bad_min_jobs(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(min_jobs=10)

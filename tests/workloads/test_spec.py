@@ -1,0 +1,98 @@
+"""Tests for the Table 1 registry."""
+
+import pytest
+
+from repro.workloads.spec import (
+    NOTRIM_FAIL_QUEUES,
+    QUEUE_SPECS,
+    TRIM_FAIL_QUEUES,
+    spec_for,
+    specs_for_machine,
+)
+
+
+class TestRegistryShape:
+    def test_has_all_39_rows(self):
+        assert len(QUEUE_SPECS) == 39
+
+    def test_total_job_count_matches_paper(self):
+        # "This collection of data comprises 1.26 million jobs."
+        total = sum(spec.job_count for spec in QUEUE_SPECS)
+        assert total == pytest.approx(1.26e6, rel=0.02)
+
+    def test_table3_has_32_rows(self):
+        assert sum(spec.in_table3 for spec in QUEUE_SPECS) == 32
+
+    def test_keys_are_unique(self):
+        keys = [spec.key for spec in QUEUE_SPECS]
+        assert len(set(keys)) == len(keys)
+
+    def test_seven_machines(self):
+        machines = {spec.machine for spec in QUEUE_SPECS}
+        assert machines == {
+            "datastar", "lanl", "llnl", "nersc", "paragon", "sdsc", "tacc2"
+        }
+
+    def test_heavy_tails_dominate(self):
+        # The paper: "it is clear that the distribution ... is heavy-tailed:
+        # in each case the median is significantly less than the average"
+        # (one near-symmetric exception: lanl/schammpq).
+        heavier = sum(spec.mean > spec.median for spec in QUEUE_SPECS)
+        assert heavier >= 38
+
+
+class TestSpotChecks:
+    def test_datastar_normal_row(self):
+        spec = spec_for("datastar", "normal")
+        assert spec.job_count == 48543
+        assert spec.mean == 35886
+        assert spec.median == 1795
+        assert spec.std == 100255
+        assert spec.site == "SDSC"
+
+    def test_llnl_single_queue(self):
+        specs = specs_for_machine("llnl")
+        assert len(specs) == 1
+        assert specs[0].queue == "all"
+
+    def test_duration_parsing(self):
+        assert spec_for("datastar", "normal").duration_months == 12
+        assert spec_for("nersc", "regular").duration_months == 24
+        assert spec_for("paragon", "q11").duration_months == 12
+        # Two-digit 90s years resolve to the 1990s.
+        assert spec_for("paragon", "q11").period == ("1/95", "1/96")
+
+    def test_arrival_rate(self):
+        spec = spec_for("tacc2", "normal")
+        rate = spec.arrival_rate
+        assert rate == pytest.approx(356487 / spec.duration_seconds)
+
+    def test_unknown_queue_raises(self):
+        with pytest.raises(KeyError):
+            spec_for("datastar", "nonexistent")
+        with pytest.raises(KeyError):
+            specs_for_machine("bluegene")
+
+
+class TestResultsMetadata:
+    def test_failure_sets_reference_real_queues(self):
+        keys = {spec.key for spec in QUEUE_SPECS}
+        assert NOTRIM_FAIL_QUEUES <= keys
+        assert TRIM_FAIL_QUEUES <= keys
+
+    def test_trim_failures_are_a_subset_of_notrim_failures(self):
+        # If the trimmed variant failed, the untrimmed one failed too
+        # (Table 3's asterisk pattern).
+        assert TRIM_FAIL_QUEUES <= NOTRIM_FAIL_QUEUES
+
+    def test_bin_presence_only_for_table5_queues(self):
+        # Paragon has no Table 5 rows (no usable processor counts).
+        for spec in specs_for_machine("paragon"):
+            assert spec.table5_bins is None
+        # datastar/normal appears with bins 1-4, 5-16, 17-64.
+        assert spec_for("datastar", "normal").table5_bins == (True, True, True, False)
+
+    def test_table5_row_count_matches_paper(self):
+        # Table 5 has 27 machine/queue rows.
+        with_bins = [s for s in QUEUE_SPECS if s.table5_bins is not None]
+        assert len(with_bins) == 27

@@ -1,0 +1,99 @@
+"""Tests for the Standard Workload Format parser."""
+
+import gzip
+
+import pytest
+
+from repro.workloads.swf import load_swf, parse_swf_line
+
+
+def swf_record(
+    job=1, submit=1000, wait=50, runtime=300, alloc=8, requested=16, queue=2
+):
+    """A syntactically valid 18-field SWF line."""
+    fields = [job, submit, wait, runtime, alloc, 95, -1, requested, 3600, -1,
+              1, 101, 5, 7, queue, 1, -1, -1]
+    return " ".join(str(f) for f in fields)
+
+
+class TestParseLine:
+    def test_basic_record(self):
+        job = parse_swf_line(swf_record())
+        assert job.submit_time == 1000.0
+        assert job.wait == 50.0
+        assert job.procs == 16  # requested preferred over allocated
+        assert job.queue == "2"
+        assert job.runtime == 300.0
+
+    def test_falls_back_to_allocated_procs(self):
+        job = parse_swf_line(swf_record(requested=-1, alloc=8))
+        assert job.procs == 8
+
+    def test_procs_floor_of_one(self):
+        job = parse_swf_line(swf_record(requested=-1, alloc=-1))
+        assert job.procs == 1
+
+    def test_comments_and_blanks_return_none(self):
+        assert parse_swf_line("; MaxJobs: 100") is None
+        assert parse_swf_line("") is None
+        assert parse_swf_line("   \n") is None
+
+    def test_missing_wait_or_submit_skipped(self):
+        assert parse_swf_line(swf_record(wait=-1)) is None
+        assert parse_swf_line(swf_record(submit=-1)) is None
+
+    def test_negative_runtime_becomes_none(self):
+        job = parse_swf_line(swf_record(runtime=-1))
+        assert job.runtime is None
+
+    def test_malformed_line_raises(self):
+        with pytest.raises(ValueError):
+            parse_swf_line("1 2 3")  # too few fields
+        with pytest.raises(ValueError):
+            parse_swf_line(swf_record().replace("1000", "abc"))
+
+    def test_missing_queue_number(self):
+        job = parse_swf_line(swf_record(queue=-1))
+        assert job.queue == ""
+
+
+class TestLoadFile:
+    def _write(self, path, lines, compress=False):
+        data = "\n".join(lines) + "\n"
+        if compress:
+            with gzip.open(path, "wt") as handle:
+                handle.write(data)
+        else:
+            path.write_text(data)
+
+    def test_load_plain_file(self, tmp_path):
+        path = tmp_path / "log.swf"
+        self._write(
+            path,
+            ["; header comment", swf_record(job=1, submit=100),
+             swf_record(job=2, submit=50)],
+        )
+        trace = load_swf(path)
+        assert len(trace) == 2
+        assert trace.name == "log"
+        # Sorted by submit time.
+        assert trace[0].submit_time == 50.0
+
+    def test_load_gzip(self, tmp_path):
+        path = tmp_path / "log.swf.gz"
+        self._write(path, [swf_record()], compress=True)
+        trace = load_swf(path)
+        assert len(trace) == 1
+
+    def test_queue_name_mapping(self, tmp_path):
+        path = tmp_path / "log.swf"
+        self._write(path, [swf_record(queue=2), swf_record(queue=5)])
+        trace = load_swf(path, queue_names={2: "normal"})
+        queues = sorted(trace.queues())
+        assert "normal" in queues
+        assert "5" in queues  # unmapped numbers keep their string form
+
+    def test_explicit_name(self, tmp_path):
+        path = tmp_path / "x.swf"
+        self._write(path, [swf_record()])
+        assert load_swf(path, name="sdsc-sp2").name == "sdsc-sp2"

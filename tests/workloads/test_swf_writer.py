@@ -1,0 +1,79 @@
+"""Tests for the SWF writer (round-trips with the parser)."""
+
+import pytest
+
+from repro.workloads.swf import format_swf_record, load_swf, parse_swf_line, write_swf
+from repro.workloads.trace import Job, Trace
+
+
+def sample_trace():
+    return Trace(
+        jobs=[
+            Job(submit_time=1000.0, wait=50.0, procs=4, queue="normal", runtime=300.0),
+            Job(submit_time=1100.0, wait=0.0, procs=16, queue="high", runtime=60.0),
+            Job(submit_time=1300.0, wait=7.0, procs=1, queue="normal"),
+        ],
+        name="demo",
+    )
+
+
+class TestFormatRecord:
+    def test_has_eighteen_fields(self):
+        line = format_swf_record(1, sample_trace()[0], queue_number=3)
+        assert len(line.split()) == 18
+
+    def test_parses_back(self):
+        job = sample_trace()[0]
+        parsed = parse_swf_line(format_swf_record(7, job, queue_number=2))
+        assert parsed.wait == 50.0
+        assert parsed.procs == 4
+        assert parsed.queue == "2"
+        assert parsed.runtime == 300.0
+
+    def test_base_time_offsets_submit(self):
+        job = sample_trace()[0]
+        parsed = parse_swf_line(format_swf_record(1, job, base_time=1000.0))
+        assert parsed.submit_time == 0.0
+
+    def test_missing_runtime_encoded_as_minus_one(self):
+        job = sample_trace()[2]
+        parsed = parse_swf_line(format_swf_record(1, job))
+        assert parsed.runtime is None
+
+
+class TestWriteSwf:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "out.swf"
+        trace = sample_trace()
+        write_swf(trace, path, queue_numbers={"normal": 1, "high": 2})
+        loaded = load_swf(path, queue_names={1: "normal", 2: "high"})
+        assert len(loaded) == len(trace)
+        for original, restored in zip(trace, loaded):
+            assert restored.wait == int(original.wait)
+            assert restored.procs == original.procs
+            assert restored.queue == original.queue
+
+    def test_gzip_roundtrip(self, tmp_path):
+        path = tmp_path / "out.swf.gz"
+        write_swf(sample_trace(), path)
+        assert len(load_swf(path)) == 3
+
+    def test_auto_queue_numbering(self, tmp_path):
+        path = tmp_path / "auto.swf"
+        write_swf(sample_trace(), path)
+        content = path.read_text()
+        assert "; Queues:" in content
+        loaded = load_swf(path)
+        assert sorted(set(j.queue for j in loaded)) == ["1", "2"]
+
+    def test_header_comments(self, tmp_path):
+        path = tmp_path / "hdr.swf"
+        write_swf(sample_trace(), path, header_comments=["Machine: demo", "Note"])
+        lines = path.read_text().splitlines()
+        assert lines[0] == "; Machine: demo"
+        assert lines[1] == "; Note"
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.swf"
+        write_swf(Trace(jobs=[]), path)
+        assert len(load_swf(path)) == 0

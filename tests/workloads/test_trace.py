@@ -1,0 +1,95 @@
+"""Tests for the Job/Trace containers."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.trace import Job, Trace
+
+
+class TestJob:
+    def test_start_time(self):
+        job = Job(submit_time=100.0, wait=50.0)
+        assert job.start_time == 150.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Job(submit_time=0.0, wait=-1.0)
+        with pytest.raises(ValueError):
+            Job(submit_time=0.0, wait=0.0, procs=0)
+
+    def test_with_queue(self):
+        job = Job(submit_time=0.0, wait=1.0, queue="a")
+        renamed = job.with_queue("b")
+        assert renamed.queue == "b"
+        assert job.queue == "a"  # original untouched (frozen)
+
+
+class TestTrace:
+    def test_sorts_by_submit_time(self):
+        jobs = [
+            Job(submit_time=30.0, wait=1.0),
+            Job(submit_time=10.0, wait=2.0),
+            Job(submit_time=20.0, wait=3.0),
+        ]
+        trace = Trace(jobs=jobs)
+        assert list(trace.submit_times) == [10.0, 20.0, 30.0]
+        assert list(trace.waits) == [2.0, 3.0, 1.0]
+
+    def test_len_iter_getitem(self):
+        trace = Trace(jobs=[Job(submit_time=float(i), wait=1.0) for i in range(5)])
+        assert len(trace) == 5
+        assert trace[0].submit_time == 0.0
+        assert sum(1 for _ in trace) == 5
+
+    def test_duration(self):
+        trace = Trace(jobs=[Job(submit_time=10.0, wait=0.0), Job(submit_time=60.0, wait=0.0)])
+        assert trace.duration == 50.0
+        assert Trace(jobs=[Job(submit_time=5.0, wait=0.0)]).duration == 0.0
+
+    def test_summary_matches_waits(self):
+        trace = Trace(jobs=[Job(submit_time=float(i), wait=float(w)) for i, w in enumerate([1, 2, 3, 100])])
+        summary = trace.summary()
+        assert summary.count == 4
+        assert summary.median == pytest.approx(2.5)
+
+    def test_filter_and_by_queue(self):
+        jobs = [
+            Job(submit_time=0.0, wait=1.0, queue="a"),
+            Job(submit_time=1.0, wait=2.0, queue="b"),
+            Job(submit_time=2.0, wait=3.0, queue="a"),
+        ]
+        trace = Trace(jobs=jobs, name="t")
+        assert len(trace.by_queue("a")) == 2
+        assert trace.queues() == ["a", "b"]
+        big = trace.filter(lambda job: job.wait > 1.5)
+        assert len(big) == 2
+
+    def test_time_slice(self):
+        trace = Trace(jobs=[Job(submit_time=float(i), wait=0.0) for i in range(10)])
+        sliced = trace.time_slice(3.0, 7.0)
+        assert list(sliced.submit_times) == [3.0, 4.0, 5.0, 6.0]
+
+    def test_from_arrays(self):
+        trace = Trace.from_arrays([0.0, 10.0], [5.0, 6.0], procs=[2, 4], queue="q")
+        assert trace[1].procs == 4
+        assert trace[0].queue == "q"
+
+    def test_from_arrays_length_mismatch(self):
+        with pytest.raises(ValueError):
+            Trace.from_arrays([0.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            Trace.from_arrays([0.0], [1.0], procs=[1, 2])
+        with pytest.raises(ValueError):
+            Trace.from_arrays([0.0], [1.0], runtimes=[1.0, 2.0])
+
+    def test_merge_resorts(self):
+        a = Trace(jobs=[Job(submit_time=5.0, wait=0.0)])
+        b = Trace(jobs=[Job(submit_time=1.0, wait=0.0)])
+        merged = Trace.merge([a, b], name="m")
+        assert list(merged.submit_times) == [1.0, 5.0]
+        assert merged.name == "m"
+
+    def test_arrays_dtypes(self):
+        trace = Trace.from_arrays([0.0], [1.0], procs=[3])
+        assert trace.procs.dtype.kind == "i"
+        assert trace.waits.dtype == np.float64
