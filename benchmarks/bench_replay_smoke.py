@@ -1,0 +1,64 @@
+"""Fast smoke benchmark: serial-vs-parallel replay of a single queue.
+
+Unlike the paper-scale benchmarks in this directory (all marked ``slow``),
+this one runs at a small scale so it finishes in seconds and can ride in
+the default test budget.  It replays one machine/queue trace serially and
+through the process pool, asserts the results are identical, and writes a
+``BENCH_replay.json`` perf-trajectory artifact into the repository root.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import runtime
+from repro.experiments.parallel import queue_work
+from repro.experiments.runner import ExperimentConfig
+
+SMOKE = ExperimentConfig(scale=0.02, seed=7, min_jobs=500)
+MACHINE, QUEUE = "llnl", "all"
+REPEATS = 2  # >1 pending tasks so jobs=2 actually engages the pool
+
+
+def _timed(name, jobs):
+    tasks = [
+        runtime.Task(func=queue_work, args=(MACHINE, QUEUE, SMOKE),
+                     label=f"{MACHINE}/{QUEUE}#{i}", cache=False)
+        for i in range(REPEATS)
+    ]
+    before = runtime.stats()
+    started = time.perf_counter()
+    results = runtime.run_tasks(tasks, jobs=jobs)
+    elapsed = time.perf_counter() - started
+    entry = runtime.bench_run_entry(
+        name, runtime.stats().since(before), jobs=jobs, seconds=elapsed
+    )
+    return results, entry
+
+
+def test_replay_smoke(benchmark, fresh):
+    serial_results, serial_entry = _timed("replay-serial", jobs=1)
+
+    def parallel():
+        return _timed("replay-parallel", jobs=2)
+
+    parallel_results, parallel_entry = benchmark.pedantic(
+        parallel, rounds=1, iterations=1, warmup_rounds=0
+    )
+
+    # Parallel replay must be byte-identical to serial, not merely close.
+    for s, p in zip(serial_results, parallel_results):
+        assert set(s) == set(p)
+        for method in s:
+            assert s[method].n_evaluated == p[method].n_evaluated
+            assert s[method].n_correct == p[method].n_correct
+            assert s[method].ratios == p[method].ratios
+
+    path = runtime.write_bench_artifact(
+        "BENCH_replay.json", [serial_entry, parallel_entry]
+    )
+    print()
+    print(f"wrote {path}")
+    for entry in (serial_entry, parallel_entry):
+        print(f"  {entry['name']}: jobs={entry['jobs']} "
+              f"seconds={entry['seconds']:.2f} replays={entry['replays']}")

@@ -4,15 +4,29 @@ Every benchmark regenerates one table or figure of the paper at the default
 experiment scale and *asserts the paper's qualitative shape* on the result —
 who wins, what fails, where the crossovers fall — so a benchmark run is also
 a reproduction check.  Timings use one round (the workloads are multi-second
-replays, not microbenchmarks); the in-process caches are cleared in setup so
-every benchmark measures real work.
+replays, not microbenchmarks); the in-process and on-disk caches are
+bypassed in setup so every benchmark measures real work.
+
+All paper-scale benchmarks are marked ``slow`` and excluded from the
+default ``pytest`` run; ``bench_replay_smoke`` stays fast and unmarked.
+Run the full set with ``pytest benchmarks -m slow`` (or ``-m ''``).
 """
 
 from __future__ import annotations
 
 import pytest
 
+from repro import runtime
 from repro.experiments.runner import ExperimentConfig, clear_caches
+
+#: Benchmark modules exempt from the ``slow`` marker (fast smoke checks).
+_FAST_MODULES = {"bench_replay_smoke"}
+
+
+def pytest_collection_modifyitems(items):
+    for item in items:
+        if item.module.__name__.rpartition(".")[2] not in _FAST_MODULES:
+            item.add_marker(pytest.mark.slow)
 
 
 @pytest.fixture(scope="session")
@@ -22,10 +36,20 @@ def config() -> ExperimentConfig:
 
 
 @pytest.fixture
-def fresh():
-    """Clear experiment caches so the benchmark times real work."""
+def fresh(tmp_path, monkeypatch):
+    """Clear experiment caches and isolate the persistent replay cache.
+
+    Benchmarks must time real replays: the in-process result cache is
+    cleared and the on-disk cache is pointed at a private empty directory
+    so a warm user cache cannot short-circuit the measured work.
+    """
+    monkeypatch.setenv("BMBP_CACHE_DIR", str(tmp_path / "bench-cache"))
+    monkeypatch.delenv("BMBP_JOBS", raising=False)
+    runtime.reset_configuration()
     clear_caches()
-    return clear_caches
+    yield clear_caches
+    clear_caches()
+    runtime.reset_configuration()
 
 
 def run_once(benchmark, fn, *args):

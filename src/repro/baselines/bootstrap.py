@@ -54,12 +54,12 @@ class BootstrapQuantilePredictor(QuantilePredictor):
         self._rng = np.random.default_rng(seed)
 
     def _compute_bound(self) -> Optional[float]:
-        values = self.history.values
-        if len(values) < 30:
+        values = self.history.arrival_view()
+        if values.size < 30:
             return None
         # Bound the per-refit cost on long histories; the most recent
         # observations are the relevant ones anyway.
-        window = np.asarray(values[-self.max_history:], dtype=float)
+        window = values[-self.max_history:]
         n = window.size
         resamples = self._rng.choice(window, size=(self.n_resamples, n), replace=True)
         rank = max(1, math.ceil(n * self.quantile))

@@ -47,8 +47,8 @@ class DowneyLogUniformPredictor(QuantilePredictor):
         self.shift = shift
 
     def _compute_bound(self) -> Optional[float]:
-        values = self.history.values
-        if len(values) < 2:
+        values = self.history.arrival_view()
+        if values.size < 2:
             return None
         fitted = fit_loguniform(values, shift=self.shift)
         # A point estimate of the q-quantile serves as both the "upper" and

@@ -45,13 +45,13 @@ class MaxObservedPredictor(QuantilePredictor):
         super().observe(wait, predicted=predicted)
 
     def _on_history_trimmed(self) -> None:
-        values = self.history.values
-        if not values:
+        values = self.history.arrival_view()
+        if values.size == 0:
             self._extreme = None
         elif self.kind is BoundKind.UPPER:
-            self._extreme = max(values)
+            self._extreme = float(values.max())
         else:
-            self._extreme = min(values)
+            self._extreme = float(values.min())
 
     def _compute_bound(self) -> Optional[float]:
         return self._extreme
@@ -84,7 +84,7 @@ class MeanWaitPredictor(QuantilePredictor):
     name = "mean-wait"
 
     def _compute_bound(self) -> Optional[float]:
-        values = self.history.values
-        if not values:
+        values = self.history.arrival_view()
+        if values.size == 0:
             return None
-        return float(np.mean(values))
+        return float(values.mean())

@@ -47,8 +47,8 @@ class WeibullPredictor(QuantilePredictor):
         self.max_history = max_history
 
     def _compute_bound(self) -> Optional[float]:
-        values = self.history.values
-        if len(values) < 10:
+        values = self.history.arrival_view()
+        if values.size < 10:
             return None
         fitted = fit_weibull(values[-self.max_history:], shift=self.shift)
         return max(0.0, fitted.quantile(self.quantile) - self.shift)

@@ -4,8 +4,17 @@ Usage::
 
     python -m repro table3                 # one experiment
     python -m repro all                    # everything
+    python -m repro all --jobs 4           # fan replays out over 4 workers
     python -m repro figure1 --csv out.csv  # also dump plot-ready CSV
     python -m repro table3 --scale 0.2 --seed 11
+    python -m repro clear-cache            # wipe the persistent replay cache
+
+Replays fan out over ``--jobs`` worker processes (default: ``BMBP_JOBS``
+or 1) and their results persist in a versioned on-disk cache, so a warm
+rerun does zero replays.  ``--no-cache`` bypasses the cache for one run;
+``clear-cache`` wipes it.  A per-experiment timing summary (wall-clock,
+cache hits, replays) goes to stderr so table output on stdout stays
+byte-identical across serial, parallel, and cached runs.
 
 ``bmbp`` (the console script) is an alias for ``python -m repro``.
 """
@@ -14,7 +23,11 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
+import traceback
 from typing import Callable, Dict, List, Optional
+
+from repro import runtime
 
 from repro.experiments import (
     ablations,
@@ -64,8 +77,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=[*EXPERIMENTS, "all"],
-        help="which table/figure to regenerate ('all' runs everything)",
+        choices=[*EXPERIMENTS, "all", "clear-cache"],
+        help="which table/figure to regenerate ('all' runs everything; "
+        "'clear-cache' wipes the persistent replay cache and exits)",
     )
     parser.add_argument(
         "--scale",
@@ -86,6 +100,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--csv", metavar="PATH", default=None,
         help="for figure1/figure2: also write the plotted series as CSV",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for replay fan-out (default: $BMBP_JOBS or 1; "
+        "1 = serial)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the persistent replay cache (neither read nor write)",
+    )
+    parser.add_argument(
+        "--bench-json", metavar="PATH", default=None,
+        help="write the BENCH_replay.json perf-trajectory artifact "
+        "(per-experiment wall-clock, cache hits, per-queue timings)",
+    )
     return parser
 
 
@@ -93,11 +121,58 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     config = ExperimentConfig(scale=args.scale, seed=args.seed, epoch=args.epoch)
 
+    if args.experiment == "clear-cache":
+        removed = runtime.clear_disk_cache()
+        print(
+            f"replay cache cleared ({removed} entries removed from "
+            f"{runtime.default_cache_dir()})"
+        )
+        return 0
+
+    runtime.configure(jobs=args.jobs, cache=False if args.no_cache else None)
+    jobs = runtime.resolve_jobs()
+
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    failed: List[str] = []
+    bench_runs = []
     for i, name in enumerate(names):
         if i:
             print()
-        print(EXPERIMENTS[name](config))
+        before = runtime.stats()
+        started = time.perf_counter()
+        try:
+            output = EXPERIMENTS[name](config)
+        except Exception:
+            # Worker tracebacks (runtime.WorkerError carries the remote one
+            # verbatim) must surface, not vanish into a half-printed run.
+            failed.append(name)
+            print(f"[bmbp] {name} FAILED:", file=sys.stderr)
+            traceback.print_exc()
+            continue
+        elapsed = time.perf_counter() - started
+        print(output)
+        delta = runtime.stats().since(before)
+        print(
+            f"[bmbp] {name}: {elapsed:.2f}s ({delta.summary()} jobs={jobs})",
+            file=sys.stderr,
+        )
+        bench_runs.append(
+            runtime.bench_run_entry(name, delta, jobs=jobs, seconds=elapsed)
+        )
+
+    if args.experiment == "all":
+        total = sum(run["seconds"] for run in bench_runs)
+        print(
+            f"[bmbp] all: {len(bench_runs)}/{len(names)} experiments ok, "
+            f"{total:.2f}s total"
+            + (f", FAILED: {', '.join(failed)}" if failed else ""),
+            file=sys.stderr,
+        )
+    if args.bench_json is not None:
+        path = runtime.write_bench_artifact(args.bench_json, bench_runs)
+        print(f"[bmbp] perf trajectory written to {path}", file=sys.stderr)
+    if failed:
+        return 1
 
     if args.csv is not None:
         if args.experiment == "figure1":

@@ -3,11 +3,28 @@
 ``HistoryWindow`` stores wait-time observations in arrival order (needed for
 change-point trimming, which keeps the *most recent* k observations) while
 also maintaining an ascending-sorted view (needed for order-statistic
-bounds).  Appends are O(1): new values accumulate in a pending buffer that
-is merged into the sorted array lazily, in one vectorized pass, the next
-time the sorted view is requested.  This matches the predictors' access
-pattern — many appends between epoch refits, one sorted read per refit —
-and keeps full-trace replays linear-ish instead of quadratic.
+bounds).  Appends are O(1) amortized in every mode:
+
+* Observations live in one growable numpy buffer with ``[start, end)``
+  window offsets.  Appending writes one slot; bounded windows
+  (``max_size``) evict by advancing ``start`` — no per-append copy, resort,
+  or trim.  Dead space in front of ``start`` is reclaimed in bulk when the
+  buffer fills, so the cost of keeping the window bounded is amortized over
+  at least ``max_size`` appends.
+* The sorted view is maintained lazily, the next time it is requested: new
+  values accumulated since the last read are merged in one vectorized pass,
+  and a window whose *front* moved (eviction or trimming) is re-sorted
+  wholesale — once per read, not once per append.
+
+This matches the predictors' access pattern — many appends between epoch
+refits, one sorted read per refit — and keeps full-trace replays linear-ish
+instead of quadratic (the ``max_history`` sliding-window ablation was
+previously O(n² log n) from re-sorting on every append).
+
+The arrival-order window is also exposed as a **zero-copy numpy view**
+(:meth:`arrival_view`) so consumers that scan the whole history — the
+log-normal running-sum rebuild after a trim, the training autocorrelation
+— never materialize a Python list of floats.
 """
 
 from __future__ import annotations
@@ -17,6 +34,9 @@ from typing import Iterable, List, Optional
 import numpy as np
 
 __all__ = ["HistoryWindow"]
+
+#: Starting buffer capacity for unbounded windows.
+_MIN_CAPACITY = 64
 
 
 class HistoryWindow:
@@ -35,17 +55,23 @@ class HistoryWindow:
         if max_size is not None and max_size < 1:
             raise ValueError(f"max_size must be positive, got {max_size}")
         self._max_size = max_size
-        self._arrival: List[float] = []
+        # Twice max_size guarantees at least max_size appends between
+        # compactions, making eviction O(1) amortized.
+        capacity = _MIN_CAPACITY if max_size is None else max(2 * max_size, _MIN_CAPACITY)
+        self._buf = np.empty(capacity, dtype=float)
+        self._start = 0
+        self._end = 0
         self._sorted = np.empty(0, dtype=float)
-        self._pending: List[float] = []
+        self._merged_end = 0  # buffer index up to which _sorted is current
+        self._resort = False  # front of the window moved: resort wholesale
         for value in values:
             self.append(value)
 
     def __len__(self) -> int:
-        return len(self._arrival)
+        return self._end - self._start
 
     def __bool__(self) -> bool:
-        return bool(self._arrival)
+        return self._end > self._start
 
     @property
     def max_size(self) -> Optional[int]:
@@ -54,15 +80,28 @@ class HistoryWindow:
     @property
     def values(self) -> List[float]:
         """Observations in arrival order (most recent last).  Copy."""
-        return list(self._arrival)
+        return self._buf[self._start:self._end].tolist()
+
+    def arrival_view(self) -> np.ndarray:
+        """Observations in arrival order as a zero-copy numpy view.
+
+        The returned array aliases the window's internal buffer: callers
+        must not mutate it, and must not hold it across a later ``append``
+        /``trim_to_recent``/``clear`` (the buffer may be compacted or
+        reallocated underneath it).
+        """
+        return self._buf[self._start:self._end]
 
     def append(self, value: float) -> None:
-        """Record one observation."""
+        """Record one observation.  O(1) amortized, bounded or not."""
         value = float(value)
-        self._arrival.append(value)
-        self._pending.append(value)
-        if self._max_size is not None and len(self._arrival) > self._max_size:
-            self.trim_to_recent(self._max_size)
+        if self._end == self._buf.size:
+            self._compact_or_grow()
+        self._buf[self._end] = value
+        self._end += 1
+        if self._max_size is not None and self._end - self._start > self._max_size:
+            self._start += 1  # evict the oldest; sorted view fixed lazily
+            self._resort = True
 
     def extend(self, values: Iterable[float]) -> None:
         for value in values:
@@ -86,25 +125,47 @@ class HistoryWindow:
         """
         if k < 0:
             raise ValueError(f"cannot trim to negative length {k}")
-        if k >= len(self._arrival):
+        if k >= self._end - self._start:
             return
-        self._arrival = self._arrival[len(self._arrival) - k :]
-        self._pending = []
-        self._sorted = np.sort(np.asarray(self._arrival, dtype=float))
+        self._start = self._end - k
+        self._resort = True
 
     def clear(self) -> None:
-        self._arrival = []
-        self._pending = []
+        self._start = 0
+        self._end = 0
+        self._merged_end = 0
+        self._resort = False
         self._sorted = np.empty(0, dtype=float)
 
+    def _compact_or_grow(self) -> None:
+        """Reclaim evicted slots in front of the window, or grow the buffer."""
+        size = self._end - self._start
+        if self._start >= max(size, self._buf.size // 2):
+            # At least half the buffer is dead space: slide the live window
+            # to the front.  Runs at most once per start-offset's worth of
+            # appends, so each append pays O(1) amortized.
+            target = self._buf
+        else:
+            target = np.empty(max(_MIN_CAPACITY, 2 * self._buf.size), dtype=float)
+        target[:size] = self._buf[self._start:self._end]
+        self._buf = target
+        self._merged_end -= self._start
+        self._start = 0
+        self._end = size
+
     def _flush(self) -> None:
-        """Merge pending appends into the sorted array (vectorized)."""
-        if not self._pending:
-            return
-        batch = np.sort(np.asarray(self._pending, dtype=float))
-        self._pending = []
-        if self._sorted.size == 0:
-            self._sorted = batch
-            return
-        positions = np.searchsorted(self._sorted, batch)
-        self._sorted = np.insert(self._sorted, positions, batch)
+        """Bring the sorted array up to date (vectorized)."""
+        window = self._buf[self._start:self._end]
+        if self._resort:
+            self._sorted = np.sort(window)
+            self._resort = False
+        else:
+            lo = max(self._merged_end, self._start)
+            if lo < self._end:
+                batch = np.sort(self._buf[lo:self._end])
+                if self._sorted.size == 0:
+                    self._sorted = batch
+                else:
+                    positions = np.searchsorted(self._sorted, batch)
+                    self._sorted = np.insert(self._sorted, positions, batch)
+        self._merged_end = self._end

@@ -24,6 +24,8 @@ import math
 from functools import lru_cache
 from typing import Optional
 
+import numpy as np
+
 from repro.core.predictor import BoundKind, QuantilePredictor
 from repro.stats.distributions import DEFAULT_LOG_SHIFT
 from repro.stats.tolerance import (
@@ -101,15 +103,17 @@ class LogNormalPredictor(QuantilePredictor):
         super().observe(wait, predicted=predicted)
 
     def _on_history_trimmed(self) -> None:
-        """Rebuild the running log-sums from the retained history suffix."""
-        self._n = 0
-        self._sum = 0.0
-        self._sumsq = 0.0
-        for wait in self.history.values:
-            log_wait = math.log(wait + self.shift)
-            self._n += 1
-            self._sum += log_wait
-            self._sumsq += log_wait * log_wait
+        """Rebuild the running log-sums from the retained history suffix.
+
+        One vectorized pass over the window's zero-copy arrival view — a
+        trim retains ``trim_length`` observations, but this also runs on
+        every change point, so it must not copy the history into a Python
+        list first.
+        """
+        logs = np.log(self.history.arrival_view() + self.shift)
+        self._n = int(logs.size)
+        self._sum = float(logs.sum())
+        self._sumsq = float(np.dot(logs, logs))
 
     def _compute_bound(self) -> Optional[float]:
         n = self._n

@@ -147,7 +147,9 @@ class QuantilePredictor(ABC):
         to call for the NoTrim variants (it just refits).
         """
         if self.trim and len(self.history) >= 3:
-            rho = first_autocorrelation(self.history.values, log_space=True)
+            # Zero-copy view: the training history can be hundreds of
+            # thousands of waits, and this must not list-ify it.
+            rho = first_autocorrelation(self.history.arrival_view(), log_space=True)
             table = self._table or default_rare_event_table(self.quantile)
             self.detector.retune(table.threshold_for(rho))
         self._trained = True

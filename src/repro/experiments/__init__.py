@@ -12,6 +12,7 @@ from repro.experiments.runner import (
     run_queue,
     trace_for,
 )
+from repro.experiments.parallel import run_bin_batch, run_queue_batch
 from repro.experiments.table1 import run_table1
 from repro.experiments.table3 import run_table3
 from repro.experiments.table4 import run_table4
@@ -31,11 +32,13 @@ __all__ = [
     "METHOD_ORDER",
     "make_predictors",
     "run_ablations",
+    "run_bin_batch",
     "run_clustering_eval",
     "run_figure1",
     "run_figure2",
     "run_latency",
     "run_queue",
+    "run_queue_batch",
     "run_sensitivity",
     "run_table1",
     "run_table3",

@@ -16,15 +16,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from repro.experiments.parallel import run_bin_batch
 from repro.experiments.report import format_cell, render_table
-from repro.experiments.runner import (
-    ExperimentConfig,
-    run_trace,
-    table3_specs,
-    trace_for,
-)
+from repro.experiments.runner import ExperimentConfig, table3_specs
 from repro.simulator.results import ReplayResult
-from repro.workloads.bins import PROC_BINS, bin_label, partition_by_bin
+from repro.workloads.bins import PROC_BINS, bin_label
 from repro.workloads.spec import QueueSpec
 
 __all__ = ["BinTableRow", "run_bin_tables", "render_bin_table"]
@@ -61,31 +57,17 @@ def run_bin_tables(config: Optional[ExperimentConfig] = None) -> List[BinTableRo
     """Replay every (queue, bin) cell with enough jobs (cached).
 
     Only queues with a Table 5 row in the paper (``spec.table5_bins`` set)
-    are included, mirroring the published tables.
+    are included, mirroring the published tables.  One work item per queue
+    fans out over the parallel engine; the per-cell threshold/partition
+    logic runs worker-side (see
+    :func:`repro.experiments.parallel.bin_cells_work`).
     """
     config = config or ExperimentConfig()
-    rows: List[BinTableRow] = []
-    for spec in table3_specs():
-        if spec.table5_bins is None:
-            continue
-        trace = trace_for(spec, config)
-        # Pro-rate the paper's 1000-job cell threshold by the queue's
-        # *effective* generation scale (the min-jobs floor can inflate small
-        # queues well beyond ``scale * job_count``), so a cell is kept
-        # exactly when its paper-equivalent job count would reach 1000.
-        threshold = max(60, int(round(1000 * len(trace) / spec.job_count)))
-        parts = partition_by_bin(trace)
-        cells: Dict[str, Optional[Dict[str, ReplayResult]]] = {}
-        for label in BIN_LABELS:
-            sub = parts[label]
-            if len(sub) < threshold:
-                cells[label] = None
-                continue
-            cells[label] = run_trace(
-                (spec.key, "bin", label), sub, config
-            )
-        rows.append(BinTableRow(spec=spec, cells=cells))
-    return rows
+    specs = [spec for spec in table3_specs() if spec.table5_bins is not None]
+    return [
+        BinTableRow(spec=spec, cells=cells)
+        for spec, cells in zip(specs, run_bin_batch(specs, config))
+    ]
 
 
 def render_bin_table(

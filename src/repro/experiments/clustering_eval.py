@@ -27,6 +27,7 @@ from repro.core.bmbp import BMBPPredictor
 from repro.core.clustering import ClusteredPredictor
 from repro.experiments.report import render_table
 from repro.experiments.runner import ExperimentConfig, trace_for
+from repro.runtime import Task, run_tasks
 from repro.workloads.bins import bin_label, bin_of
 from repro.workloads.spec import spec_for
 
@@ -152,6 +153,36 @@ def _evaluate(strategy, procs, waits, n_train) -> Tuple[float, float, int]:
     return fraction, median, total
 
 
+def _queue_strategies_work(
+    machine: str, queue: str, config: ExperimentConfig
+) -> List[ClusteringRow]:
+    """Evaluate all three grouping strategies on one queue (worker-side)."""
+    trace = trace_for(spec_for(machine, queue), config)
+    procs = trace.procs.astype(float)
+    waits = trace.waits
+    n_train = math.ceil(config.training_fraction * len(trace))
+    rows: List[ClusteringRow] = []
+    for name in STRATEGIES:
+        strategy = {
+            "population": _PopulationStrategy,
+            "fixed-bins": _FixedBinStrategy,
+            "clustered": _ClusteredStrategy,
+        }[name](config)
+        fraction, median, total = _evaluate(strategy, procs, waits, n_train)
+        rows.append(
+            ClusteringRow(
+                machine=machine,
+                queue=queue,
+                strategy=name,
+                fraction_correct=fraction,
+                median_ratio=median,
+                n_evaluated=total,
+                n_groups=strategy.n_groups,
+            )
+        )
+    return rows
+
+
 def run_clustering_eval(
     config: Optional[ExperimentConfig] = None,
 ) -> List[ClusteringRow]:
@@ -159,33 +190,18 @@ def run_clustering_eval(
 
     Uses the simple sequential (per-event) protocol rather than the full
     epoch simulator — the epoch-length ablation shows the difference is
-    negligible, and here every strategy sees the identical stream.
+    negligible, and here every strategy sees the identical stream.  One
+    engine work item per queue.
     """
     config = config or ExperimentConfig()
+    tasks = [
+        Task(func=_queue_strategies_work, args=(machine, queue, config),
+             label=f"{machine}/{queue}[grouping]")
+        for machine, queue in CLUSTERING_QUEUES
+    ]
     rows: List[ClusteringRow] = []
-    for machine, queue in CLUSTERING_QUEUES:
-        trace = trace_for(spec_for(machine, queue), config)
-        procs = trace.procs.astype(float)
-        waits = trace.waits
-        n_train = math.ceil(config.training_fraction * len(trace))
-        for name in STRATEGIES:
-            strategy = {
-                "population": _PopulationStrategy,
-                "fixed-bins": _FixedBinStrategy,
-                "clustered": _ClusteredStrategy,
-            }[name](config)
-            fraction, median, total = _evaluate(strategy, procs, waits, n_train)
-            rows.append(
-                ClusteringRow(
-                    machine=machine,
-                    queue=queue,
-                    strategy=name,
-                    fraction_correct=fraction,
-                    median_ratio=median,
-                    n_evaluated=total,
-                    n_groups=strategy.n_groups,
-                )
-            )
+    for queue_rows in run_tasks(tasks):
+        rows.extend(queue_rows)
     return rows
 
 

@@ -26,8 +26,10 @@ from repro.workloads.trace import Trace
 __all__ = [
     "METHOD_ORDER",
     "ExperimentConfig",
+    "cached_queue_result",
     "make_predictors",
     "run_queue",
+    "store_queue_result",
     "table3_specs",
     "trace_for",
 ]
@@ -114,19 +116,42 @@ def make_predictors(
     }
 
 
+def cached_queue_result(
+    machine: str, queue: str, config: ExperimentConfig
+) -> Optional[Dict[str, ReplayResult]]:
+    """The in-process cached result for one queue, if any."""
+    return _RESULT_CACHE.get(("queue", machine, queue, config))
+
+
+def store_queue_result(
+    machine: str,
+    queue: str,
+    config: ExperimentConfig,
+    results: Dict[str, ReplayResult],
+) -> None:
+    """Record one queue's replay results in the in-process cache."""
+    _RESULT_CACHE[("queue", machine, queue, config)] = results
+
+
 def run_queue(
     machine: str,
     queue: str,
     config: Optional[ExperimentConfig] = None,
 ) -> Dict[str, ReplayResult]:
-    """Replay one queue against the three methods (cached)."""
+    """Replay one queue against the three methods (cached).
+
+    Backed by the in-process cache, the persistent on-disk cache, and —
+    for batch callers going through
+    :func:`repro.experiments.parallel.run_queue_batch` — the worker pool.
+    """
     config = config or ExperimentConfig()
-    key = ("queue", machine, queue, config)
-    if key not in _RESULT_CACHE:
-        spec = spec_for(machine, queue)
-        trace = trace_for(spec, config)
-        _RESULT_CACHE[key] = replay(trace, make_predictors(config), config.replay)
-    return _RESULT_CACHE[key]
+    cached = cached_queue_result(machine, queue, config)
+    if cached is None:
+        # Imported lazily: parallel.py imports this module at load time.
+        from repro.experiments.parallel import run_queue_batch
+
+        cached = run_queue_batch([spec_for(machine, queue)], config)[0]
+    return cached
 
 
 def run_trace(

@@ -14,12 +14,14 @@ the confidence level controlling how much above q it safely sits.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.bmbp import BMBPPredictor
 from repro.experiments.report import format_cell, render_table
 from repro.experiments.runner import ExperimentConfig, trace_for
+from repro.runtime import Task, run_tasks
 from repro.simulator.replay import replay
+from repro.simulator.results import ReplayResult
 from repro.workloads.spec import spec_for
 
 __all__ = ["SensitivityRow", "run_sensitivity"]
@@ -52,22 +54,43 @@ class SensitivityRow:
         return self.fraction_correct >= self.quantile
 
 
+def _grid_work(
+    machine: str, queue: str, config: ExperimentConfig
+) -> Dict[str, ReplayResult]:
+    """Replay one queue against the full quantile/confidence grid.
+
+    Module-level so the parallel engine can ship it to worker processes;
+    the trace is regenerated worker-side from the seeded generator.
+    """
+    trace = trace_for(spec_for(machine, queue), config)
+    predictors = {
+        f"q{quantile}/c{confidence}": BMBPPredictor(
+            quantile=quantile, confidence=confidence
+        )
+        for quantile in QUANTILE_GRID
+        for confidence in CONFIDENCE_GRID
+    }
+    return replay(trace, predictors, config.replay)
+
+
 def run_sensitivity(
     config: Optional[ExperimentConfig] = None,
 ) -> List[SensitivityRow]:
-    """Replay the grid; one predictor bank per queue, shared event stream."""
+    """Replay the grid; one predictor bank per queue, shared event stream.
+
+    The three queues fan out over the parallel engine and their grid
+    results persist in the replay cache.
+    """
     config = config or ExperimentConfig()
+    tasks = [
+        Task(func=_grid_work, args=(machine, queue, config),
+             label=f"{machine}/{queue}[grid]")
+        for machine, queue in SENSITIVITY_QUEUES
+    ]
     rows: List[SensitivityRow] = []
-    for machine, queue in SENSITIVITY_QUEUES:
-        trace = trace_for(spec_for(machine, queue), config)
-        predictors = {
-            f"q{quantile}/c{confidence}": BMBPPredictor(
-                quantile=quantile, confidence=confidence
-            )
-            for quantile in QUANTILE_GRID
-            for confidence in CONFIDENCE_GRID
-        }
-        results = replay(trace, predictors, config.replay)
+    for (machine, queue), results in zip(
+        SENSITIVITY_QUEUES, run_tasks(tasks)
+    ):
         for quantile in QUANTILE_GRID:
             for confidence in CONFIDENCE_GRID:
                 result = results[f"q{quantile}/c{confidence}"]

@@ -1,0 +1,84 @@
+"""Timing harness: per-queue wall-clock records and the BENCH artifact.
+
+The engine (:mod:`repro.runtime.engine`) records a :class:`TaskTiming` for
+every task it executes or serves from cache.  This module turns those
+records into the ``BENCH_replay.json`` perf-trajectory artifact: a small,
+append-friendly JSON document that CI and the smoke benchmark write after
+each run so replay performance can be tracked across commits.
+
+Schema (``bmbp-bench-replay/1``)::
+
+    {
+      "schema": "bmbp-bench-replay/1",
+      "created_unix": 1754480000.0,
+      "cpu_count": 8,
+      "runs": [
+        {
+          "name": "table3",            # experiment or scenario label
+          "jobs": 4,                   # worker count used
+          "seconds": 12.43,            # wall-clock for the whole run
+          "tasks": 32,
+          "cache_hits": 0,
+          "replays": 32,
+          "per_task": [{"label": "sdsc/normal", "seconds": 1.07,
+                        "cached": false}, ...]
+        }, ...
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.runtime.engine import EngineStats
+
+__all__ = ["BENCH_SCHEMA", "bench_run_entry", "write_bench_artifact"]
+
+BENCH_SCHEMA = "bmbp-bench-replay/1"
+
+
+def bench_run_entry(
+    name: str,
+    stats: EngineStats,
+    jobs: int,
+    seconds: Optional[float] = None,
+) -> Dict[str, Any]:
+    """One ``runs[]`` element from an engine-stats delta."""
+    return {
+        "name": name,
+        "jobs": jobs,
+        "seconds": round(seconds if seconds is not None else stats.seconds, 6),
+        "tasks": stats.cache_hits + stats.cache_misses,
+        "cache_hits": stats.cache_hits,
+        "replays": stats.replays_run,
+        "per_task": [
+            {
+                "label": timing.label,
+                "seconds": round(timing.seconds, 6),
+                "cached": timing.cached,
+            }
+            for timing in stats.timings
+        ],
+    }
+
+
+def write_bench_artifact(
+    path: Union[str, Path],
+    runs: List[Dict[str, Any]],
+) -> Path:
+    """Write the perf-trajectory artifact; returns the path written."""
+    path = Path(path)
+    document = {
+        "schema": BENCH_SCHEMA,
+        "created_unix": time.time(),
+        "cpu_count": os.cpu_count(),
+        "runs": runs,
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(document, indent=2) + "\n")
+    return path

@@ -2,10 +2,25 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.workloads.trace import Trace
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_replay_cache(tmp_path_factory):
+    """Point the persistent replay cache at a per-session temp directory.
+
+    Keeps the suite hermetic: a stale entry from an older code version in
+    the user's real cache must never feed a test, and a test run must not
+    pollute the user's cache.  Within the session the cache still works,
+    which is itself test coverage for the warm path.
+    """
+    if "BMBP_CACHE_DIR" not in os.environ:
+        os.environ["BMBP_CACHE_DIR"] = str(tmp_path_factory.mktemp("bmbp-cache"))
 
 
 @pytest.fixture

@@ -125,3 +125,59 @@ class TestBufferSafety:
         second = window.sorted_values()
         assert first is second  # no copy when nothing changed
         assert isinstance(first, np.ndarray)
+
+    def test_arrival_view_is_zero_copy(self):
+        window = HistoryWindow([3.0, 1.0, 2.0])
+        view = window.arrival_view()
+        assert isinstance(view, np.ndarray)
+        assert view.base is not None  # a view into the ring buffer, not a copy
+        assert view.tolist() == [3.0, 1.0, 2.0]
+
+    def test_arrival_view_tracks_eviction_and_trim(self):
+        window = HistoryWindow(max_size=3)
+        for value in range(5):
+            window.append(float(value))
+        assert window.arrival_view().tolist() == [2.0, 3.0, 4.0]
+        window.trim_to_recent(1)
+        assert window.arrival_view().tolist() == [4.0]
+
+
+class TestAmortizedEviction:
+    """The bounded window must behave exactly like a deque(maxlen=...) even
+    though eviction is lazy and compaction amortized."""
+
+    @given(
+        max_size=st.integers(min_value=1, max_value=20),
+        values=st.lists(FLOATS, max_size=400),
+    )
+    @settings(max_examples=60)
+    def test_matches_deque_semantics(self, max_size, values):
+        from collections import deque
+
+        window = HistoryWindow(max_size=max_size)
+        reference = deque(maxlen=max_size)
+        for value in values:
+            window.append(value)
+            reference.append(value)
+        assert window.values == list(reference)
+        assert list(window.sorted_values()) == sorted(reference)
+
+    def test_many_appends_stay_bounded(self):
+        """Long-running bounded appends must not grow the buffer unboundedly."""
+        window = HistoryWindow(max_size=100)
+        for value in range(10_000):
+            window.append(float(value))
+        assert len(window) == 100
+        assert window.values[0] == 9900.0
+        # Compaction keeps the backing buffer at a constant multiple of the
+        # window, independent of how many values ever passed through.
+        assert window._buf.size <= 4 * 100
+
+    def test_interleaved_reads_during_eviction(self):
+        window = HistoryWindow(max_size=4)
+        expected = []
+        for value in (5.0, 3.0, 9.0, 1.0, 7.0, 2.0, 8.0):
+            window.append(value)
+            expected = (expected + [value])[-4:]
+            assert window.values == expected
+            assert list(window.sorted_values()) == sorted(expected)

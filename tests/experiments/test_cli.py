@@ -2,7 +2,16 @@
 
 import pytest
 
+from repro import runtime
 from repro.cli import EXPERIMENTS, build_parser, main
+
+
+@pytest.fixture(autouse=True)
+def _engine_defaults():
+    """main() calls runtime.configure(); don't leak that across tests."""
+    runtime.reset_configuration()
+    yield
+    runtime.reset_configuration()
 
 
 class TestParser:
@@ -32,6 +41,24 @@ class TestParser:
         }
         assert set(EXPERIMENTS) == expected
 
+    def test_engine_flags(self):
+        args = build_parser().parse_args(
+            ["table3", "--jobs", "4", "--no-cache", "--bench-json", "b.json"]
+        )
+        assert args.jobs == 4
+        assert args.no_cache is True
+        assert args.bench_json == "b.json"
+
+    def test_engine_flag_defaults(self):
+        args = build_parser().parse_args(["table3"])
+        assert args.jobs is None
+        assert args.no_cache is False
+        assert args.bench_json is None
+
+    def test_clear_cache_is_a_choice(self):
+        args = build_parser().parse_args(["clear-cache"])
+        assert args.experiment == "clear-cache"
+
 
 class TestMain:
     def test_table1_runs(self, capsys):
@@ -52,3 +79,71 @@ class TestMain:
         content = path.read_text().splitlines()
         assert content[0] == "procs_bin,time_epoch_s,bound_s"
         assert len(content) > 1
+
+    def test_timing_summary_on_stderr_not_stdout(self, capsys):
+        code = main(["table1", "--scale", "0.01"])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "[bmbp] table1:" in captured.err
+        assert "cache_hits=" in captured.err
+        assert "[bmbp]" not in captured.out  # tables stay clean
+
+    def test_jobs_flag_configures_engine(self):
+        main(["table1", "--scale", "0.01", "--jobs", "3"])
+        assert runtime.resolve_jobs() == 3
+
+    def test_bench_json_artifact(self, tmp_path, capsys):
+        path = tmp_path / "BENCH_replay.json"
+        code = main(["table1", "--scale", "0.01", "--bench-json", str(path)])
+        assert code == 0
+        import json
+
+        document = json.loads(path.read_text())
+        assert document["schema"] == runtime.BENCH_SCHEMA
+        assert [run["name"] for run in document["runs"]] == ["table1"]
+
+    def test_clear_cache_command(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("BMBP_CACHE_DIR", str(tmp_path / "cache"))
+        cache = runtime.DiskCache(tmp_path / "cache")
+        cache.put(runtime.canonical_key("x"), 1)
+        code = main(["clear-cache"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "1 entries removed" in out
+        assert str(tmp_path / "cache") in out
+        assert not list((tmp_path / "cache").glob("v*/*.pkl"))
+
+
+class TestFailurePropagation:
+    def test_all_reports_failure_and_exits_nonzero(self, capsys, monkeypatch):
+        def ok(config):
+            return "OK TABLE"
+
+        def boom(config):
+            raise RuntimeError("kaboom in worker")
+
+        monkeypatch.setattr(
+            "repro.cli.EXPERIMENTS", {"good": ok, "bad": boom}
+        )
+        code = main(["all", "--scale", "0.01"])
+        assert code == 1
+        captured = capsys.readouterr()
+        # The good experiment still ran and printed its table.
+        assert "OK TABLE" in captured.out
+        # The failure is reported with its traceback, and named in the recap.
+        assert "[bmbp] bad FAILED:" in captured.err
+        assert "kaboom in worker" in captured.err
+        assert "RuntimeError" in captured.err
+        assert "FAILED: bad" in captured.err
+
+    def test_worker_error_traceback_surfaces(self, capsys, monkeypatch):
+        def boom(config):
+            raise runtime.WorkerError(
+                "llnl/short", "Traceback ...\nValueError: inside the worker\n"
+            )
+
+        monkeypatch.setattr("repro.cli.EXPERIMENTS", {"bad": boom})
+        code = main(["all", "--scale", "0.01"])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "inside the worker" in err  # remote traceback, verbatim

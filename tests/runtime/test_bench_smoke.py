@@ -1,0 +1,83 @@
+"""Fast smoke benchmark: serial vs parallel replay of one queue.
+
+Runs at a tiny scale so it fits the tier-1 budget, asserts the two
+execution modes agree exactly, and exercises the ``BENCH_replay.json``
+perf-trajectory writer end to end.  The paper-scale version lives in
+``benchmarks/bench_replay_smoke.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.experiments.parallel import queue_work
+from repro.experiments.runner import ExperimentConfig, clear_caches
+from repro.runtime import (
+    BENCH_SCHEMA,
+    Task,
+    bench_run_entry,
+    reset_stats,
+    run_tasks,
+    stats,
+    write_bench_artifact,
+)
+
+TINY = ExperimentConfig(scale=0.01, seed=11, min_jobs=250)
+MACHINE, QUEUE = "llnl", "all"
+
+
+@pytest.fixture(autouse=True)
+def _fresh(tmp_path, monkeypatch):
+    monkeypatch.setenv("BMBP_CACHE_DIR", str(tmp_path / "cache"))
+    clear_caches()
+    reset_stats()
+    yield
+    clear_caches()
+
+
+def _timed_run(name, jobs, n_tasks):
+    """Replay the queue ``n_tasks`` times at the given parallelism."""
+    tasks = [
+        Task(func=queue_work, args=(MACHINE, QUEUE, TINY),
+             label=f"{MACHINE}/{QUEUE}#{i}", cache=False)
+        for i in range(n_tasks)
+    ]
+    before = stats()
+    started = time.perf_counter()
+    results = run_tasks(tasks, jobs=jobs)
+    elapsed = time.perf_counter() - started
+    entry = bench_run_entry(name, stats().since(before), jobs=jobs, seconds=elapsed)
+    return results, entry
+
+
+def test_smoke_serial_vs_parallel_writes_artifact(tmp_path):
+    serial_results, serial_entry = _timed_run("smoke-serial", jobs=1, n_tasks=2)
+    parallel_results, parallel_entry = _timed_run("smoke-parallel", jobs=2, n_tasks=2)
+
+    # Identical outputs, mode-independent.
+    for s, p in zip(serial_results, parallel_results):
+        for method in s:
+            assert s[method].n_evaluated == p[method].n_evaluated
+            assert s[method].ratios == p[method].ratios
+
+    path = write_bench_artifact(
+        tmp_path / "BENCH_replay.json", [serial_entry, parallel_entry]
+    )
+    document = json.loads(path.read_text())
+    assert document["schema"] == BENCH_SCHEMA
+    assert [run["name"] for run in document["runs"]] == [
+        "smoke-serial", "smoke-parallel"
+    ]
+    for run in document["runs"]:
+        assert run["tasks"] == 2
+        assert run["replays"] == 2
+        assert run["cache_hits"] == 0
+        assert run["seconds"] > 0
+        assert len(run["per_task"]) == 2
+        for task in run["per_task"]:
+            assert task["seconds"] >= 0
+            assert task["cached"] is False
+    assert document["runs"][1]["jobs"] == 2

@@ -1,0 +1,107 @@
+"""Unit tests for the persistent disk cache and its canonical keys."""
+
+from __future__ import annotations
+
+import json
+import pickle
+
+import pytest
+
+from repro.experiments.runner import ExperimentConfig
+from repro.runtime.cache import (
+    CACHE_VERSION,
+    DiskCache,
+    canonical_key,
+    cache_enabled_from_env,
+    default_cache_dir,
+)
+
+
+class TestCanonicalKey:
+    def test_stable_across_calls(self):
+        config = ExperimentConfig(scale=0.1, seed=3)
+        assert canonical_key("f", (config,)) == canonical_key("f", (config,))
+
+    def test_dataclass_fields_matter(self):
+        a = canonical_key("f", (ExperimentConfig(seed=1),))
+        b = canonical_key("f", (ExperimentConfig(seed=2),))
+        assert a != b
+
+    def test_dict_ordering_is_canonicalized(self):
+        assert canonical_key({"a": 1, "b": 2}) == canonical_key({"b": 2, "a": 1})
+
+    def test_embeds_cache_version(self):
+        payload = json.loads(canonical_key("f"))
+        assert payload["cache_version"] == CACHE_VERSION
+
+
+class TestDiskCache:
+    def test_roundtrip(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        key = canonical_key("job", 1)
+        hit, _ = cache.get(key)
+        assert not hit
+        cache.put(key, {"answer": [1.0, 2.0]})
+        hit, value = cache.get(key)
+        assert hit
+        assert value == {"answer": [1.0, 2.0]}
+
+    def test_corrupt_file_is_a_miss(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        key = canonical_key("job", 2)
+        cache.put(key, "value")
+        (entry,) = tmp_path.glob("v*/*.pkl")
+        entry.write_bytes(b"not a pickle at all")
+        hit, _ = cache.get(key)
+        assert not hit
+
+    def test_version_mismatch_is_a_miss(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        key = canonical_key("job", 3)
+        cache.put(key, "value")
+        (entry,) = tmp_path.glob("v*/*.pkl")
+        payload = pickle.loads(entry.read_bytes())
+        payload["version"] = CACHE_VERSION + 40
+        entry.write_bytes(pickle.dumps(payload))
+        hit, _ = cache.get(key)
+        assert not hit
+
+    def test_key_mismatch_is_a_miss(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        key = canonical_key("job", 4)
+        cache.put(key, "value")
+        (entry,) = tmp_path.glob("v*/*.pkl")
+        payload = pickle.loads(entry.read_bytes())
+        payload["key"] = canonical_key("job", 5)
+        entry.write_bytes(pickle.dumps(payload))
+        hit, _ = cache.get(key)
+        assert not hit
+
+    def test_clear_removes_everything(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        for i in range(3):
+            cache.put(canonical_key("job", i), i)
+        assert cache.clear() == 3
+        assert not list(tmp_path.glob("v*/*.pkl"))
+        assert cache.clear() == 0
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.put(canonical_key("job", 9), list(range(1000)))
+        leftovers = [p for p in tmp_path.rglob("*") if p.name.startswith(".tmp-")]
+        assert leftovers == []
+
+
+class TestEnvironment:
+    def test_cache_dir_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("BMBP_CACHE_DIR", str(tmp_path / "elsewhere"))
+        assert default_cache_dir() == tmp_path / "elsewhere"
+
+    @pytest.mark.parametrize(
+        "value,expected",
+        [("0", False), ("false", False), ("off", False), ("", False),
+         ("1", True), ("yes", True)],
+    )
+    def test_cache_enabled_env(self, monkeypatch, value, expected):
+        monkeypatch.setenv("BMBP_CACHE", value)
+        assert cache_enabled_from_env() is expected

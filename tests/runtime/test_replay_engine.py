@@ -1,0 +1,199 @@
+"""Tests for the parallel experiment engine.
+
+The contracts under test are the ones the experiments lean on:
+
+* parallel results are *identical* (not just close) to serial results for
+  a fixed seed — traces are regenerated worker-side from the same spec;
+* cache hits after a simulated process restart return equal results and do
+  zero replays;
+* corrupted or stale-version cache entries are recomputed, never a crash;
+* worker exceptions propagate as :class:`WorkerError` with the remote
+  traceback, in task order.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+
+import pytest
+
+from repro.experiments.parallel import queue_work, run_queue_batch
+from repro.experiments.runner import ExperimentConfig, clear_caches, table3_specs
+from repro.runtime import (
+    CACHE_VERSION,
+    Task,
+    WorkerError,
+    reset_configuration,
+    reset_stats,
+    resolve_jobs,
+    run_tasks,
+    stats,
+)
+
+
+@pytest.fixture(autouse=True)
+def _default_engine_settings():
+    """Shield these tests from sticky configure() calls made elsewhere."""
+    reset_configuration()
+    yield
+    reset_configuration()
+
+#: Small but non-trivial: a few hundred jobs per queue.
+TINY = ExperimentConfig(scale=0.01, seed=11, min_jobs=250)
+
+fork_available = "fork" in multiprocessing.get_all_start_methods()
+
+
+@pytest.fixture
+def fresh_cache_dir(tmp_path, monkeypatch):
+    """A private on-disk cache plus clean in-process caches and counters."""
+    cache_dir = tmp_path / "cache"
+    monkeypatch.setenv("BMBP_CACHE_DIR", str(cache_dir))
+    monkeypatch.delenv("BMBP_JOBS", raising=False)
+    clear_caches()
+    reset_stats()
+    yield cache_dir
+    clear_caches()
+
+
+def _assert_results_equal(a, b):
+    assert set(a) == set(b)
+    for method in a:
+        ra, rb = a[method], b[method]
+        assert ra.n_evaluated == rb.n_evaluated
+        assert ra.n_correct == rb.n_correct
+        assert ra.n_skipped == rb.n_skipped
+        assert ra.ratios == rb.ratios  # exact, not approx
+        assert ra.change_points == rb.change_points
+
+
+def _tasks(specs, config=TINY, cache=True):
+    return [
+        Task(
+            func=queue_work,
+            args=(spec.machine, spec.queue, config),
+            label=spec.label,
+            cache=cache,
+        )
+        for spec in specs
+    ]
+
+
+class TestDeterminism:
+    def test_parallel_results_identical_to_serial(self, fresh_cache_dir):
+        specs = table3_specs()[:2]
+        serial = run_tasks(_tasks(specs), jobs=1, cache=False)
+        parallel = run_tasks(_tasks(specs), jobs=2, cache=False)
+        for s, p in zip(serial, parallel):
+            _assert_results_equal(s, p)
+
+    def test_results_come_back_in_task_order(self, fresh_cache_dir):
+        specs = table3_specs()[:3]
+        results = run_tasks(_tasks(specs), jobs=2, cache=False)
+        for spec, result in zip(specs, results):
+            assert result["bmbp"].trace_name == spec.label
+
+
+class TestPersistentCache:
+    def test_hit_after_simulated_restart(self, fresh_cache_dir):
+        specs = table3_specs()[:1]
+        first = run_queue_batch(specs, TINY)
+        clear_caches()  # drop in-process state: "new process"
+        before = stats()
+        second = run_queue_batch(specs, TINY)
+        delta = stats().since(before)
+        assert delta.cache_hits == 1
+        assert delta.replays_run == 0
+        _assert_results_equal(first[0], second[0])
+
+    def test_in_process_cache_short_circuits_disk(self, fresh_cache_dir):
+        specs = table3_specs()[:1]
+        first = run_queue_batch(specs, TINY)
+        before = stats()
+        second = run_queue_batch(specs, TINY)
+        assert second[0] is first[0]  # same objects, no engine round-trip
+        delta = stats().since(before)
+        assert delta.cache_hits == 0 and delta.cache_misses == 0
+
+    def test_corrupt_entry_recomputed_not_crash(self, fresh_cache_dir):
+        specs = table3_specs()[:1]
+        first = run_queue_batch(specs, TINY)
+        entries = list(fresh_cache_dir.glob("v*/*.pkl"))
+        assert entries, "replay result was not persisted"
+        for entry in entries:
+            entry.write_bytes(b"\x00garbage, not a pickle")
+        clear_caches()
+        before = stats()
+        second = run_queue_batch(specs, TINY)
+        delta = stats().since(before)
+        assert delta.replays_run == 1  # recomputed, not served
+        _assert_results_equal(first[0], second[0])
+
+    def test_stale_version_entry_recomputed(self, fresh_cache_dir):
+        specs = table3_specs()[:1]
+        first = run_queue_batch(specs, TINY)
+        entries = list(fresh_cache_dir.glob("v*/*.pkl"))
+        assert entries
+        for entry in entries:
+            payload = pickle.loads(entry.read_bytes())
+            payload["version"] = CACHE_VERSION + 1
+            entry.write_bytes(pickle.dumps(payload))
+        clear_caches()
+        before = stats()
+        second = run_queue_batch(specs, TINY)
+        delta = stats().since(before)
+        assert delta.cache_hits == 0
+        assert delta.replays_run == 1
+        _assert_results_equal(first[0], second[0])
+
+    def test_different_config_is_a_different_key(self, fresh_cache_dir):
+        specs = table3_specs()[:1]
+        run_queue_batch(specs, TINY)
+        clear_caches()
+        other = ExperimentConfig(scale=0.01, seed=12, min_jobs=250)
+        before = stats()
+        run_queue_batch(specs, other)
+        delta = stats().since(before)
+        assert delta.cache_hits == 0 and delta.replays_run == 1
+
+
+def _boom(tag):
+    raise ValueError(f"boom {tag}")
+
+
+class TestWorkerErrors:
+    def test_error_propagates_serial(self, fresh_cache_dir):
+        task = Task(func=_boom, args=("x",), label="exploding", cache=False)
+        with pytest.raises(WorkerError) as excinfo:
+            run_tasks([task], jobs=1)
+        assert excinfo.value.label == "exploding"
+        assert "ValueError" in excinfo.value.remote_traceback
+        assert "boom x" in excinfo.value.remote_traceback
+
+    @pytest.mark.skipif(not fork_available, reason="needs fork start method")
+    def test_error_propagates_from_pool_in_task_order(self, fresh_cache_dir):
+        tasks = [
+            Task(func=_boom, args=(tag,), label=f"boom-{tag}", cache=False)
+            for tag in ("first", "second")
+        ]
+        with pytest.raises(WorkerError) as excinfo:
+            run_tasks(tasks, jobs=2)
+        assert excinfo.value.label == "boom-first"
+        assert "boom first" in excinfo.value.remote_traceback
+
+
+class TestJobsResolution:
+    def test_explicit_wins(self):
+        assert resolve_jobs(3) == 3
+        assert resolve_jobs(0) == 1  # clamped
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("BMBP_JOBS", "5")
+        assert resolve_jobs() == 5
+        monkeypatch.setenv("BMBP_JOBS", "not-a-number")
+        assert resolve_jobs() == 1
+
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv("BMBP_JOBS", raising=False)
+        assert resolve_jobs() == 1
