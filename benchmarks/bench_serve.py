@@ -1,0 +1,62 @@
+"""Serving benchmark: sustained event throughput of the forecast daemon.
+
+Spawns a real ``repro serve`` subprocess (durable configuration — journal,
+checkpoints and all), drives it with the pipelined load generator over
+several concurrent connections, and asserts the daemon sustains at least
+1,000 events/second while answering interleaved forecast reads.  Writes
+the ``BENCH_serve.json`` artifact (throughput + p50/p90/p99 latency) into
+the repository root, mirroring the other perf-trajectory artifacts.
+
+Marked ``slow`` like the other paper-scale benchmarks; run with
+``pytest benchmarks/bench_serve.py -m slow``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.server import BENCH_SERVE_SCHEMA, run_bench
+
+ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+
+JOBS = 8000
+CONNECTIONS = 8
+WINDOW = 64
+MIN_EVENTS_PER_SEC = 1000.0
+
+
+def test_serve_throughput(benchmark):
+    report = benchmark.pedantic(
+        run_bench,
+        kwargs={
+            "jobs": JOBS,
+            "connections": CONNECTIONS,
+            "window": WINDOW,
+            "artifact": ARTIFACT,
+        },
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+
+    assert report["schema"] == BENCH_SERVE_SCHEMA
+    assert report["request_errors"] == 0
+    assert report["events_per_sec"] >= MIN_EVENTS_PER_SEC, (
+        f"daemon sustained only {report['events_per_sec']:.0f} events/s"
+    )
+    latency = report["latency_ms"]
+    assert latency["p50"] is not None and latency["p99"] is not None
+    assert latency["p50"] <= latency["p99"]
+
+    # The daemon's own books must agree with the client's: every mutation
+    # the load generator sent was journaled.
+    durability = report["server_metrics"]["durability"]
+    assert durability["events_journaled"] == report["events"]
+
+    assert ARTIFACT.exists()
+    print()
+    print(
+        f"serve: {report['events_per_sec']:,.0f} events/s over "
+        f"{CONNECTIONS} connections (p50 {latency['p50']:.1f} ms, "
+        f"p99 {latency['p99']:.1f} ms) -> {ARTIFACT.name}"
+    )

@@ -1,4 +1,5 @@
-"""Command-line interface: regenerate any table or figure of the paper.
+"""Command-line interface: regenerate any table or figure of the paper,
+or run the live forecast daemon.
 
 Usage::
 
@@ -8,6 +9,10 @@ Usage::
     python -m repro figure1 --csv out.csv  # also dump plot-ready CSV
     python -m repro table3 --scale 0.2 --seed 11
     python -m repro clear-cache            # wipe the persistent replay cache
+
+    python -m repro serve --state-dir /var/lib/bmbp     # the live daemon
+    python -m repro tail trace.swf.gz --speedup 3600    # feed it a log
+    python -m repro bench-serve --json BENCH_serve.json # load-test it
 
 Replays fan out over ``--jobs`` worker processes (default: ``BMBP_JOBS``
 or 1) and their results persist in a versioned on-disk cache, so a warm
@@ -74,6 +79,11 @@ def build_parser() -> argparse.ArgumentParser:
             "Queuing Delay in Space-shared Computing Environments' "
             "(Brevik, Nurmi, Wolski)."
         ),
+        epilog=(
+            "Live-service subcommands (each with its own --help): "
+            "serve (the forecast daemon), tail (feed it an SWF log), "
+            "bench-serve (load-test it)."
+        ),
     )
     parser.add_argument(
         "experiment",
@@ -117,7 +127,187 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+#: Server-side subcommands, dispatched before the experiment parser so the
+#: experiment interface (and its tests) stay byte-for-byte unchanged.
+SERVER_COMMANDS = {
+    "serve": "run the live forecast daemon",
+    "tail": "feed a daemon from an SWF trace file",
+    "bench-serve": "load-test a daemon and write BENCH_serve.json",
+}
+
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="bmbp serve", description=SERVER_COMMANDS["serve"]
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=7077,
+        help="TCP port (default %(default)s; 0 = ephemeral, written to the "
+        "state directory's server.port file)",
+    )
+    parser.add_argument(
+        "--state-dir", default=None, metavar="DIR",
+        help="checkpoint/journal directory (omit for an in-memory daemon "
+        "with no durability)",
+    )
+    parser.add_argument(
+        "--checkpoint-interval", type=float, default=30.0, metavar="SECONDS",
+        help="periodic checkpoint cadence (default %(default)s)",
+    )
+    parser.add_argument(
+        "--checkpoint-events", type=int, default=1000, metavar="N",
+        help="also checkpoint after N journaled events (default %(default)s)",
+    )
+    parser.add_argument(
+        "--fsync", action="store_true",
+        help="fsync the journal per event (power-loss durability; slower)",
+    )
+    parser.add_argument(
+        "--drain-timeout", type=float, default=5.0, metavar="SECONDS",
+        help="grace period for in-flight requests on SIGTERM (default %(default)s)",
+    )
+    parser.add_argument(
+        "--refit-interval", type=float, default=None, metavar="SECONDS",
+        help="wall-clock refit tick for quiet queues (default: off; the "
+        "daemon is then strictly event-driven and replay-deterministic)",
+    )
+    parser.add_argument("--quantile", type=float, default=0.95)
+    parser.add_argument("--confidence", type=float, default=0.95)
+    parser.add_argument(
+        "--epoch", type=float, default=300.0,
+        help="predictor refit epoch in event-time seconds (default %(default)s)",
+    )
+    parser.add_argument("--training-jobs", type=int, default=100)
+    parser.add_argument(
+        "--no-bins", action="store_true",
+        help="disable per-processor-bin predictor banks",
+    )
+    return parser
+
+
+def _serve_main(argv: List[str]) -> int:
+    from repro.server import ServerConfig, serve
+    from repro.service import ForecasterConfig
+
+    args = build_serve_parser().parse_args(argv)
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        state_dir=args.state_dir,
+        checkpoint_interval=args.checkpoint_interval,
+        checkpoint_events=args.checkpoint_events,
+        fsync=args.fsync,
+        drain_timeout=args.drain_timeout,
+        refit_interval=args.refit_interval,
+        forecaster=ForecasterConfig(
+            quantile=args.quantile,
+            confidence=args.confidence,
+            epoch=args.epoch,
+            training_jobs=args.training_jobs,
+            by_bin=not args.no_bins,
+        ),
+    )
+    return serve(config)
+
+
+def build_tail_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="bmbp tail", description=SERVER_COMMANDS["tail"]
+    )
+    parser.add_argument("swf", help="SWF trace file (plain or .gz)")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7077)
+    parser.add_argument(
+        "--speedup", type=float, default=0.0, metavar="X",
+        help="trace-seconds replayed per wall-second (3600 = an hour of log "
+        "per second; default 0 = as fast as the daemon accepts)",
+    )
+    parser.add_argument(
+        "--limit", type=int, default=None, metavar="N",
+        help="feed only the first N jobs",
+    )
+    parser.add_argument(
+        "--progress-every", type=int, default=5000, metavar="N",
+        help="stderr progress line cadence in events (0 = silent)",
+    )
+    return parser
+
+
+def _tail_main(argv: List[str]) -> int:
+    from repro.server import tail_swf
+
+    args = build_tail_parser().parse_args(argv)
+    summary = tail_swf(
+        args.swf, host=args.host, port=args.port, speedup=args.speedup,
+        limit=args.limit, progress_every=args.progress_every,
+    )
+    hit = summary["quote_hit_rate"]
+    print(
+        f"tailed {summary['jobs']} jobs ({summary['events_sent']} events, "
+        f"{summary['events_skipped']} skipped) in "
+        f"{summary['wall_seconds']:.1f}s "
+        f"({summary['events_per_sec']:.0f} ev/s); "
+        f"{summary['quotes']} quotes"
+        + (f", {hit:.1%} held" if hit is not None else "")
+    )
+    return 0
+
+
+def build_bench_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="bmbp bench-serve", description=SERVER_COMMANDS["bench-serve"]
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=5000, metavar="N",
+        help="synthetic jobs to replay (default %(default)s)",
+    )
+    parser.add_argument(
+        "--connections", type=int, default=8, metavar="N",
+        help="concurrent client connections (default %(default)s)",
+    )
+    parser.add_argument(
+        "--window", type=int, default=64, metavar="N",
+        help="pipeline depth per connection (default %(default)s)",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--json", default="BENCH_serve.json", metavar="PATH",
+        help="throughput/latency artifact path (default %(default)s)",
+    )
+    return parser
+
+
+def _bench_serve_main(argv: List[str]) -> int:
+    from repro.server import run_bench
+
+    args = build_bench_serve_parser().parse_args(argv)
+    report = run_bench(
+        jobs=args.jobs, connections=args.connections, window=args.window,
+        seed=args.seed, artifact=args.json,
+    )
+    latency = report["latency_ms"]
+    print(
+        f"{report['requests']} requests ({report['events']} events) over "
+        f"{report['connections']} connections in {report['seconds']:.2f}s: "
+        f"{report['events_per_sec']:.0f} events/s, "
+        f"p50={latency['p50']:.2f}ms p99={latency['p99']:.2f}ms "
+        f"({report['request_errors']} errors)"
+    )
+    print(f"[bmbp] serve benchmark written to {args.json}", file=sys.stderr)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] in SERVER_COMMANDS:
+        dispatch = {
+            "serve": _serve_main,
+            "tail": _tail_main,
+            "bench-serve": _bench_serve_main,
+        }
+        return dispatch[argv[0]](list(argv[1:]))
     args = build_parser().parse_args(argv)
     config = ExperimentConfig(scale=args.scale, seed=args.seed, epoch=args.epoch)
 

@@ -56,6 +56,12 @@ class ConsecutiveMissDetector:
     def reset(self) -> None:
         self._run = 0
 
+    def restore_run(self, run: int) -> None:
+        """Restore an in-progress miss run (state-restore path)."""
+        if run < 0:
+            raise ValueError(f"run length must be non-negative, got {run}")
+        self._run = int(run)
+
     def retune(self, threshold: int) -> None:
         """Change the threshold (e.g. after retraining); keeps run state."""
         if threshold < 1:

@@ -104,8 +104,38 @@ class HistoryWindow:
             self._resort = True
 
     def extend(self, values: Iterable[float]) -> None:
-        for value in values:
-            self.append(value)
+        """Append many observations in one vectorized pass.
+
+        Equivalent to ``append`` in a loop but O(n) with a single buffer
+        copy, which is what makes daemon restarts with months of history
+        fast: state loading goes through here, not through per-observation
+        appends.
+        """
+        if isinstance(values, np.ndarray):
+            batch = values.astype(float, copy=False).ravel()
+        else:
+            batch = np.asarray(list(values), dtype=float)
+        n = batch.size
+        if n == 0:
+            return
+        size = self._end - self._start
+        if self._end + n > self._buf.size:
+            need = size + n
+            if need <= self._buf.size:
+                # Enough dead space in front of the window: compact in place.
+                target = self._buf
+            else:
+                target = np.empty(max(_MIN_CAPACITY, 2 * need), dtype=float)
+            target[:size] = self._buf[self._start:self._end]
+            self._buf = target
+            self._merged_end -= self._start
+            self._start = 0
+            self._end = size
+        self._buf[self._end:self._end + n] = batch
+        self._end += n
+        if self._max_size is not None and self._end - self._start > self._max_size:
+            self._start = self._end - self._max_size
+            self._resort = True
 
     def sorted_values(self) -> np.ndarray:
         """Ascending-sorted observations.

@@ -113,6 +113,25 @@ class QuantilePredictor(ABC):
             if self.detector.record(miss):
                 self._on_change_point()
 
+    def preload_history(self, waits) -> None:
+        """Bulk-load completed waits without scoring them.
+
+        The restore path for persisted state: equivalent to ``observe`` per
+        value with no ``predicted`` bound (so the change-point detector is
+        untouched), but vectorized through :meth:`HistoryWindow.extend` so a
+        daemon restart with months of history costs one buffer copy rather
+        than one Python call per observation.  Call ``refit`` (or
+        ``finish_training``) afterwards to recompute the quoted bound.
+        """
+        count = len(waits)
+        if count == 0:
+            return
+        self.history.extend(waits)
+        self._observations_since_refit += count
+        # Subclasses keeping running aggregates (the log-normal sums)
+        # rebuild them from the window in one vectorized pass.
+        self._on_history_trimmed()
+
     def refit(self) -> None:
         """Recompute the quoted bound from the current history."""
         self._current = self._compute_bound()
@@ -158,6 +177,34 @@ class QuantilePredictor(ABC):
     @property
     def trained(self) -> bool:
         return self._trained
+
+    # ------------------------------------------------------- state restore
+
+    def mark_trained(self) -> None:
+        """Flip to trained *without* the training-time retune/refit.
+
+        The restore path for persisted state: ``finish_training`` estimates
+        autocorrelation and refits, but a snapshot already recorded the
+        tuned threshold and the quoted bound, so recomputing both would be
+        wasted work (and, for the bound, would clobber the exact quote the
+        process was serving when it stopped).
+        """
+        self._trained = True
+
+    def restore_quote(self, current: Optional[float], since_refit: int) -> None:
+        """Restore the cached quote and refit-staleness counter verbatim.
+
+        Together with the history and the detector run this makes a
+        restored predictor indistinguishable from the one that was saved:
+        it quotes the same bound and refits at the same future moment.
+        """
+        self._current = current
+        self._observations_since_refit = max(0, int(since_refit))
+
+    @property
+    def observations_since_refit(self) -> int:
+        """Observations absorbed since the last refit (snapshot state)."""
+        return self._observations_since_refit
 
     @property
     def miss_threshold(self) -> Optional[int]:

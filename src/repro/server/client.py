@@ -1,0 +1,213 @@
+"""Synchronous client for the forecast daemon.
+
+A thin, dependency-free socket client speaking the NDJSON protocol:
+
+    >>> with ForecastClient("127.0.0.1", 7077) as client:
+    ...     client.submit("job-1", queue="normal", procs=8)
+    ...     client.forecast("normal", procs=8)
+
+Transport failures (connection refused/reset, timeouts) are retried with
+exponential backoff and a fresh connection, which makes the client robust
+across daemon restarts.  Server-side *semantic* errors — a structured
+``{"ok": false}`` response — raise :class:`ServerError` immediately and
+are never retried: the request reached the server and was rejected.
+
+Retries give at-least-once delivery, so a mutation whose acknowledgement
+was lost may be re-applied; ``submit`` treats the resulting ``conflict``
+on a retry attempt as success (the job *is* pending, which is what the
+caller asked for).  A retried ``start`` whose first attempt was applied
+surfaces as ``unknown-job`` — the ambiguity is left to the caller, since
+the job may genuinely be unknown.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.server.daemon import PORT_FILE_NAME
+
+__all__ = ["ForecastClient", "ServerError", "TransportError", "read_port_file"]
+
+
+class ServerError(Exception):
+    """The server answered with a structured error (never retried)."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.message = message
+
+
+class TransportError(Exception):
+    """The server could not be reached after all retry attempts."""
+
+
+def read_port_file(
+    state_dir: Union[str, Path], timeout: float = 10.0
+) -> int:
+    """Poll a daemon state directory for its bound port.
+
+    The daemon writes ``server.port`` after binding; this is how tests and
+    the tail shim discover an ephemeral ``--port 0`` listener.
+    """
+    path = Path(state_dir) / PORT_FILE_NAME
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            text = path.read_text().strip()
+            if text:
+                return int(text)
+        except (OSError, ValueError):
+            pass
+        time.sleep(0.02)
+    raise TransportError(f"no port file appeared in {state_dir} within {timeout}s")
+
+
+class ForecastClient:
+    """Blocking NDJSON client with reconnect + exponential backoff."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 7077,
+        timeout: float = 10.0,
+        retries: int = 5,
+        backoff: float = 0.05,
+        max_backoff: float = 2.0,
+    ):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.max_backoff = max_backoff
+        self._sock: Optional[socket.socket] = None
+        self._file = None
+
+    # ------------------------------------------------------------ transport
+
+    def _connect(self) -> None:
+        self.close()
+        sock = socket.create_connection((self.host, self.port), timeout=self.timeout)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._sock = sock
+        self._file = sock.makefile("rwb")
+
+    def close(self) -> None:
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:
+                pass
+            self._file = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "ForecastClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _request(self, op: str, **fields: Any) -> Any:
+        """One round-trip with transport-level retry; returns ``result``."""
+        payload = {"op": op}
+        payload.update({k: v for k, v in fields.items() if v is not None})
+        line = json.dumps(payload, separators=(",", ":")).encode() + b"\n"
+        delay = self.backoff
+        last_error: Optional[Exception] = None
+        for attempt in range(self.retries + 1):
+            try:
+                if self._file is None:
+                    self._connect()
+                self._file.write(line)
+                self._file.flush()
+                raw = self._file.readline()
+                if not raw:
+                    raise ConnectionResetError("server closed the connection")
+                response = json.loads(raw)
+            except (OSError, ValueError) as exc:
+                last_error = exc
+                self.close()
+                if attempt < self.retries:
+                    time.sleep(delay)
+                    delay = min(delay * 2, self.max_backoff)
+                continue
+            if response.get("ok"):
+                return response.get("result")
+            error = response.get("error") or {}
+            code = error.get("code", "internal")
+            # A lost ack then a retry makes 'submit' race itself; the job
+            # being pending is exactly the requested outcome.
+            if code == "conflict" and op == "submit" and attempt > 0:
+                return {"job": fields.get("job"), "bound": None, "retried": True}
+            raise ServerError(code, error.get("message", ""))
+        raise TransportError(
+            f"could not reach {self.host}:{self.port} after "
+            f"{self.retries + 1} attempts: {last_error!r}"
+        )
+
+    # ------------------------------------------------------------- mutations
+
+    def submit(
+        self, job: str, queue: str, procs: int = 1, now: Optional[float] = None
+    ) -> Optional[float]:
+        """Submit a job; returns the quoted bound (None while training)."""
+        return self._request("submit", job=job, queue=queue, procs=procs, now=now)[
+            "bound"
+        ]
+
+    def start(self, job: str, now: Optional[float] = None) -> float:
+        """Report that a job started; returns its measured wait."""
+        return self._request("start", job=job, now=now)["wait"]
+
+    def cancel(self, job: str) -> bool:
+        return self._request("cancel", job=job)["cancelled"]
+
+    # --------------------------------------------------------------- queries
+
+    def forecast(self, queue: str, procs: Optional[int] = None) -> Optional[float]:
+        return self._request("forecast", queue=queue, procs=procs)["bound"]
+
+    def outlook(self, queue: str) -> Dict[str, Any]:
+        return self._request("outlook", queue=queue)
+
+    def queues(self) -> Dict[str, Any]:
+        return self._request("queues")
+
+    def describe(self) -> str:
+        return self._request("describe")["text"]
+
+    def healthz(self) -> Dict[str, Any]:
+        return self._request("healthz")
+
+    def metrics(self) -> Dict[str, Any]:
+        return self._request("metrics")
+
+    # ----------------------------------------------------------------- admin
+
+    def refit(self, now: Optional[float] = None) -> int:
+        return self._request("refit", now=now)["refit"]
+
+    def checkpoint(self) -> int:
+        return self._request("checkpoint")["seq"]
+
+    def wait_until_up(self, timeout: float = 10.0) -> Dict[str, Any]:
+        """Poll ``healthz`` until the daemon answers (for process spawns)."""
+        deadline = time.monotonic() + timeout
+        last: Optional[Exception] = None
+        while time.monotonic() < deadline:
+            try:
+                return self.healthz()
+            except (TransportError, ServerError) as exc:
+                last = exc
+                time.sleep(0.05)
+        raise TransportError(f"server not up within {timeout}s: {last!r}")

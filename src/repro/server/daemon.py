@@ -1,0 +1,464 @@
+"""The forecast daemon: one ``QueueForecaster`` behind asyncio TCP.
+
+Single event loop, no threads: the forecaster is only ever touched from
+the loop, so every client sees a sequentially consistent view with no
+locks.  Each connection gets a reader task feeding a *bounded* request
+queue and a worker task draining it — when a client pipelines faster than
+the server executes, the queue fills, the reader stops reading, and TCP
+flow control pushes the backpressure all the way to the client instead of
+letting requests pile up in server memory.
+
+Durability (when a state directory is configured) is delegated to
+:class:`repro.server.state.StateStore`: every applied mutation is
+journaled and flushed *before* its acknowledgement is sent, checkpoints
+happen periodically (by time and by event count), and boot recovers
+checkpoint + journal.  On SIGTERM/SIGINT the daemon drains: it stops
+accepting connections, lets in-flight requests finish (bounded by
+``drain_timeout``), takes a final checkpoint, and exits 0.
+
+The default daemon is purely event-driven — predictor refits are triggered
+by event timestamps, never the wall clock — so a crashed-and-recovered
+daemon quotes bounds identical to one that never crashed (the journal
+replay test in ``tests/server`` proves exactly this).  An optional
+``refit_interval`` adds a wall-clock refresh tick for quiet queues, at the
+cost of that strict determinism.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Optional, Set, Union
+
+from repro.server import protocol
+from repro.server.metrics import ServerMetrics
+from repro.server.state import StateStore
+from repro.service.forecaster import ForecasterConfig, QueueForecaster
+
+__all__ = ["PORT_FILE_NAME", "ServerConfig", "ForecastServer", "serve"]
+
+#: File in the state directory holding the bound port (written after bind,
+#: so tests and the tail shim can discover an ephemeral ``--port 0``).
+PORT_FILE_NAME = "server.port"
+
+_LAG_PROBE_INTERVAL = 0.25
+
+
+@dataclass
+class ServerConfig:
+    """Everything the daemon needs; defaults suit tests and local use."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral; resolved port lands in the port file
+    state_dir: Optional[Union[str, Path]] = None  # None = no durability
+    checkpoint_interval: float = 30.0  # seconds between periodic checkpoints
+    checkpoint_events: int = 1000  # checkpoint after this many journal events
+    max_request_queue: int = 64  # bounded per-connection pipeline depth
+    drain_timeout: float = 5.0  # grace for in-flight work on shutdown
+    fsync: bool = False  # fsync journal/checkpoint (power-loss durability)
+    refit_interval: Optional[float] = None  # wall-clock refit tick (off =
+    # strictly event-driven and replay-deterministic)
+    forecaster: ForecasterConfig = field(default_factory=ForecasterConfig)
+
+
+class ForecastServer:
+    """Asyncio daemon hosting one forecaster; see the module docstring."""
+
+    def __init__(self, config: Optional[ServerConfig] = None):
+        self.config = config or ServerConfig()
+        self.metrics = ServerMetrics()
+        self.forecaster: Optional[QueueForecaster] = None
+        self.store: Optional[StateStore] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._tasks: Set[asyncio.Task] = set()
+        self._connections: Set[asyncio.Task] = set()
+        self._draining = False
+        # Created in start(): asyncio primitives must bind the running loop.
+        self._stopped: Optional[asyncio.Event] = None
+
+    # -------------------------------------------------------------- lifecycle
+
+    @property
+    def port(self) -> int:
+        assert self._server is not None, "server not started"
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        """Recover state, bind, and begin serving (returns once listening)."""
+        self._stopped = asyncio.Event()
+        if self.config.state_dir is not None:
+            self.store = StateStore(self.config.state_dir, fsync=self.config.fsync)
+            self.forecaster, replayed = self.store.recover(self.config.forecaster)
+            self.store.open()
+            self.metrics.replayed_on_boot = replayed
+        else:
+            self.forecaster = QueueForecaster(self.config.forecaster)
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            host=self.config.host,
+            port=self.config.port,
+            limit=protocol.MAX_LINE_BYTES,
+        )
+        self._spawn(self._lag_monitor(), "lag-monitor")
+        if self.store is not None:
+            self._spawn(self._checkpoint_timer(), "checkpoint-timer")
+        if self.config.refit_interval:
+            self._spawn(self._refit_timer(), "refit-timer")
+        if self.config.state_dir is not None:
+            port_file = Path(self.config.state_dir) / PORT_FILE_NAME
+            port_file.write_text(f"{self.port}\n")
+
+    async def serve_forever(self) -> None:
+        """Block until :meth:`stop` completes (e.g. via a signal handler)."""
+        await self._stopped.wait()
+
+    async def stop(self) -> None:
+        """Graceful drain: no new connections, finish in-flight, checkpoint."""
+        if self._draining:
+            return
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._connections:
+            done, pending = await asyncio.wait(
+                self._connections, timeout=self.config.drain_timeout
+            )
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+        for task in self._tasks:
+            task.cancel()
+        if self._tasks:
+            await asyncio.gather(*self._tasks, return_exceptions=True)
+        if self.store is not None:
+            self.store.checkpoint(self.forecaster)
+            self.metrics.checkpoints += 1
+            self.store.close()
+        if self.config.state_dir is not None:
+            try:
+                (Path(self.config.state_dir) / PORT_FILE_NAME).unlink()
+            except OSError:
+                pass
+        self._stopped.set()
+
+    def _spawn(self, coro, name: str) -> None:
+        task = asyncio.get_running_loop().create_task(coro)
+        self._tasks.add(task)
+
+    # ------------------------------------------------------- background tasks
+
+    async def _lag_monitor(self) -> None:
+        """Measure event-loop lag: how late a timed sleep actually fires."""
+        loop = asyncio.get_running_loop()
+        while True:
+            target = loop.time() + _LAG_PROBE_INTERVAL
+            await asyncio.sleep(_LAG_PROBE_INTERVAL)
+            self.metrics.record_loop_lag(max(0.0, loop.time() - target))
+
+    async def _checkpoint_timer(self) -> None:
+        while True:
+            await asyncio.sleep(self.config.checkpoint_interval)
+            if self.store.events_since_checkpoint > 0:
+                self._checkpoint()
+
+    async def _refit_timer(self) -> None:
+        while True:
+            await asyncio.sleep(self.config.refit_interval)
+            self.forecaster.refit(now=time.time())
+
+    def _checkpoint(self) -> int:
+        seq = self.store.checkpoint(self.forecaster)
+        self.metrics.checkpoints += 1
+        self.metrics.last_checkpoint_unix = time.time()
+        return seq
+
+    # ------------------------------------------------------------ connections
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        self._connections.add(task)
+        self.metrics.connections_open += 1
+        self.metrics.connections_total += 1
+        try:
+            await self._serve_connection(reader, writer)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away; nothing to clean up
+        except asyncio.CancelledError:
+            raise
+        finally:
+            self.metrics.connections_open -= 1
+            self._connections.discard(task)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        first = await self._read_line(reader, writer)
+        if first is None:
+            return
+        if protocol.looks_like_http(first):
+            await self._serve_http(first, reader, writer)
+            return
+        # NDJSON mode: bounded queue between a reader and a worker gives
+        # per-connection backpressure (see module docstring).
+        queue: asyncio.Queue = asyncio.Queue(maxsize=self.config.max_request_queue)
+        await queue.put(first)
+        worker = asyncio.get_running_loop().create_task(
+            self._request_worker(queue, writer)
+        )
+        try:
+            while not self._draining:
+                line = await self._read_line(reader, writer)
+                if line is None:
+                    break
+                await queue.put(line)  # blocks when full: backpressure
+        finally:
+            try:
+                queue.put_nowait(None)  # sentinel: drain backlog and stop
+            except asyncio.QueueFull:
+                worker.cancel()  # worker is gone; nothing will drain it
+            await asyncio.wait({worker})
+
+    async def _read_line(self, reader, writer) -> Optional[bytes]:
+        """One request line, or None on EOF/oversize (oversize kills the
+        connection after a structured error — there is no way to resync a
+        stream mid-line)."""
+        try:
+            line = await reader.readline()
+        except ValueError:
+            writer.write(
+                protocol.encode(
+                    protocol.error_response(
+                        None, "bad-request", "request line exceeds size limit"
+                    )
+                )
+            )
+            await writer.drain()
+            return None
+        if not line:
+            return None
+        if line.strip() == b"":
+            return await self._read_line(reader, writer)
+        return line
+
+    async def _request_worker(self, queue: asyncio.Queue, writer) -> None:
+        while True:
+            line = await queue.get()
+            if line is None:
+                return
+            response = self._process_line(line)
+            try:
+                writer.write(protocol.encode(response))
+                await writer.drain()
+            except (ConnectionError, OSError):
+                break
+        # Write side is dead: responses are undeliverable, so stop executing
+        # (a mutation nobody can be told about must not be applied) and
+        # discard the backlog so the blocked reader can't deadlock on put().
+        while True:
+            if await queue.get() is None:
+                return
+
+    # ------------------------------------------------------------- execution
+
+    def _process_line(self, line: bytes) -> Dict[str, Any]:
+        """Parse + execute one request; always returns a response dict."""
+        started = time.perf_counter()
+        request_id: Any = None
+        op = "invalid"
+        try:
+            request = protocol.parse_request(line)
+            request_id = request["id"]
+            op = request["op"]
+            result = self._execute(request)
+            response = protocol.ok_response(request_id, result)
+            self.metrics.record_request(op, time.perf_counter() - started, True)
+            return response
+        except protocol.ProtocolError as exc:
+            self.metrics.record_request(
+                op, time.perf_counter() - started, False, exc.code
+            )
+            return protocol.error_response(request_id, exc.code, exc.message)
+        except Exception as exc:  # noqa: BLE001 - a bug must not kill the daemon
+            self.metrics.record_request(
+                op, time.perf_counter() - started, False, "internal"
+            )
+            print(
+                f"bmbp-serve: internal error on {op}: {exc!r}",
+                file=sys.stderr,
+            )
+            return protocol.error_response(
+                request_id, "internal", f"internal error: {type(exc).__name__}"
+            )
+
+    def _execute(self, request: Dict[str, Any]) -> Any:
+        op = request["op"]
+        forecaster = self.forecaster
+        if op in protocol.MUTATION_OPS:
+            if self._draining:
+                raise protocol.ProtocolError(
+                    "shutting-down", "server is draining; retry elsewhere"
+                )
+            return self._execute_mutation(request)
+        if op == "forecast":
+            bound = forecaster.forecast(request["queue"], request["procs"])
+            return {"queue": request["queue"], "procs": request["procs"],
+                    "bound": bound}
+        if op == "outlook":
+            return forecaster.outlook(request["queue"])
+        if op == "queues":
+            return {"queues": forecaster.queues(),
+                    "pending": forecaster.pending_count()}
+        if op == "describe":
+            return {"text": forecaster.describe()}
+        if op == "healthz":
+            return {
+                "status": "draining" if self._draining else "ok",
+                "uptime_s": time.monotonic() - self.metrics.started_monotonic,
+                "seq": self.store.seq if self.store is not None else None,
+                "pending": forecaster.pending_count(),
+            }
+        if op == "metrics":
+            return self.metrics.snapshot(forecaster)
+        if op == "refit":
+            now = request.get("now")
+            refit = forecaster.refit(now if now is not None else time.time())
+            return {"refit": refit}
+        if op == "checkpoint":
+            if self.store is None:
+                raise protocol.ProtocolError(
+                    "bad-request", "server has no state directory"
+                )
+            return {"seq": self._checkpoint()}
+        raise protocol.ProtocolError("unknown-op", f"unknown op {op!r}")
+
+    def _execute_mutation(self, request: Dict[str, Any]) -> Any:
+        """Apply, journal, then acknowledge (in that order; see state.py)."""
+        op = request["op"]
+        forecaster = self.forecaster
+        now = request.get("now")
+        if now is None:
+            now = time.time()
+        if op == "submit":
+            entry = {"op": "submit", "job": request["job"],
+                     "queue": request["queue"], "procs": request["procs"],
+                     "now": now}
+            try:
+                bound = forecaster.job_submitted(
+                    request["job"], request["queue"], request["procs"], now
+                )
+            except ValueError as exc:
+                raise protocol.ProtocolError("conflict", str(exc)) from None
+            result = {"job": request["job"], "bound": bound, "now": now}
+        elif op == "start":
+            entry = {"op": "start", "job": request["job"], "now": now}
+            try:
+                wait = forecaster.job_started(request["job"], now)
+            except KeyError as exc:
+                raise protocol.ProtocolError(
+                    "unknown-job", str(exc.args[0]) if exc.args else str(exc)
+                ) from None
+            except ValueError as exc:
+                raise protocol.ProtocolError("bad-event", str(exc)) from None
+            result = {"job": request["job"], "wait": wait, "now": now}
+        else:  # cancel
+            existed = forecaster.is_pending(request["job"])
+            forecaster.job_cancelled(request["job"])
+            if not existed:
+                return {"job": request["job"], "cancelled": False}
+            entry = {"op": "cancel", "job": request["job"]}
+            result = {"job": request["job"], "cancelled": True}
+        if self.store is not None:
+            self.store.journal(entry)
+            self.metrics.events_journaled += 1
+            if self.store.events_since_checkpoint >= self.config.checkpoint_events:
+                self._checkpoint()
+        return result
+
+    # ------------------------------------------------------------------ HTTP
+
+    async def _serve_http(self, first: bytes, reader, writer) -> None:
+        """One-shot HTTP/1.1 exchange for the read-only routes."""
+        self.metrics.http_requests += 1
+        # Drain the header block; we route on the request line alone.
+        while True:
+            header = await reader.readline()
+            if not header or header in (b"\r\n", b"\n"):
+                break
+        status, content_type, body = self._http_payload(first)
+        writer.write(protocol.render_http_response(status, body, content_type))
+        await writer.drain()
+
+    def _http_payload(self, first: bytes):
+        started = time.perf_counter()
+        try:
+            method, path, query = protocol.parse_http_request_line(first.strip())
+            request = protocol.http_request_to_op(method, path, query)
+        except protocol.ProtocolError as exc:
+            status = {"http-404": 404, "http-405": 405}.get(exc.code, 400)
+            body = json.dumps(
+                {"ok": False, "error": {"code": exc.code, "message": exc.message}}
+            ).encode()
+            return status, "application/json", body
+        op = request["op"]
+        if op == "metrics":
+            body = self.metrics.render_text(self.forecaster).encode()
+            self.metrics.record_request(op, time.perf_counter() - started, True)
+            return 200, "text/plain; version=0.0.4", body
+        try:
+            result = self._execute(request)
+        except protocol.ProtocolError as exc:
+            self.metrics.record_request(
+                op, time.perf_counter() - started, False, exc.code
+            )
+            body = json.dumps(
+                {"ok": False, "error": {"code": exc.code, "message": exc.message}}
+            ).encode()
+            return 400, "application/json", body
+        self.metrics.record_request(op, time.perf_counter() - started, True)
+        return 200, "application/json", json.dumps({"ok": True, "result": result}).encode()
+
+
+async def _run(config: ServerConfig) -> int:
+    server = ForecastServer(config)
+    await server.start()
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(sig, lambda: loop.create_task(server.stop()))
+        except NotImplementedError:  # non-Unix platforms
+            pass
+    print(
+        f"bmbp-serve: listening on {config.host}:{server.port}"
+        + (
+            f" (state: {config.state_dir})"
+            if config.state_dir is not None
+            else " (in-memory, no durability)"
+        ),
+        file=sys.stderr,
+        flush=True,
+    )
+    await server.serve_forever()
+    print("bmbp-serve: drained and checkpointed, bye", file=sys.stderr)
+    return 0
+
+
+def serve(config: Optional[ServerConfig] = None) -> int:
+    """Blocking entry point used by ``repro serve``."""
+    try:
+        return asyncio.run(_run(config or ServerConfig()))
+    except KeyboardInterrupt:
+        return 0

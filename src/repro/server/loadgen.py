@@ -1,0 +1,248 @@
+"""Load generator for the forecast daemon.
+
+Replays a synthetic trace against a live daemon at high concurrency:
+``connections`` asyncio TCP connections each own a disjoint slice of the
+jobs and pipeline up to ``window`` requests deep (submit/start/cancel
+mutations interleaved with forecast reads), measuring per-request latency
+from the moment a request line is written to the moment its response line
+arrives — i.e. including server queueing, which is the number a user
+actually experiences.
+
+``run_bench`` is the full benchmark harness used by ``repro bench-serve``
+and ``benchmarks/bench_serve.py``: it spawns a real daemon subprocess on
+an ephemeral port (state directory, journal and all — the benchmark
+measures the durable configuration, not a toy), drives it, scrapes the
+server's own metrics, and writes the ``BENCH_serve.json`` artifact with
+throughput and p50/p90/p99 latency.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import subprocess
+import sys
+import tempfile
+import time
+from collections import deque
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.server.client import ForecastClient, read_port_file
+
+__all__ = [
+    "BENCH_SERVE_SCHEMA",
+    "run_bench",
+    "run_load",
+    "spawn_daemon",
+    "write_bench_artifact",
+]
+
+BENCH_SERVE_SCHEMA = "bmbp-bench-serve/1"
+
+#: Fraction of jobs that get a forecast read injected after their submit,
+#: and fraction that are cancelled instead of started.
+_READ_RATIO = 0.25
+_CANCEL_RATIO = 0.02
+
+
+def _build_events(jobs: int, seed: int, queue: str, shard: int) -> List[dict]:
+    """One connection's worth of self-consistent submit/start/cancel events."""
+    rng = np.random.default_rng(seed + shard)
+    waits = rng.lognormal(mean=4.0, sigma=1.0, size=jobs)
+    procs = rng.choice([1, 2, 4, 8, 16, 32, 64, 128], size=jobs)
+    reads = rng.random(jobs) < _READ_RATIO
+    cancels = rng.random(jobs) < _CANCEL_RATIO
+    base = float(shard) * 1e7
+    events: List[dict] = []
+    for i in range(jobs):
+        job_id = f"lg{shard}-{i}"
+        submit_at = base + i * 30.0
+        events.append(
+            {"op": "submit", "job": job_id, "queue": queue,
+             "procs": int(procs[i]), "now": submit_at}
+        )
+        if reads[i]:
+            events.append({"op": "forecast", "queue": queue, "procs": int(procs[i])})
+        if cancels[i]:
+            events.append({"op": "cancel", "job": job_id})
+        else:
+            events.append(
+                {"op": "start", "job": job_id, "now": submit_at + float(waits[i])}
+            )
+    return events
+
+
+async def _drive_connection(
+    host: str, port: int, events: List[dict], window: int, latencies: List[float]
+) -> int:
+    """Pipeline one connection's events; append per-request latencies."""
+    reader, writer = await asyncio.open_connection(host, port)
+    in_flight: deque = deque()
+    errors = 0
+
+    async def _reap_one() -> None:
+        nonlocal errors
+        raw = await reader.readline()
+        if not raw:
+            raise ConnectionResetError("server closed mid-benchmark")
+        latencies.append(time.perf_counter() - in_flight.popleft())
+        if not json.loads(raw).get("ok"):
+            errors += 1
+
+    try:
+        for event in events:
+            while len(in_flight) >= window:
+                await _reap_one()
+            in_flight.append(time.perf_counter())
+            writer.write(json.dumps(event, separators=(",", ":")).encode() + b"\n")
+            await writer.drain()
+        while in_flight:
+            await _reap_one()
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+    return errors
+
+
+async def _run_load_async(
+    host: str, port: int, jobs: int, connections: int, window: int,
+    seed: int, queue: str,
+) -> Dict[str, Any]:
+    shards = [
+        _build_events(max(1, jobs // connections), seed, queue, shard)
+        for shard in range(connections)
+    ]
+    latencies: List[float] = []
+    started = time.perf_counter()
+    error_counts = await asyncio.gather(
+        *(
+            _drive_connection(host, port, shard, window, latencies)
+            for shard in shards
+        )
+    )
+    elapsed = time.perf_counter() - started
+    requests = sum(len(shard) for shard in shards)
+    events = sum(
+        1 for shard in shards for event in shard if event["op"] != "forecast"
+    )
+    lat = np.sort(np.asarray(latencies, dtype=float)) * 1e3  # ms
+    return {
+        "connections": connections,
+        "pipeline_window": window,
+        "requests": requests,
+        "events": events,
+        "reads": requests - events,
+        "request_errors": int(sum(error_counts)),
+        "seconds": elapsed,
+        "requests_per_sec": requests / elapsed,
+        "events_per_sec": events / elapsed,
+        "latency_ms": {
+            "p50": float(np.quantile(lat, 0.50)) if lat.size else None,
+            "p90": float(np.quantile(lat, 0.90)) if lat.size else None,
+            "p99": float(np.quantile(lat, 0.99)) if lat.size else None,
+            "mean": float(lat.mean()) if lat.size else None,
+            "max": float(lat.max()) if lat.size else None,
+        },
+    }
+
+
+def run_load(
+    host: str,
+    port: int,
+    jobs: int = 5000,
+    connections: int = 8,
+    window: int = 64,
+    seed: int = 7,
+    queue: str = "normal",
+) -> Dict[str, Any]:
+    """Drive an already-running daemon; returns the throughput/latency report."""
+    return asyncio.run(
+        _run_load_async(host, port, jobs, connections, window, seed, queue)
+    )
+
+
+# ------------------------------------------------------------ orchestration
+
+
+def spawn_daemon(
+    state_dir: Union[str, Path],
+    host: str = "127.0.0.1",
+    extra_args: Optional[List[str]] = None,
+    checkpoint_interval: float = 30.0,
+) -> "subprocess.Popen[bytes]":
+    """Start a real ``repro serve`` subprocess on an ephemeral port.
+
+    The caller discovers the port with :func:`read_port_file` and is
+    responsible for terminating the process.  Used by the benchmark, the
+    smoke test, and the crash-recovery tests.
+    """
+    from repro.server.daemon import PORT_FILE_NAME
+
+    # A previous daemon's port file would be read as the new port before
+    # the new process binds; make sure discovery waits for the fresh one.
+    try:
+        (Path(state_dir) / PORT_FILE_NAME).unlink()
+    except OSError:
+        pass
+    args = [
+        sys.executable, "-m", "repro", "serve",
+        "--host", host, "--port", "0",
+        "--state-dir", str(state_dir),
+        "--checkpoint-interval", str(checkpoint_interval),
+    ]
+    args.extend(extra_args or [])
+    return subprocess.Popen(
+        args, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL
+    )
+
+
+def run_bench(
+    jobs: int = 5000,
+    connections: int = 8,
+    window: int = 64,
+    seed: int = 7,
+    artifact: Optional[Union[str, Path]] = None,
+    state_dir: Optional[Union[str, Path]] = None,
+) -> Dict[str, Any]:
+    """Spawn a daemon, load it, scrape its metrics, write the artifact."""
+    own_dir = state_dir is None
+    tmp = tempfile.TemporaryDirectory(prefix="bmbp-bench-serve-") if own_dir else None
+    directory = Path(tmp.name) if own_dir else Path(state_dir)
+    process = spawn_daemon(directory)
+    try:
+        port = read_port_file(directory)
+        with ForecastClient("127.0.0.1", port) as client:
+            client.wait_until_up()
+            report = run_load(
+                "127.0.0.1", port, jobs=jobs, connections=connections,
+                window=window, seed=seed,
+            )
+            report["server_metrics"] = client.metrics()
+        process.terminate()
+        process.wait(timeout=10.0)
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait()
+        if tmp is not None:
+            tmp.cleanup()
+    report["schema"] = BENCH_SERVE_SCHEMA
+    report["created_unix"] = time.time()
+    report["config"] = {
+        "jobs": jobs, "connections": connections, "window": window, "seed": seed,
+    }
+    if artifact is not None:
+        write_bench_artifact(artifact, report)
+    return report
+
+
+def write_bench_artifact(path: Union[str, Path], report: Dict[str, Any]) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return path

@@ -1,0 +1,214 @@
+"""Operational metrics for the forecast daemon.
+
+Everything a deployment needs to see on one scrape: request counts and
+error counts per operation, per-operation latency histograms (fixed
+log-spaced buckets, so quantile estimates cost O(buckets) and memory is
+constant under any load), event-loop lag (the single best health signal
+for an asyncio daemon — it rises before anything times out), durability
+counters (journal appends, checkpoints, events replayed at boot), and
+gauges derived from the forecaster itself (pending jobs, predictor bank
+sizes).
+
+Exposed two ways by the daemon: the ``metrics`` protocol op returns the
+:meth:`ServerMetrics.snapshot` dict as JSON; HTTP ``GET /metrics`` returns
+:meth:`ServerMetrics.render_text`, a Prometheus-style text exposition.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+__all__ = ["LatencyHistogram", "ServerMetrics"]
+
+#: Log-spaced latency bucket upper bounds, in seconds (100 us .. 10 s).
+_BUCKETS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+class LatencyHistogram:
+    """Fixed-bucket latency histogram with O(1) observe and bounded memory."""
+
+    __slots__ = ("counts", "count", "total", "max")
+
+    def __init__(self) -> None:
+        self.counts: List[int] = [0] * (len(_BUCKETS) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+
+    def observe(self, seconds: float) -> None:
+        lo, hi = 0, len(_BUCKETS)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if seconds <= _BUCKETS[mid]:
+                hi = mid
+            else:
+                lo = mid + 1
+        self.counts[lo] += 1
+        self.count += 1
+        self.total += seconds
+        if seconds > self.max:
+            self.max = seconds
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Upper edge of the bucket holding the q-quantile (None if empty)."""
+        if self.count == 0:
+            return None
+        rank = q * self.count
+        seen = 0
+        for i, bucket_count in enumerate(self.counts):
+            seen += bucket_count
+            if seen >= rank:
+                return _BUCKETS[i] if i < len(_BUCKETS) else self.max
+        return self.max
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self.count,
+            "mean_ms": (self.total / self.count * 1e3) if self.count else None,
+            "p50_ms": _ms(self.quantile(0.50)),
+            "p90_ms": _ms(self.quantile(0.90)),
+            "p99_ms": _ms(self.quantile(0.99)),
+            "max_ms": _ms(self.max if self.count else None),
+        }
+
+
+def _ms(seconds: Optional[float]) -> Optional[float]:
+    return None if seconds is None else seconds * 1e3
+
+
+class ServerMetrics:
+    """All daemon counters and gauges, plus renderers for both endpoints."""
+
+    def __init__(self) -> None:
+        self.started_unix = time.time()
+        self.started_monotonic = time.monotonic()
+        self.requests: Dict[str, int] = {}
+        self.errors: Dict[str, int] = {}
+        self.latency: Dict[str, LatencyHistogram] = {}
+        self.connections_open = 0
+        self.connections_total = 0
+        self.http_requests = 0
+        self.events_journaled = 0
+        self.checkpoints = 0
+        self.last_checkpoint_unix: Optional[float] = None
+        self.replayed_on_boot = 0
+        self.loop_lag_last = 0.0
+        self.loop_lag_max = 0.0
+
+    # ------------------------------------------------------------ recording
+
+    def record_request(self, op: str, seconds: float, ok: bool,
+                       error_code: Optional[str] = None) -> None:
+        self.requests[op] = self.requests.get(op, 0) + 1
+        self.latency.setdefault(op, LatencyHistogram()).observe(seconds)
+        if not ok:
+            code = error_code or "internal"
+            self.errors[code] = self.errors.get(code, 0) + 1
+
+    def record_loop_lag(self, seconds: float) -> None:
+        self.loop_lag_last = seconds
+        if seconds > self.loop_lag_max:
+            self.loop_lag_max = seconds
+
+    # ------------------------------------------------------------ rendering
+
+    def snapshot(self, forecaster=None) -> dict:
+        """JSON-ready dict of every counter, histogram, and gauge."""
+        banks = {}
+        pending = None
+        if forecaster is not None:
+            pending = forecaster.pending_count()
+            for queue in forecaster.queues():
+                outlook = forecaster.outlook(queue)
+                for bin_name, entry in outlook["bins"].items():
+                    banks[f"{queue}[{bin_name}]"] = entry["n_history"]
+        return {
+            "uptime_s": time.monotonic() - self.started_monotonic,
+            "connections": {
+                "open": self.connections_open,
+                "total": self.connections_total,
+            },
+            "requests": dict(sorted(self.requests.items())),
+            "errors": dict(sorted(self.errors.items())),
+            "http_requests": self.http_requests,
+            "latency": {
+                op: hist.snapshot() for op, hist in sorted(self.latency.items())
+            },
+            "event_loop": {
+                "lag_last_ms": self.loop_lag_last * 1e3,
+                "lag_max_ms": self.loop_lag_max * 1e3,
+            },
+            "durability": {
+                "events_journaled": self.events_journaled,
+                "checkpoints": self.checkpoints,
+                "last_checkpoint_unix": self.last_checkpoint_unix,
+                "replayed_on_boot": self.replayed_on_boot,
+            },
+            "pending_jobs": pending,
+            "predictor_banks": banks,
+        }
+
+    def render_text(self, forecaster=None) -> str:
+        """Prometheus-style text exposition (for ``GET /metrics``)."""
+        snap = self.snapshot(forecaster)
+        lines = [
+            "# TYPE bmbp_uptime_seconds gauge",
+            f"bmbp_uptime_seconds {snap['uptime_s']:.3f}",
+            "# TYPE bmbp_connections_open gauge",
+            f"bmbp_connections_open {self.connections_open}",
+            "# TYPE bmbp_connections_total counter",
+            f"bmbp_connections_total {self.connections_total}",
+            "# TYPE bmbp_http_requests_total counter",
+            f"bmbp_http_requests_total {self.http_requests}",
+            "# TYPE bmbp_requests_total counter",
+        ]
+        for op, count in snap["requests"].items():
+            lines.append(f'bmbp_requests_total{{op="{op}"}} {count}')
+        lines.append("# TYPE bmbp_errors_total counter")
+        for code, count in snap["errors"].items():
+            lines.append(f'bmbp_errors_total{{code="{code}"}} {count}')
+        lines.append("# TYPE bmbp_request_latency_seconds summary")
+        for op, hist in sorted(self.latency.items()):
+            for q in (0.5, 0.9, 0.99):
+                value = hist.quantile(q)
+                if value is not None:
+                    lines.append(
+                        f'bmbp_request_latency_seconds{{op="{op}",'
+                        f'quantile="{q}"}} {value:.6f}'
+                    )
+            lines.append(
+                f'bmbp_request_latency_seconds_count{{op="{op}"}} {hist.count}'
+            )
+            lines.append(
+                f'bmbp_request_latency_seconds_sum{{op="{op}"}} {hist.total:.6f}'
+            )
+        lines += [
+            "# TYPE bmbp_event_loop_lag_seconds gauge",
+            f"bmbp_event_loop_lag_seconds {self.loop_lag_last:.6f}",
+            f"bmbp_event_loop_lag_seconds_max {self.loop_lag_max:.6f}",
+            "# TYPE bmbp_events_journaled_total counter",
+            f"bmbp_events_journaled_total {self.events_journaled}",
+            "# TYPE bmbp_checkpoints_total counter",
+            f"bmbp_checkpoints_total {self.checkpoints}",
+            "# TYPE bmbp_journal_replayed_on_boot gauge",
+            f"bmbp_journal_replayed_on_boot {self.replayed_on_boot}",
+        ]
+        if snap["pending_jobs"] is not None:
+            lines += [
+                "# TYPE bmbp_pending_jobs gauge",
+                f"bmbp_pending_jobs {snap['pending_jobs']}",
+            ]
+        if snap["predictor_banks"]:
+            lines.append("# TYPE bmbp_predictor_history_size gauge")
+            for label, size in sorted(snap["predictor_banks"].items()):
+                queue, _, bin_part = label.partition("[")
+                bin_name = bin_part.rstrip("]")
+                lines.append(
+                    f'bmbp_predictor_history_size{{queue="{queue}",'
+                    f'bin="{bin_name}"}} {size}'
+                )
+        return "\n".join(lines) + "\n"

@@ -1,0 +1,217 @@
+"""Daemon durability: atomic checkpoints plus a write-ahead event journal.
+
+Queue history spans months and is irreplaceable, so the daemon must
+survive any crash — including ``kill -9`` — without losing applied
+events.  Two complementary pieces (the classic checkpoint/WAL split):
+
+* **Checkpoint** (``checkpoint.json``): the forecaster's full state plus
+  the sequence number of the last event it includes, written atomically
+  (temp file + ``os.replace``, the same pattern as ``runtime/cache.py``)
+  so a reader or a crash can never observe a torn snapshot.
+* **Journal** (``journal.ndjson``): one JSON line per applied mutation
+  event (``submit``/``start``/``cancel``), appended and flushed *after*
+  the event was applied in memory and *before* the response is sent.
+  Each line carries a monotonically increasing ``seq``.
+
+Recovery loads the newest checkpoint, then replays every journal line
+with ``seq`` greater than the checkpoint's.  Because events carry their
+resolved timestamps and the forecaster is deterministic, a recovered
+daemon quotes bounds identical to one that never crashed.  A torn final
+journal line (the crash happened mid-append) is detected and dropped; its
+event was never acknowledged to any client.
+
+After a successful checkpoint the journal is truncated — entries at or
+below the checkpoint's ``seq`` are obsolete — but replay also tolerates
+the crash window between those two steps by skipping already-absorbed
+sequence numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple, Union
+
+from repro.service.forecaster import ForecasterConfig, QueueForecaster
+
+__all__ = ["StateError", "StateStore", "apply_event"]
+
+CHECKPOINT_NAME = "checkpoint.json"
+JOURNAL_NAME = "journal.ndjson"
+CHECKPOINT_VERSION = 1
+
+
+class StateError(Exception):
+    """Unrecoverably corrupt state (bad checkpoint, wrong version)."""
+
+
+def apply_event(forecaster: QueueForecaster, entry: Dict[str, Any]) -> Any:
+    """Apply one journaled mutation event to a forecaster.
+
+    The single definition of event semantics, used both on the live path
+    and during replay — which is what makes replay equivalent to having
+    processed the events live.
+    """
+    op = entry["op"]
+    if op == "submit":
+        return forecaster.job_submitted(
+            entry["job"], entry["queue"], entry["procs"], entry["now"]
+        )
+    if op == "start":
+        return forecaster.job_started(entry["job"], entry["now"])
+    if op == "cancel":
+        return forecaster.job_cancelled(entry["job"])
+    raise StateError(f"journal contains unknown op {op!r}")
+
+
+class StateStore:
+    """Checkpoint + journal management for one state directory."""
+
+    def __init__(self, directory: Union[str, Path], fsync: bool = False):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.checkpoint_path = self.directory / CHECKPOINT_NAME
+        self.journal_path = self.directory / JOURNAL_NAME
+        self.fsync = fsync
+        self.seq = 0  # sequence number of the last durable event
+        self.events_since_checkpoint = 0
+        self._journal = None  # type: Optional[Any]
+
+    # ------------------------------------------------------------- recovery
+
+    def recover(
+        self, config: Optional[ForecasterConfig] = None
+    ) -> Tuple[QueueForecaster, int]:
+        """Rebuild the forecaster: checkpoint, then journal replay.
+
+        Returns ``(forecaster, replayed)`` where ``replayed`` counts the
+        journal events applied on top of the checkpoint.  ``config`` is
+        used only when starting fresh (no checkpoint); a checkpoint's own
+        persisted config always wins, so a restart cannot silently change
+        prediction parameters.
+        """
+        forecaster, checkpoint_seq = self._load_checkpoint(config)
+        self.seq = checkpoint_seq
+        replayed = 0
+        for entry in self._read_journal():
+            seq = entry.get("seq")
+            if not isinstance(seq, int) or seq <= self.seq:
+                continue  # pre-checkpoint entry (crash before truncation)
+            apply_event(forecaster, entry)
+            self.seq = seq
+            replayed += 1
+        self.events_since_checkpoint = replayed
+        return forecaster, replayed
+
+    def _load_checkpoint(
+        self, config: Optional[ForecasterConfig]
+    ) -> Tuple[QueueForecaster, int]:
+        if not self.checkpoint_path.exists():
+            return QueueForecaster(config), 0
+        try:
+            payload = json.loads(self.checkpoint_path.read_text())
+        except ValueError as exc:
+            raise StateError(
+                f"corrupt checkpoint {self.checkpoint_path}: {exc}"
+            ) from exc
+        if payload.get("version") != CHECKPOINT_VERSION:
+            raise StateError(
+                f"unsupported checkpoint version {payload.get('version')!r}"
+            )
+        forecaster = QueueForecaster.from_state(payload["forecaster"])
+        return forecaster, int(payload.get("seq", 0))
+
+    def _read_journal(self):
+        """Yield well-formed journal entries; a torn final line is dropped."""
+        try:
+            with open(self.journal_path, "rb") as handle:
+                lines = handle.read().split(b"\n")
+        except OSError:
+            return
+        for i, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                entry = json.loads(line)
+            except ValueError:
+                if i >= len(lines) - 2:
+                    # Torn tail from a crash mid-append: the event was never
+                    # acknowledged, so dropping it is correct.
+                    break
+                raise StateError(
+                    f"corrupt journal line {i + 1} in {self.journal_path}"
+                ) from None
+            if isinstance(entry, dict):
+                yield entry
+
+    # ------------------------------------------------------------ journaling
+
+    def open(self) -> None:
+        """Open the journal for appending (call after :meth:`recover`)."""
+        self._journal = open(self.journal_path, "ab")
+
+    def journal(self, entry: Dict[str, Any]) -> int:
+        """Append one event; returns its sequence number.
+
+        The line is flushed to the OS before returning, so the event
+        survives process death (``kill -9``) the moment the caller sends
+        its acknowledgement.  ``fsync=True`` additionally survives power
+        loss, at a large per-event cost.
+        """
+        if self._journal is None:
+            raise StateError("journal is not open")
+        self.seq += 1
+        record = dict(entry)
+        record["seq"] = self.seq
+        self._journal.write(json.dumps(record, separators=(",", ":")).encode() + b"\n")
+        self._journal.flush()
+        if self.fsync:
+            os.fsync(self._journal.fileno())
+        self.events_since_checkpoint += 1
+        return self.seq
+
+    # ----------------------------------------------------------- checkpoints
+
+    def checkpoint(self, forecaster: QueueForecaster) -> int:
+        """Atomically checkpoint the forecaster, then truncate the journal.
+
+        Returns the sequence number the checkpoint covers.  Crash-safe at
+        every instant: before ``os.replace`` the old checkpoint + full
+        journal is intact; between replace and truncation the journal's
+        entries are merely redundant (replay skips ``seq <=`` checkpoint).
+        """
+        payload = json.dumps(
+            {
+                "version": CHECKPOINT_VERSION,
+                "seq": self.seq,
+                "forecaster": forecaster.to_state(),
+            }
+        )
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(self.directory), prefix=".checkpoint.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(payload)
+                if self.fsync:
+                    handle.flush()
+                    os.fsync(handle.fileno())
+            os.replace(tmp_name, self.checkpoint_path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        if self._journal is not None:
+            self._journal.close()
+            self._journal = open(self.journal_path, "wb")  # truncate
+        self.events_since_checkpoint = 0
+        return self.seq
+
+    def close(self) -> None:
+        if self._journal is not None:
+            self._journal.close()
+            self._journal = None

@@ -20,6 +20,9 @@ call ``forecast``/``outlook`` for current bounds.  The forecaster
 from __future__ import annotations
 
 import json
+import math
+import os
+import tempfile
 from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Dict, Optional, Tuple, Union
@@ -54,7 +57,9 @@ class ForecasterConfig:
 class QueueForecaster:
     """Per-queue(/bin) BMBP banks behind a submit/start/forecast API."""
 
-    STATE_VERSION = 1
+    #: Version 2 added exact refit-cycle state (``current``/``since_refit``/
+    #: ``miss_run``/``last_refit``); version-1 snapshots still load.
+    STATE_VERSION = 2
 
     def __init__(self, config: Optional[ForecasterConfig] = None):
         self.config = config or ForecasterConfig()
@@ -114,12 +119,21 @@ class QueueForecaster:
         """Forget a pending job (cancelled before starting)."""
         self._pending.pop(job_id, None)
 
+    def is_pending(self, job_id: str) -> bool:
+        """Whether a submitted job is still waiting to start."""
+        return job_id in self._pending
+
     # ------------------------------------------------------------ queries
 
-    def forecast(
-        self, queue: str, procs: Optional[int] = None, now: Optional[float] = None
-    ) -> Optional[float]:
-        """Current upper bound for a hypothetical submission."""
+    def forecast(self, queue: str, procs: Optional[int] = None) -> Optional[float]:
+        """Current upper bound for a hypothetical submission.
+
+        A pure query: it reports the bound from the last refit and never
+        mutates predictor state.  Refits happen on event ingestion
+        (``job_submitted``) or an explicit :meth:`refit` — so concurrent
+        readers always see a consistent quote, and a read storm cannot
+        advance the refit clock.
+        """
         procs_value = procs if procs is not None else 1
         best: Optional[float] = None
         for key in self._keys(queue, procs_value):
@@ -128,12 +142,53 @@ class QueueForecaster:
             predictor = self._predictors.get(key)
             if predictor is None or not self._trained(key):
                 continue
-            if now is not None:
-                self._maybe_refit(key, now)
             bound = predictor.predict()
             if bound is not None:
                 best = bound
         return best
+
+    def outlook(self, queue: str) -> dict:
+        """Structured per-bin view of a queue's current bounds.
+
+        Returns the queue-level entry under ``"all"`` plus one entry per
+        processor bin that has its own predictor.  Pure query, like
+        :meth:`forecast`.
+        """
+        bins: Dict[str, dict] = {}
+        for (name, bin_name), predictor in sorted(
+            self._predictors.items(), key=lambda item: (item[0][0], str(item[0][1]))
+        ):
+            if name != queue:
+                continue
+            key = (name, bin_name)
+            trained = self._trained(key)
+            bins[bin_name or "all"] = {
+                "bound": predictor.predict() if trained else None,
+                "n_history": len(predictor.history),
+                "trained": trained,
+            }
+        return {
+            "queue": queue,
+            "quantile": self.config.quantile,
+            "confidence": self.config.confidence,
+            "bins": bins,
+        }
+
+    def refit(self, now: Optional[float] = None) -> int:
+        """Explicitly refit every predictor; returns how many were stale.
+
+        The one sanctioned way to refresh quotes outside event ingestion
+        (e.g. a daemon's periodic epoch tick).  ``now`` stamps the refit
+        clock so the per-key epoch throttle restarts from this moment.
+        """
+        refit_count = 0
+        for key, predictor in self._predictors.items():
+            if predictor.observations_since_refit > 0 or predictor.predict() is None:
+                refit_count += 1
+            predictor.refit_if_stale()
+            if now is not None:
+                self._last_refit[key] = now
+        return refit_count
 
     def queues(self) -> list:
         """Queue names with at least one predictor."""
@@ -160,14 +215,29 @@ class QueueForecaster:
     # -------------------------------------------------------- persistence
 
     def to_state(self) -> dict:
-        """JSON-serializable snapshot of configuration and all histories."""
+        """JSON-serializable snapshot of configuration and all histories.
+
+        Since version 2 the snapshot also captures the exact refit-cycle
+        state — the cached quote, the staleness counter, the detector's
+        in-progress miss run, and the per-key refit clock — so a restored
+        forecaster quotes the same bound and refits at the same future
+        moment as the one that was saved (restart transparency; the server
+        daemon's crash-recovery guarantee depends on this).
+        """
         predictors = {}
         for (queue, bin_name), predictor in self._predictors.items():
+            key = (queue, bin_name)
+            last_refit = self._last_refit.get(key, float("-inf"))
+            detector = predictor.detector
             predictors["\x1f".join([queue, bin_name or ""])] = {
                 "history": list(predictor.history.values),
-                "starts_seen": self._starts_seen.get((queue, bin_name), 0),
+                "starts_seen": self._starts_seen.get(key, 0),
                 "threshold": predictor.miss_threshold,
                 "trained": predictor.trained,
+                "current": predictor.predict(),
+                "since_refit": predictor.observations_since_refit,
+                "miss_run": detector.current_run if detector is not None else 0,
+                "last_refit": None if math.isinf(last_refit) else last_refit,
             }
         return {
             "version": self.STATE_VERSION,
@@ -187,21 +257,34 @@ class QueueForecaster:
 
     @classmethod
     def from_state(cls, state: dict) -> "QueueForecaster":
-        if state.get("version") != cls.STATE_VERSION:
-            raise ValueError(f"unsupported state version {state.get('version')!r}")
+        version = state.get("version")
+        if version not in (1, cls.STATE_VERSION):
+            raise ValueError(f"unsupported state version {version!r}")
         forecaster = cls(ForecasterConfig(**state["config"]))
         for packed, snapshot in state["predictors"].items():
             queue, bin_name = packed.split("\x1f")
             key = (queue, bin_name or None)
             predictor = forecaster._ensure(key)
-            for wait in snapshot["history"]:
-                predictor.observe(wait)
+            # Bulk-load: one buffer copy, not one observe() per wait —
+            # restarting with months of history must not take minutes.
+            predictor.preload_history(snapshot["history"])
             forecaster._starts_seen[key] = snapshot["starts_seen"]
             if snapshot["trained"]:
-                predictor.finish_training()
+                predictor.mark_trained()
                 if snapshot["threshold"] is not None and predictor.detector:
                     predictor.detector.retune(snapshot["threshold"])
+            if "current" in snapshot:
+                # Version >= 2: restore the refit cycle exactly as saved.
+                predictor.restore_quote(
+                    snapshot["current"], snapshot.get("since_refit", 0)
+                )
+                if predictor.detector is not None:
+                    predictor.detector.restore_run(snapshot.get("miss_run", 0))
+                last_refit = snapshot.get("last_refit")
+                if last_refit is not None:
+                    forecaster._last_refit[key] = last_refit
             else:
+                # Version 1 recorded no quote; recompute from history.
                 predictor.refit()
         for job_id, record in state["pending"].items():
             quotes = [
@@ -212,7 +295,29 @@ class QueueForecaster:
         return forecaster
 
     def save(self, path: Union[str, Path]) -> None:
-        Path(path).write_text(json.dumps(self.to_state()))
+        """Atomically persist state (temp file + ``os.replace``).
+
+        Queue history spans months and is irreplaceable, so a crash (or a
+        concurrent reader) mid-write must never be able to see or leave a
+        torn snapshot: the JSON is staged in a sibling temp file and
+        renamed over the target in one atomic step.
+        """
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(self.to_state())
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(path.parent), prefix=f".{path.name}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(payload)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "QueueForecaster":

@@ -181,3 +181,36 @@ class TestAmortizedEviction:
             expected = (expected + [value])[-4:]
             assert window.values == expected
             assert list(window.sorted_values()) == sorted(expected)
+
+
+class TestExtend:
+    @given(
+        prefix=st.lists(FLOATS, max_size=50),
+        batch=st.lists(FLOATS, max_size=200),
+        max_size=st.one_of(st.none(), st.integers(min_value=1, max_value=80)),
+    )
+    @settings(max_examples=100)
+    def test_extend_matches_repeated_append(self, prefix, batch, max_size):
+        """The vectorized bulk path is behaviorally identical to a loop."""
+        bulk = HistoryWindow(prefix, max_size=max_size)
+        loop = HistoryWindow(prefix, max_size=max_size)
+        bulk.extend(batch)
+        for value in batch:
+            loop.append(value)
+        assert bulk.values == loop.values
+        assert list(bulk.sorted_values()) == list(loop.sorted_values())
+
+    def test_extend_empty_is_noop(self):
+        window = HistoryWindow([1.0, 2.0])
+        window.extend([])
+        assert window.values == [1.0, 2.0]
+
+    def test_extend_larger_than_bound(self):
+        window = HistoryWindow(max_size=3)
+        window.extend(range(10))
+        assert window.values == [7.0, 8.0, 9.0]
+
+    def test_extend_accepts_ndarray(self):
+        window = HistoryWindow()
+        window.extend(np.array([3.0, 1.0]))
+        assert window.values == [3.0, 1.0]

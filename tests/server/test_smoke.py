@@ -1,0 +1,31 @@
+"""Fast end-to-end smoke test for the forecast daemon.
+
+Runs in the default pytest selection: spawn a real daemon on an ephemeral
+port, push a handful of jobs through the full submit/start/forecast cycle,
+and check the operational surface (healthz, metrics) answers sanely.
+"""
+
+
+def test_server_smoke(daemon):
+    client, _ = daemon
+
+    health = client.healthz()
+    assert health["status"] == "ok"
+
+    quotes = []
+    for i in range(70):
+        now = i * 100.0
+        quotes.append(client.submit(f"smoke-{i}", "batch", procs=2, now=now))
+        wait = client.start(f"smoke-{i}", now=now + 60.0 + i % 3)
+        assert wait >= 60.0
+    assert quotes[-1] is not None  # trained and quotable by the end
+
+    bound = client.forecast("batch", procs=2)
+    assert bound is not None and bound >= 60.0
+
+    metrics = client.metrics()
+    assert metrics["requests"]["submit"] == 70
+    assert metrics["requests"]["start"] == 70
+    assert metrics["durability"]["events_journaled"] == 140
+    assert metrics["pending_jobs"] == 0
+    assert metrics["predictor_banks"]["batch[1-4]"] == 70

@@ -132,6 +132,92 @@ class TestPersistence:
         with pytest.raises(ValueError):
             QueueForecaster.from_state({"version": 99})
 
+    def test_restored_forecaster_continues_identically(self, rng):
+        """Restart transparency: a restored forecaster quotes the same
+        bounds as the original for an identical continuation stream.
+
+        With ``epoch=500`` and ``gap=400`` refits land on alternating
+        submissions, so the snapshot is taken mid-refit-cycle — the test
+        fails unless the cached quote, staleness counter, and refit clock
+        all round-trip exactly (the version-2 state additions).
+        """
+        config = ForecasterConfig(training_jobs=40, by_bin=True, epoch=500.0)
+        original = QueueForecaster(config)
+        waits = rng.lognormal(4, 1, 90)
+        drive(original, waits, procs=4)
+
+        restored = QueueForecaster.from_state(original.to_state())
+
+        continuation = rng.lognormal(4, 1, 40)
+        quotes_a = drive(original, continuation, procs=4, start_time=1e6)
+        quotes_b = drive(restored, continuation, procs=4, start_time=1e6)
+        assert quotes_a == quotes_b
+        assert original.forecast("normal", procs=4) == restored.forecast(
+            "normal", procs=4
+        )
+        assert original.outlook("normal") == restored.outlook("normal")
+
+    def test_version1_state_still_loads(self, rng):
+        forecaster = QueueForecaster(ForecasterConfig(training_jobs=30, by_bin=False))
+        drive(forecaster, rng.lognormal(4, 1, 100))
+        state = forecaster.to_state()
+        state["version"] = 1
+        for snapshot in state["predictors"].values():
+            for key in ("current", "since_refit", "miss_run", "last_refit"):
+                snapshot.pop(key)
+        restored = QueueForecaster.from_state(state)
+        # v1 carried no cached quote; it is recomputed from history.
+        assert restored.forecast("normal") is not None
+
+    def test_failed_save_leaves_original_intact(self, rng, tmp_path, monkeypatch):
+        forecaster = QueueForecaster(ForecasterConfig(by_bin=False))
+        drive(forecaster, rng.lognormal(3, 1, 20))
+        path = tmp_path / "state.json"
+        forecaster.save(path)
+        before = path.read_bytes()
+
+        monkeypatch.setattr(
+            QueueForecaster, "to_state", lambda self: (_ for _ in ()).throw(OSError)
+        )
+        with pytest.raises(OSError):
+            forecaster.save(path)
+        assert path.read_bytes() == before
+        assert list(tmp_path.glob("*.tmp")) == []
+
+
+class TestPureQueries:
+    def test_forecast_does_not_mutate_state(self, rng):
+        forecaster = QueueForecaster(ForecasterConfig(training_jobs=30, epoch=0.0))
+        drive(forecaster, rng.lognormal(4, 1, 100), procs=4)
+        before = forecaster.to_state()
+        for _ in range(5):
+            forecaster.forecast("normal", procs=4)
+            forecaster.forecast("normal")
+            forecaster.outlook("normal")
+        assert forecaster.to_state() == before
+
+    def test_outlook_structure(self, rng):
+        forecaster = QueueForecaster(ForecasterConfig(training_jobs=30))
+        drive(forecaster, rng.lognormal(4, 1, 100), procs=4)
+        outlook = forecaster.outlook("normal")
+        assert outlook["quantile"] == 0.95
+        assert set(outlook["bins"]) == {"all", "1-4"}
+        for entry in outlook["bins"].values():
+            assert entry["trained"] is True
+            assert entry["n_history"] == 100
+
+    def test_explicit_refit_refreshes_stale_quotes(self, rng):
+        # An enormous epoch: the only refit happens on the very first
+        # (empty-history) submission, so reads stay None until an explicit
+        # refit call — which is exactly what the daemon's epoch tick does.
+        forecaster = QueueForecaster(
+            ForecasterConfig(training_jobs=30, by_bin=False, epoch=1e12)
+        )
+        drive(forecaster, rng.lognormal(4, 1, 100))
+        assert forecaster.forecast("normal") is None
+        assert forecaster.refit(now=1e6) >= 1
+        assert forecaster.forecast("normal") is not None
+
 
 class TestEpochBehavior:
     def test_quotes_stable_within_epoch(self, rng):
