@@ -13,6 +13,7 @@ Marked ``slow`` like the other paper-scale benchmarks; run with
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 from repro.server import BENCH_SERVE_SCHEMA, run_bench
@@ -22,7 +23,11 @@ ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
 JOBS = 8000
 CONNECTIONS = 8
 WINDOW = 64
-MIN_EVENTS_PER_SEC = 1000.0
+#: Throughput floor.  1,000 events/s leaves ~10x headroom below what the
+#: daemon sustains on an unloaded dev box, but absolute throughput is a
+#: property of the machine; override on slow/shared hardware rather than
+#: letting the benchmark flake (BMBP_BENCH_MIN_EPS=200 pytest ... -m slow).
+MIN_EVENTS_PER_SEC = float(os.environ.get("BMBP_BENCH_MIN_EPS", 1000.0))
 
 
 def test_serve_throughput(benchmark):

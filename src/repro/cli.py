@@ -13,6 +13,7 @@ Usage::
     python -m repro serve --state-dir /var/lib/bmbp     # the live daemon
     python -m repro tail trace.swf.gz --speedup 3600    # feed it a log
     python -m repro bench-serve --json BENCH_serve.json # load-test it
+    python -m repro verify --fast                       # self-verification
 
 Replays fan out over ``--jobs`` worker processes (default: ``BMBP_JOBS``
 or 1) and their results persist in a versioned on-disk cache, so a warm
@@ -82,7 +83,8 @@ def build_parser() -> argparse.ArgumentParser:
         epilog=(
             "Live-service subcommands (each with its own --help): "
             "serve (the forecast daemon), tail (feed it an SWF log), "
-            "bench-serve (load-test it)."
+            "bench-serve (load-test it), verify (the self-verification "
+            "suite)."
         ),
     )
     parser.add_argument(
@@ -133,6 +135,7 @@ SERVER_COMMANDS = {
     "serve": "run the live forecast daemon",
     "tail": "feed a daemon from an SWF trace file",
     "bench-serve": "load-test a daemon and write BENCH_serve.json",
+    "verify": "run the self-verification suite and write VERIFY.json",
 }
 
 
@@ -298,6 +301,12 @@ def _bench_serve_main(argv: List[str]) -> int:
     return 0
 
 
+def _verify_main(argv: List[str]) -> int:
+    from repro.verify.runner import main as verify_main
+
+    return verify_main(argv)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -306,6 +315,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             "serve": _serve_main,
             "tail": _tail_main,
             "bench-serve": _bench_serve_main,
+            "verify": _verify_main,
         }
         return dispatch[argv[0]](list(argv[1:]))
     args = build_parser().parse_args(argv)

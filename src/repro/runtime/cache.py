@@ -38,6 +38,8 @@ import tempfile
 from pathlib import Path
 from typing import Any, Optional, Tuple
 
+from repro.verify import faults
+
 __all__ = [
     "CACHE_VERSION",
     "DiskCache",
@@ -144,6 +146,10 @@ class DiskCache:
                 with os.fdopen(fd, "wb") as handle:
                     pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
                 os.replace(tmp_name, path)
+                if faults.fire("cache.put") == "corrupt":
+                    # Injected on-disk corruption: the next get() must read
+                    # this entry as a miss, never serve garbage.
+                    path.write_bytes(b"\x00corrupt-cache-entry\x00")
             except BaseException:
                 try:
                     os.unlink(tmp_name)

@@ -38,6 +38,7 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from repro.runtime.cache import DiskCache, cache_enabled_from_env, canonical_key
+from repro.verify import faults
 
 __all__ = [
     "EngineStats",
@@ -211,7 +212,14 @@ def clear_disk_cache() -> int:
 def _invoke(task: Task) -> Tuple[str, Any, float]:
     """Run one task; never raises (failures return the remote traceback)."""
     started = time.perf_counter()
+    fault = faults.fire("engine.worker")
+    if fault == "die" and faults.in_worker_process():
+        # Injected pool-worker death (the parent must fall back to serial;
+        # the guard keeps the same schedule harmless during that fallback).
+        os._exit(1)
     try:
+        if fault == "raise":
+            raise RuntimeError("injected engine.worker fault")
         value = task.func(*task.args)
     except BaseException:
         return ("err", traceback.format_exc(), time.perf_counter() - started)

@@ -39,6 +39,7 @@ from repro.server import protocol
 from repro.server.metrics import ServerMetrics
 from repro.server.state import StateStore
 from repro.service.forecaster import ForecasterConfig, QueueForecaster
+from repro.verify import faults
 
 __all__ = ["PORT_FILE_NAME", "ServerConfig", "ForecastServer", "serve"]
 
@@ -78,6 +79,7 @@ class ForecastServer:
         self._tasks: Set[asyncio.Task] = set()
         self._connections: Set[asyncio.Task] = set()
         self._draining = False
+        self._drop_next_response = False  # set by the daemon.mutation fault
         # Created in start(): asyncio primitives must bind the running loop.
         self._stopped: Optional[asyncio.Event] = None
 
@@ -260,6 +262,12 @@ class ForecastServer:
             if line is None:
                 return
             response = self._process_line(line)
+            if self._drop_next_response:
+                # Injected fault: the mutation is applied and journaled, but
+                # the client never hears back — its retry path must cope.
+                self._drop_next_response = False
+                writer.transport.abort()
+                break
             try:
                 writer.write(protocol.encode(response))
                 await writer.drain()
@@ -386,6 +394,8 @@ class ForecastServer:
             self.metrics.events_journaled += 1
             if self.store.events_since_checkpoint >= self.config.checkpoint_events:
                 self._checkpoint()
+        if faults.fire("daemon.mutation") == "drop":
+            self._drop_next_response = True
         return result
 
     # ------------------------------------------------------------------ HTTP

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import os
 import subprocess
 import sys
 import tempfile
@@ -175,11 +176,14 @@ def spawn_daemon(
     host: str = "127.0.0.1",
     extra_args: Optional[List[str]] = None,
     checkpoint_interval: float = 30.0,
+    env: Optional[Dict[str, str]] = None,
 ) -> "subprocess.Popen[bytes]":
     """Start a real ``repro serve`` subprocess on an ephemeral port.
 
     The caller discovers the port with :func:`read_port_file` and is
-    responsible for terminating the process.  Used by the benchmark, the
+    responsible for terminating the process.  ``env`` entries are merged
+    over the inherited environment (how the fault-injection scenarios pass
+    ``BMBP_FAULTS`` schedules to the daemon).  Used by the benchmark, the
     smoke test, and the crash-recovery tests.
     """
     from repro.server.daemon import PORT_FILE_NAME
@@ -197,8 +201,13 @@ def spawn_daemon(
         "--checkpoint-interval", str(checkpoint_interval),
     ]
     args.extend(extra_args or [])
+    merged_env = None
+    if env:
+        merged_env = dict(os.environ)
+        merged_env.update(env)
     return subprocess.Popen(
-        args, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL
+        args, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        env=merged_env,
     )
 
 

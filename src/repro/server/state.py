@@ -35,6 +35,7 @@ from pathlib import Path
 from typing import Any, Dict, Optional, Tuple, Union
 
 from repro.service.forecaster import ForecasterConfig, QueueForecaster
+from repro.verify import faults
 
 __all__ = ["StateError", "StateStore", "apply_event"]
 
@@ -165,10 +166,20 @@ class StateStore:
         self.seq += 1
         record = dict(entry)
         record["seq"] = self.seq
-        self._journal.write(json.dumps(record, separators=(",", ":")).encode() + b"\n")
+        line = json.dumps(record, separators=(",", ":")).encode() + b"\n"
+        fault = faults.fire("journal.write")
+        if fault == "torn":
+            # Crash mid-append: half the line reaches the OS, no ack is sent.
+            self._journal.write(line[: max(1, len(line) // 2)])
+            self._journal.flush()
+            faults.crash()
+        self._journal.write(line)
         self._journal.flush()
         if self.fsync:
             os.fsync(self._journal.fileno())
+        if fault == "crash":
+            # Crash after the flush: the event is durable but unacknowledged.
+            faults.crash()
         self.events_since_checkpoint += 1
         return self.seq
 
@@ -182,6 +193,7 @@ class StateStore:
         journal is intact; between replace and truncation the journal's
         entries are merely redundant (replay skips ``seq <=`` checkpoint).
         """
+        fault = faults.fire("checkpoint.replace")
         payload = json.dumps(
             {
                 "version": CHECKPOINT_VERSION,
@@ -198,7 +210,15 @@ class StateStore:
                 if self.fsync:
                     handle.flush()
                     os.fsync(handle.fileno())
+            if fault == "crash-before":
+                # Temp file written, atomic rename never happens: recovery
+                # must use the previous checkpoint plus the full journal.
+                faults.crash()
             os.replace(tmp_name, self.checkpoint_path)
+            if fault == "crash-after":
+                # Renamed but the journal was not truncated: replay must
+                # skip the now-redundant pre-checkpoint entries.
+                faults.crash()
         except BaseException:
             try:
                 os.unlink(tmp_name)

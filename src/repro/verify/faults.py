@@ -1,0 +1,580 @@
+"""Deterministic fault injection and crash-recovery scenarios.
+
+The daemon's durability story (journal + checkpoint, PR 2) was verified by
+*incidental* failure tests — a SIGKILL landed wherever the test happened to
+be.  This module makes failure *systematic*: named hook sites in the
+production code consult a seeded fault plan, and a scheduled fault fires at
+an exact, reproducible point in the event stream (the 41st journal append,
+the 2nd worker task, the 1st checkpoint rename).
+
+Two halves:
+
+* **Machinery** — :class:`FaultPlan` parses a schedule spec, counts hits
+  per site, and tells a hook which action (if any) to perform.  The plan
+  loads from the ``BMBP_FAULTS`` environment variable at import time, so a
+  daemon subprocess spawned with that variable set is born faulty; tests
+  running in-process use :func:`install`/:func:`reset`.
+* **Scenarios** — drivers that run a full workload against an injected
+  fault and assert the recovery invariants: bit-identical bounds after a
+  crash-restart, at-least-once client semantics, graceful engine
+  degradation, corrupt-cache recompute.  ``bmbp verify`` runs these.
+
+Schedule spec format (documented in ``docs/verification.md``)::
+
+    site:action@N[,site:action@N...]
+
+meaning "on the N-th hit of ``site`` (1-based), perform ``action``".
+Hook sites and their actions:
+
+==================  ==========================================================
+site                actions
+==================  ==========================================================
+journal.write       ``torn`` (write half the line, crash), ``crash`` (write
+                    and flush the full line, then crash before the ack)
+checkpoint.replace  ``crash-before`` (temp file written, crash before
+                    ``os.replace``), ``crash-after`` (crash after the rename,
+                    before the journal truncation)
+daemon.mutation     ``drop`` (apply + journal the mutation, then reset the
+                    connection instead of acknowledging)
+engine.worker       ``die`` (``os._exit`` — only inside a pool worker
+                    process), ``raise`` (raise inside the task)
+cache.put           ``corrupt`` (scribble over the entry file just written)
+==================  ==========================================================
+
+Injected crashes exit with :data:`CRASH_EXIT_CODE` so a scenario can prove
+the fault actually fired (and distinguish it from an accidental death).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import subprocess
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+__all__ = [
+    "CRASH_EXIT_CODE",
+    "ENV_VAR",
+    "FaultPlan",
+    "FaultRule",
+    "FaultSpecError",
+    "active",
+    "crash",
+    "fire",
+    "in_worker_process",
+    "install",
+    "parse_plan",
+    "reset",
+    "run_fault_scenarios",
+]
+
+#: Environment variable holding the fault schedule for spawned processes.
+ENV_VAR = "BMBP_FAULTS"
+
+#: Exit code of an injected crash (``kill -9`` would be -9/137; a distinct
+#: code proves the scheduled fault, not something else, killed the process).
+CRASH_EXIT_CODE = 86
+
+
+class FaultSpecError(ValueError):
+    """A malformed fault schedule specification."""
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """Fire ``action`` on the ``at``-th hit (1-based) of ``site``."""
+
+    site: str
+    action: str
+    at: int
+
+
+class FaultPlan:
+    """A parsed schedule with per-site hit counters.
+
+    Counters are per-process state: a forked pool worker inherits a *copy*
+    of the parent's counters, which is exactly what makes worker-death
+    schedules deterministic (each worker counts its own task invocations).
+    """
+
+    def __init__(self, rules: List[FaultRule]):
+        self.rules = list(rules)
+        self._hits: Dict[str, int] = {}
+
+    def fire(self, site: str) -> Optional[str]:
+        """Count one hit of ``site``; return the scheduled action, if any."""
+        count = self._hits.get(site, 0) + 1
+        self._hits[site] = count
+        for rule in self.rules:
+            if rule.site == site and rule.at == count:
+                return rule.action
+        return None
+
+    def hits(self, site: str) -> int:
+        return self._hits.get(site, 0)
+
+    def spec(self) -> str:
+        return ",".join(f"{r.site}:{r.action}@{r.at}" for r in self.rules)
+
+
+def parse_plan(spec: str) -> FaultPlan:
+    """Parse a ``site:action@N,...`` schedule spec into a plan."""
+    rules: List[FaultRule] = []
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        try:
+            site_action, at_text = part.rsplit("@", 1)
+            site, action = site_action.split(":", 1)
+            at = int(at_text)
+        except ValueError:
+            raise FaultSpecError(
+                f"bad fault spec {part!r} (want site:action@N)"
+            ) from None
+        if at < 1:
+            raise FaultSpecError(f"fault hit index must be >= 1, got {at}")
+        if not site or not action:
+            raise FaultSpecError(f"bad fault spec {part!r} (empty site/action)")
+        rules.append(FaultRule(site=site.strip(), action=action.strip(), at=at))
+    return FaultPlan(rules)
+
+
+# The active plan.  Loaded from the environment at import so a subprocess
+# spawned with BMBP_FAULTS set is faulty from its very first event.
+_plan: Optional[FaultPlan] = None
+
+_env_spec = os.environ.get(ENV_VAR, "").strip()
+if _env_spec:
+    _plan = parse_plan(_env_spec)
+
+
+def install(spec_or_plan) -> FaultPlan:
+    """Activate a fault plan in this process (tests; pairs with reset())."""
+    global _plan
+    _plan = parse_plan(spec_or_plan) if isinstance(spec_or_plan, str) else spec_or_plan
+    return _plan
+
+
+def reset() -> None:
+    """Deactivate fault injection in this process."""
+    global _plan
+    _plan = None
+
+
+def active() -> bool:
+    return _plan is not None
+
+
+def fire(site: str) -> Optional[str]:
+    """Hook-site entry point: a no-op (None) unless a plan is active."""
+    if _plan is None:
+        return None
+    return _plan.fire(site)
+
+
+def crash() -> None:
+    """Die the way a crash does: no cleanup, no atexit, no flush."""
+    os._exit(CRASH_EXIT_CODE)
+
+
+def in_worker_process() -> bool:
+    """True inside a ``multiprocessing`` pool worker (crash guards)."""
+    return multiprocessing.parent_process() is not None
+
+
+# --------------------------------------------------------------------------
+# Recovery scenarios.  Each driver returns a details dict and raises
+# AssertionError on an invariant violation; the verify runner wraps them.
+# --------------------------------------------------------------------------
+
+#: Daemon flags for deterministic, fast-training scenario runs: epoch 0
+#: refits on every submission (quotes become a pure function of history).
+_DAEMON_ARGS = ["--training-jobs", "5", "--epoch", "0"]
+
+#: Length of the scenario event stream (jobs; 2 mutation events each).
+_STREAM_JOBS = 60
+
+
+def _daemon_env(faults_spec: Optional[str]) -> Dict[str, str]:
+    """Environment overrides for a scenario daemon.
+
+    Ensures the subprocess can import ``repro`` however this process found
+    it, and *always* sets ``BMBP_FAULTS`` explicitly — to the schedule, or
+    to empty — so a plan leaked into the parent environment can never
+    infect a spawn that asked for a clean daemon.
+    """
+    import repro
+
+    env: Dict[str, str] = {ENV_VAR: faults_spec or ""}
+    src = str(Path(repro.__file__).resolve().parent.parent)
+    existing = os.environ.get("PYTHONPATH", "")
+    if src not in existing.split(os.pathsep):
+        env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+    return env
+
+
+def _spawn(state_dir: Path, faults_spec: Optional[str] = None) -> subprocess.Popen:
+    """Start a scenario daemon (optionally faulty) on an ephemeral port."""
+    from repro.server.loadgen import spawn_daemon
+
+    return spawn_daemon(
+        state_dir,
+        extra_args=_DAEMON_ARGS,
+        checkpoint_interval=3600.0,  # only explicit/shutdown checkpoints
+        env=_daemon_env(faults_spec),
+    )
+
+
+def _connect(state_dir: Path):
+    from repro.server.client import ForecastClient, read_port_file
+
+    client = ForecastClient("127.0.0.1", read_port_file(state_dir), retries=1, backoff=0.05)
+    client.wait_until_up()
+    return client
+
+
+def _event(i: int) -> Tuple[str, float, float]:
+    """Deterministic (job, submit_time, start_time) for stream position i."""
+    submit_at = i * 400.0
+    return f"j{i}", submit_at, submit_at + 100.0 + (i % 7) * 37.0
+
+
+def _snapshot(client) -> Dict[str, Any]:
+    """The externally visible prediction state (metrics excluded)."""
+    return {
+        "forecast": client.forecast("normal", procs=4),
+        "outlook": client.outlook("normal"),
+        "describe": client.describe(),
+    }
+
+
+def _terminate(process: subprocess.Popen) -> None:
+    if process.poll() is None:
+        process.terminate()
+        try:
+            process.wait(timeout=15.0)
+        except subprocess.TimeoutExpired:
+            process.kill()
+            process.wait()
+
+
+def _reference_snapshot(tmp: Path) -> Dict[str, Any]:
+    """One uninterrupted run of the scenario stream: the ground truth."""
+    state_dir = tmp / "reference"
+    state_dir.mkdir()
+    process = _spawn(state_dir)
+    try:
+        client = _connect(state_dir)
+        for i in range(_STREAM_JOBS):
+            job, submit_at, start_at = _event(i)
+            client.submit(job, "normal", 4, now=submit_at)
+            client.start(job, now=start_at)
+        snapshot = _snapshot(client)
+        client.close()
+    finally:
+        _terminate(process)
+    return snapshot
+
+
+def _drive_with_crash_recovery(
+    state_dir: Path, faults_spec: str
+) -> Dict[str, Any]:
+    """Feed the scenario stream, surviving exactly one injected daemon crash.
+
+    Every mutation is retried after a restart until the daemon confirms it
+    was applied — ``conflict`` on a retried submit and ``unknown-job`` on a
+    retried start mean the pre-crash attempt actually landed (the journal
+    got it before the ack was lost), which is precisely the documented
+    at-least-once contract.
+    """
+    from repro.server.client import ServerError, TransportError
+
+    state_dir.mkdir()
+    process = _spawn(state_dir, faults_spec=faults_spec)
+    client = _connect(state_dir)
+    crash_exit: Optional[int] = None
+    restarts = 0
+
+    def recover():
+        nonlocal process, client, crash_exit, restarts
+        client.close()
+        exit_code = process.wait(timeout=15.0)
+        if crash_exit is None:
+            crash_exit = exit_code
+        restarts += 1
+        process = _spawn(state_dir)  # clean restart: no faults
+        client = _connect(state_dir)
+
+    def apply(op: str, *args, **kwargs) -> None:
+        for attempt in range(4):
+            try:
+                getattr(client, op)(*args, **kwargs)
+                return
+            except TransportError:
+                recover()  # daemon died mid-request; retry after restart
+            except ServerError as exc:
+                if attempt > 0 and op == "submit" and exc.code == "conflict":
+                    return  # pre-crash attempt was durable: at-least-once
+                if attempt > 0 and op == "start" and exc.code in (
+                    "unknown-job", "bad-event"
+                ):
+                    return
+                raise
+        raise AssertionError(f"could not apply {op} after repeated recovery")
+
+    try:
+        for i in range(_STREAM_JOBS):
+            job, submit_at, start_at = _event(i)
+            apply("submit", job, "normal", 4, now=submit_at)
+            apply("start", job, now=start_at)
+        snapshot = _snapshot(client)
+        client.close()
+    finally:
+        _terminate(process)
+    assert restarts >= 1, "the scheduled fault never fired"
+    assert crash_exit == CRASH_EXIT_CODE, (
+        f"daemon died with exit code {crash_exit}, not the injected "
+        f"crash code {CRASH_EXIT_CODE}"
+    )
+    return {"snapshot": snapshot, "restarts": restarts, "crash_exit": crash_exit}
+
+
+def _assert_matches_reference(
+    outcome: Dict[str, Any], reference: Dict[str, Any], scenario: str
+) -> None:
+    for field_name in ("forecast", "outlook", "describe"):
+        got = outcome["snapshot"][field_name]
+        want = reference[field_name]
+        assert got == want, (
+            f"{scenario}: recovered {field_name} diverged from the "
+            f"uninterrupted reference:\n  got:  {got!r}\n  want: {want!r}"
+        )
+
+
+# Jobs alternate submit (odd journal hit) / start (even); event 41 is the
+# submit of j20 — comfortably mid-stream, past training, between checkpoints.
+_MID_STREAM_HIT = 41
+
+
+def scenario_torn_journal(tmp: Path, reference: Dict[str, Any]) -> Dict[str, Any]:
+    """Crash mid-journal-append: the torn tail is dropped, nothing acked is
+    lost, and recovery quotes bit-identical bounds."""
+    outcome = _drive_with_crash_recovery(
+        tmp / "torn-journal", f"journal.write:torn@{_MID_STREAM_HIT}"
+    )
+    _assert_matches_reference(outcome, reference, "torn-journal")
+    return outcome
+
+
+def scenario_durable_unacked(tmp: Path, reference: Dict[str, Any]) -> Dict[str, Any]:
+    """Crash after the journal flush but before the ack: the event IS
+    durable, the client never heard — the retry's ``conflict`` must read as
+    success (at-least-once), and bounds stay bit-identical."""
+    outcome = _drive_with_crash_recovery(
+        tmp / "durable-unacked", f"journal.write:crash@{_MID_STREAM_HIT}"
+    )
+    _assert_matches_reference(outcome, reference, "durable-unacked")
+    return outcome
+
+
+def _drive_checkpoint_crash(tmp: Path, name: str, action: str) -> Dict[str, Any]:
+    """Feed half the stream, crash inside checkpoint(), restart, finish."""
+    from repro.server.client import TransportError
+
+    state_dir = tmp / name
+    state_dir.mkdir()
+    half = _STREAM_JOBS // 2
+    process = _spawn(state_dir, faults_spec=f"checkpoint.replace:{action}@1")
+    client = _connect(state_dir)
+    try:
+        for i in range(half):
+            job, submit_at, start_at = _event(i)
+            client.submit(job, "normal", 4, now=submit_at)
+            client.start(job, now=start_at)
+        try:
+            client.checkpoint()
+            raise AssertionError(f"{name}: checkpoint survived the scheduled crash")
+        except TransportError:
+            pass
+        crash_exit = process.wait(timeout=15.0)
+        client.close()
+        assert crash_exit == CRASH_EXIT_CODE, (
+            f"{name}: daemon exited {crash_exit}, expected {CRASH_EXIT_CODE}"
+        )
+        process = _spawn(state_dir)  # clean restart
+        client = _connect(state_dir)
+        replayed = client.metrics()["durability"]["replayed_on_boot"]
+        for i in range(half, _STREAM_JOBS):
+            job, submit_at, start_at = _event(i)
+            client.submit(job, "normal", 4, now=submit_at)
+            client.start(job, now=start_at)
+        snapshot = _snapshot(client)
+        client.close()
+    finally:
+        _terminate(process)
+    return {"snapshot": snapshot, "crash_exit": crash_exit, "replayed_on_boot": replayed}
+
+
+def scenario_checkpoint_crash_before_replace(
+    tmp: Path, reference: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Crash after the checkpoint temp file is written but before the atomic
+    rename: the old checkpoint + full journal must still recover everything."""
+    outcome = _drive_checkpoint_crash(
+        tmp, "checkpoint-before", "crash-before"
+    )
+    # No durable checkpoint existed, so boot replays the entire journal.
+    assert outcome["replayed_on_boot"] == _STREAM_JOBS, (
+        f"expected full-journal replay of {_STREAM_JOBS} events, got "
+        f"{outcome['replayed_on_boot']}"
+    )
+    _assert_matches_reference(outcome, reference, "checkpoint-crash-before-replace")
+    return outcome
+
+
+def scenario_checkpoint_crash_after_replace(
+    tmp: Path, reference: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Crash after the rename but before the journal truncation: replay must
+    skip the pre-checkpoint journal entries instead of double-applying them."""
+    outcome = _drive_checkpoint_crash(tmp, "checkpoint-after", "crash-after")
+    # The checkpoint is durable; the untruncated journal is redundant.
+    assert outcome["replayed_on_boot"] == 0, (
+        f"expected 0 replayed events on top of the durable checkpoint, got "
+        f"{outcome['replayed_on_boot']} (pre-checkpoint entries re-applied?)"
+    )
+    _assert_matches_reference(outcome, reference, "checkpoint-crash-after-replace")
+    return outcome
+
+
+def scenario_dropped_connection(tmp: Path, reference: Dict[str, Any]) -> Dict[str, Any]:
+    """The daemon applies + journals a mutation, then resets the connection
+    instead of acknowledging.  The client's reconnect/retry layer must
+    deliver at-least-once semantics transparently (submit's retried
+    ``conflict`` reads as success) and the daemon must stay up."""
+    state_dir = tmp / "dropped-connection"
+    state_dir.mkdir()
+    # Mutation hit 45 is the submit of j22 (odd hits are submits), so the
+    # withheld ack lands on an op whose retry path is fully client-internal.
+    process = _spawn(state_dir, faults_spec="daemon.mutation:drop@45")
+    try:
+        client = _connect(state_dir)
+        for i in range(_STREAM_JOBS):
+            job, submit_at, start_at = _event(i)
+            client.submit(job, "normal", 4, now=submit_at)
+            client.start(job, now=start_at)
+        snapshot = _snapshot(client)
+        pending = client.queues()["pending"]
+        client.close()
+        assert process.poll() is None, "daemon died; the drop should be survivable"
+    finally:
+        _terminate(process)
+    assert pending == 0, f"{pending} jobs stuck pending after the retry"
+    outcome = {"snapshot": snapshot, "daemon_survived": True}
+    _assert_matches_reference(outcome, reference, "dropped-connection")
+    return outcome
+
+
+def _work_item(x: int) -> int:
+    """Module-level (picklable) task for the engine scenarios."""
+    return x * x + 1
+
+
+def scenario_worker_death(tmp: Path) -> Dict[str, Any]:
+    """A pool worker dies mid-fan-out: the engine must fall back to serial
+    execution and still return results identical to a clean run."""
+    from repro import runtime
+    from repro.runtime.engine import Task
+
+    tasks = [Task(func=_work_item, args=(i,), label=f"w{i}", cache=False) for i in range(8)]
+    expected = [_work_item(i) for i in range(8)]
+    clean = runtime.run_tasks(tasks, jobs=1, cache=False)
+    assert clean == expected
+    install("engine.worker:die@2")
+    try:
+        faulted = runtime.run_tasks(tasks, jobs=2, cache=False)
+    finally:
+        reset()
+    assert faulted == expected, (
+        f"results diverged after worker death: {faulted!r} != {expected!r}"
+    )
+    return {"tasks": len(tasks), "results_identical": True}
+
+
+def scenario_cache_corruption(tmp: Path) -> Dict[str, Any]:
+    """A cache entry corrupted on disk must read as a miss and be
+    recomputed — never an error, never a wrong value."""
+    from repro import runtime
+    from repro.runtime.engine import Task
+
+    cache_dir = tmp / "fault-cache"
+    runtime.configure(cache=True, cache_dir=str(cache_dir))
+    task = [Task(func=_work_item, args=(7,), label="c7")]
+    expected = [_work_item(7)]
+    try:
+        install("cache.put:corrupt@1")
+        try:
+            first = runtime.run_tasks(task, jobs=1)  # computed; entry corrupted
+        finally:
+            reset()
+        before = runtime.stats()
+        second = runtime.run_tasks(task, jobs=1)  # corrupt entry -> recompute
+        recomputed = runtime.stats().since(before)
+        third = runtime.run_tasks(task, jobs=1)  # clean entry -> hit
+        hit = runtime.stats().since(before)
+    finally:
+        runtime.reset_configuration()
+    assert first == second == third == expected
+    assert recomputed.cache_misses == 1 and recomputed.cache_hits == 0, (
+        "corrupt cache entry was served instead of recomputed"
+    )
+    assert hit.cache_hits == 1, "recomputed entry was not re-persisted"
+    return {"recomputed_after_corruption": True, "rehit_after_recompute": True}
+
+
+#: Scenario registry: name -> (driver, needs_reference).
+SCENARIOS: Dict[str, Tuple[Callable, bool]] = {
+    "torn-journal": (scenario_torn_journal, True),
+    "durable-unacked-crash": (scenario_durable_unacked, True),
+    "checkpoint-crash-before-replace": (scenario_checkpoint_crash_before_replace, True),
+    "checkpoint-crash-after-replace": (scenario_checkpoint_crash_after_replace, True),
+    "dropped-connection": (scenario_dropped_connection, True),
+    "worker-death": (scenario_worker_death, False),
+    "cache-corruption": (scenario_cache_corruption, False),
+}
+
+
+def run_fault_scenarios(names: Optional[List[str]] = None) -> List[Dict[str, Any]]:
+    """Run recovery scenarios; returns one record per scenario.
+
+    Records carry ``{"name", "passed", "seconds", "details"/"error"}``.
+    Daemon-backed scenarios share a single uninterrupted reference run.
+    """
+    chosen = list(SCENARIOS) if names is None else list(names)
+    records: List[Dict[str, Any]] = []
+    with tempfile.TemporaryDirectory(prefix="bmbp-faults-") as tmp_name:
+        tmp = Path(tmp_name)
+        reference: Optional[Dict[str, Any]] = None
+        if any(SCENARIOS[name][1] for name in chosen):
+            reference = _reference_snapshot(tmp)
+        for name in chosen:
+            driver, needs_reference = SCENARIOS[name]
+            started = time.perf_counter()
+            record: Dict[str, Any] = {"name": name}
+            try:
+                details = (
+                    driver(tmp, reference) if needs_reference else driver(tmp)
+                )
+                record["passed"] = True
+                record["details"] = details
+            except Exception as exc:  # noqa: BLE001 - report, don't abort the suite
+                record["passed"] = False
+                record["error"] = f"{type(exc).__name__}: {exc}"
+            record["seconds"] = round(time.perf_counter() - started, 3)
+            records.append(record)
+    return records

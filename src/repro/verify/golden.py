@@ -1,0 +1,203 @@
+"""Golden-trace regression: pinned bound sequences for small SWF traces.
+
+The conformance checks in :mod:`conformance` are statistical — they
+tolerate Monte Carlo noise by design, so a subtle numerical drift (a
+reordered reduction in ``stats``, a changed tolerance-factor cache, an
+off-by-one in ``HistoryWindow`` trimming) can move every bound by 1e-7
+and still sail through.  This layer catches exactly that: for each SWF
+fixture in ``tests/golden/`` the full per-refit bound series of a bank of
+methods is pinned in a JSON file, and verification recomputes the series
+and reports the *first divergence* (method, refit index, event time,
+expected vs got) so a regression points at itself.
+
+Tolerance: bounds are compared at ``rtol=1e-9`` — loose enough to forgive
+last-ulp libm differences across platforms and Python versions, six
+orders of magnitude tighter than any behavioural change.  Counters
+(evaluated jobs, change points) are compared exactly.
+
+Fixtures are SWF *files*, not generator calls: the golden inputs live in
+git, so later changes to the synthetic generator cannot silently shift
+what the goldens measure.  Regeneration (after an intentional numerical
+change): ``bmbp verify --update-golden``, then review the JSON diff.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.baselines import DowneyLogUniformPredictor, PointQuantilePredictor
+from repro.core.bmbp import BMBPPredictor
+from repro.core.lognormal import LogNormalPredictor
+from repro.simulator.replay import ReplayConfig, replay_single
+from repro.workloads.swf import load_swf
+
+__all__ = [
+    "GOLDEN_SCHEMA",
+    "compare_golden",
+    "compute_golden",
+    "golden_dir",
+    "regenerate_goldens",
+    "verify_goldens",
+]
+
+GOLDEN_SCHEMA = "bmbp-golden-v1"
+
+#: Replay settings pinned into every golden (changing these is a golden
+#: regeneration event by definition).
+_REPLAY = ReplayConfig(epoch=300.0, training_fraction=0.10, record_series=True)
+
+#: The method bank pinned per trace: the paper's headline method, both
+#: log-normal variants, and two structurally different baselines.
+_METHODS: Dict[str, Callable[[], Any]] = {
+    "bmbp": lambda: BMBPPredictor(0.95, 0.95),
+    "logn-trim": lambda: LogNormalPredictor(0.95, 0.95, trim=True),
+    "logn-notrim": lambda: LogNormalPredictor(0.95, 0.95, trim=False),
+    "downey": lambda: DowneyLogUniformPredictor(0.95, 0.95),
+    "point-quantile": lambda: PointQuantilePredictor(0.95, 0.95),
+}
+
+_RTOL = 1e-9
+
+
+def golden_dir() -> Path:
+    """``tests/golden`` of this checkout (fixtures live next to the tests)."""
+    return Path(__file__).resolve().parents[3] / "tests" / "golden"
+
+
+def _sha256(path: Path) -> str:
+    return hashlib.sha256(path.read_bytes()).hexdigest()
+
+
+def compute_golden(trace_path: Path) -> Dict[str, Any]:
+    """Replay one SWF fixture against the method bank; return the pinnable record."""
+    trace = load_swf(trace_path)
+    record: Dict[str, Any] = {
+        "schema": GOLDEN_SCHEMA,
+        "trace": trace_path.name,
+        "trace_sha256": _sha256(trace_path),
+        "jobs": len(trace),
+        "replay": {
+            "epoch": _REPLAY.epoch,
+            "training_fraction": _REPLAY.training_fraction,
+        },
+        "methods": {},
+    }
+    for name, factory in _METHODS.items():
+        result = replay_single(trace, factory(), _REPLAY)
+        record["methods"][name] = {
+            "n_evaluated": result.n_evaluated,
+            "n_correct": result.n_correct,
+            "n_skipped": result.n_skipped,
+            "change_points": result.change_points,
+            "series_times": list(result.series_times),
+            "series_values": list(result.series_values),
+        }
+    return record
+
+
+def _first_divergence(
+    name: str, pinned: Dict[str, Any], got: Dict[str, Any]
+) -> Optional[str]:
+    """Human-readable description of the first mismatch, or None."""
+    for counter in ("n_evaluated", "n_correct", "n_skipped", "change_points"):
+        if pinned[counter] != got[counter]:
+            return (
+                f"{name}.{counter}: expected {pinned[counter]}, "
+                f"got {got[counter]}"
+            )
+    want_t, want_v = pinned["series_times"], pinned["series_values"]
+    got_t, got_v = got["series_times"], got["series_values"]
+    n = min(len(want_t), len(got_t))
+    for i in range(n):
+        if want_t[i] != got_t[i]:
+            return (
+                f"{name}.series_times[{i}]: expected {want_t[i]!r}, "
+                f"got {got_t[i]!r}"
+            )
+        expected = want_v[i]
+        actual = got_v[i]
+        if abs(actual - expected) > _RTOL * max(abs(expected), abs(actual), 1.0):
+            return (
+                f"{name}.series_values[{i}] (t={want_t[i]}): expected "
+                f"{expected!r}, got {actual!r} "
+                f"(diff {actual - expected:+.3e}, rtol {_RTOL})"
+            )
+    if len(want_t) != len(got_t):
+        return (
+            f"{name}.series length: expected {len(want_t)} refits, "
+            f"got {len(got_t)}"
+        )
+    return None
+
+
+def compare_golden(
+    pinned: Dict[str, Any], recomputed: Dict[str, Any]
+) -> List[str]:
+    """All first-divergence messages (one per diverging method)."""
+    problems: List[str] = []
+    if pinned.get("schema") != GOLDEN_SCHEMA:
+        return [f"unknown golden schema {pinned.get('schema')!r}"]
+    if pinned.get("trace_sha256") != recomputed["trace_sha256"]:
+        problems.append(
+            f"trace fixture changed on disk (sha256 {recomputed['trace_sha256'][:12]}..., "
+            f"pinned {str(pinned.get('trace_sha256'))[:12]}...)"
+        )
+    for name in pinned.get("methods", {}):
+        if name not in recomputed["methods"]:
+            problems.append(f"method {name!r} no longer computed")
+            continue
+        diff = _first_divergence(
+            name, pinned["methods"][name], recomputed["methods"][name]
+        )
+        if diff is not None:
+            problems.append(diff)
+    return problems
+
+
+def _golden_pairs(directory: Path) -> List[Tuple[Path, Path]]:
+    """(golden json, swf fixture) pairs found in ``directory``."""
+    pairs = []
+    for json_path in sorted(directory.glob("golden-*.json")):
+        pinned = json.loads(json_path.read_text())
+        pairs.append((json_path, directory / pinned["trace"]))
+    return pairs
+
+
+def verify_goldens(
+    directory: Optional[Path] = None,
+) -> Tuple[bool, Dict[str, Any]]:
+    """Recompute every golden and report divergences (for ``bmbp verify``)."""
+    directory = directory or golden_dir()
+    if not directory.is_dir():
+        return False, {"error": f"golden directory {directory} does not exist"}
+    pairs = _golden_pairs(directory)
+    if not pairs:
+        return False, {"error": f"no golden-*.json fixtures in {directory}"}
+    divergences: Dict[str, List[str]] = {}
+    for json_path, trace_path in pairs:
+        pinned = json.loads(json_path.read_text())
+        problems = compare_golden(pinned, compute_golden(trace_path))
+        if problems:
+            divergences[json_path.name] = problems
+    details: Dict[str, Any] = {
+        "fixtures": [p.name for p, _ in pairs],
+        "rtol": _RTOL,
+    }
+    if divergences:
+        details["divergences"] = divergences
+    return not divergences, details
+
+
+def regenerate_goldens(directory: Optional[Path] = None) -> List[str]:
+    """Recompute and rewrite every golden JSON; returns the files written."""
+    directory = directory or golden_dir()
+    written: List[str] = []
+    for trace_path in sorted(directory.glob("trace-*.swf")):
+        record = compute_golden(trace_path)
+        out = directory / f"golden-{trace_path.stem.replace('trace-', '')}.json"
+        out.write_text(json.dumps(record, indent=1) + "\n")
+        written.append(out.name)
+    return written

@@ -1,0 +1,205 @@
+"""The ``bmbp verify`` subcommand: tiered self-verification suites.
+
+Runs the three verification pillars — Monte Carlo conformance, golden
+regression, fault-injection recovery — as one flat list of named checks,
+*always running every check* (a coverage failure must not hide a
+recovery failure behind it), and writes a machine-readable report::
+
+    bmbp verify --fast                  # CI tier, < 90 s
+    bmbp verify --full                  # paper-scale Monte Carlo sizes
+    bmbp verify --fast --json VERIFY.json
+    bmbp verify --update-golden         # after an intentional numeric change
+
+Exit status 0 iff every check passed.  The fast tier also runs inside the
+default pytest suite (``tests/verify/``), so plain ``pytest`` exercises
+the same checks CI does.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.verify import conformance, faults, golden
+
+__all__ = ["CheckResult", "VERIFY_SCHEMA", "main", "run_verify"]
+
+VERIFY_SCHEMA = "bmbp-verify-v1"
+
+
+@dataclass
+class CheckResult:
+    """Outcome of one named verification check."""
+
+    name: str
+    passed: bool
+    seconds: float
+    details: Dict[str, Any] = field(default_factory=dict)
+    error: Optional[str] = None
+
+
+def _timed(name: str, thunk) -> CheckResult:
+    started = time.perf_counter()
+    try:
+        passed, details = thunk()
+    except Exception as exc:  # noqa: BLE001 - a crash is a failing check
+        return CheckResult(
+            name=name,
+            passed=False,
+            seconds=round(time.perf_counter() - started, 3),
+            error=f"{type(exc).__name__}: {exc}",
+        )
+    return CheckResult(
+        name=name,
+        passed=bool(passed),
+        seconds=round(time.perf_counter() - started, 3),
+        details=details,
+    )
+
+
+def run_verify(
+    tier: str = "fast",
+    seed: Optional[int] = None,
+    json_path: Optional[str] = None,
+    golden_directory: Optional[Path] = None,
+    fault_scenarios: Optional[List[str]] = None,
+) -> Dict[str, Any]:
+    """Run one verification tier end to end; returns the report dict.
+
+    ``seed`` overrides the tier's Monte Carlo seed (reproduce a CI run
+    locally); ``fault_scenarios`` narrows the fault suite (None = all).
+    """
+    params = conformance.TIERS[tier]
+    if seed is not None:
+        params = conformance.TierParams(
+            trials=params.trials,
+            sample_size=params.sample_size,
+            replays=params.replays,
+            replay_jobs=params.replay_jobs,
+            seed=seed,
+        )
+    started = time.perf_counter()
+    checks: List[CheckResult] = []
+
+    for name in conformance.CONFORMANCE_CHECKS:
+        checks.append(
+            _timed(
+                f"conformance/{name}",
+                lambda name=name: conformance.run_check(name, params),
+            )
+        )
+
+    checks.append(
+        _timed(
+            "golden/regression",
+            lambda: golden.verify_goldens(golden_directory),
+        )
+    )
+
+    for record in faults.run_fault_scenarios(fault_scenarios):
+        checks.append(
+            CheckResult(
+                name=f"faults/{record['name']}",
+                passed=record["passed"],
+                seconds=record["seconds"],
+                details=record.get("details", {}),
+                error=record.get("error"),
+            )
+        )
+
+    report = {
+        "schema": VERIFY_SCHEMA,
+        "tier": tier,
+        "seed": params.seed,
+        "created_unix": time.time(),
+        "seconds": round(time.perf_counter() - started, 3),
+        "passed": all(check.passed for check in checks),
+        "checks": [asdict(check) for check in checks],
+    }
+    if json_path is not None:
+        Path(json_path).write_text(json.dumps(report, indent=1) + "\n")
+    return report
+
+
+def _print_report(report: Dict[str, Any]) -> None:
+    width = max(len(check["name"]) for check in report["checks"])
+    for check in report["checks"]:
+        status = "ok  " if check["passed"] else "FAIL"
+        line = f"  {status} {check['name']:<{width}} {check['seconds']:>7.2f}s"
+        print(line)
+        if not check["passed"]:
+            reason = check.get("error") or _failure_reason(check["details"])
+            if reason:
+                print(f"       -> {reason}")
+    failed = sum(1 for check in report["checks"] if not check["passed"])
+    verdict = "PASSED" if report["passed"] else f"FAILED ({failed} checks)"
+    print(
+        f"verify [{report['tier']}]: {verdict} — "
+        f"{len(report['checks'])} checks in {report['seconds']:.1f}s"
+    )
+
+
+def _failure_reason(details: Dict[str, Any]) -> str:
+    if not details:
+        return ""
+    if "divergences" in details:
+        first = next(iter(details["divergences"].items()))
+        return f"{first[0]}: {first[1][0]}"
+    if "error" in details:
+        return str(details["error"])
+    if "wilson_95" in details:
+        return (
+            f"coverage {details.get('coverage')} "
+            f"(Wilson 95% {details['wilson_95']}) vs target {details.get('target')}"
+        )
+    return ""
+
+
+def build_verify_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="bmbp verify",
+        description="run the self-verification suite (conformance + golden + faults)",
+    )
+    tier = parser.add_mutually_exclusive_group()
+    tier.add_argument(
+        "--fast", dest="tier", action="store_const", const="fast",
+        help="CI tier: small Monte Carlo sizes, all fault scenarios (default)",
+    )
+    tier.add_argument(
+        "--full", dest="tier", action="store_const", const="full",
+        help="paper-scale Monte Carlo sizes",
+    )
+    parser.set_defaults(tier="fast")
+    parser.add_argument(
+        "--json", metavar="PATH", default="VERIFY.json",
+        help="machine-readable report path (default %(default)s)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None,
+        help="override the tier's Monte Carlo seed",
+    )
+    parser.add_argument(
+        "--update-golden", action="store_true",
+        help="regenerate tests/golden/*.json from the current code and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_verify_parser().parse_args(argv)
+    if args.update_golden:
+        written = golden.regenerate_goldens()
+        if not written:
+            print("no trace-*.swf fixtures found to regenerate", file=sys.stderr)
+            return 1
+        print(f"regenerated {', '.join(written)} in {golden.golden_dir()}")
+        return 0
+    report = run_verify(tier=args.tier, seed=args.seed, json_path=args.json)
+    _print_report(report)
+    print(f"[bmbp] verification report written to {args.json}", file=sys.stderr)
+    return 0 if report["passed"] else 1

@@ -1,0 +1,186 @@
+"""Property-based tests of the wire protocol.
+
+Two contracts a network server lives or dies by:
+
+* **round-trip** — any valid request a client can express survives
+  ``encode`` -> ``parse_request`` with every field intact, for arbitrary
+  unicode job/queue names and any representable numbers;
+* **total robustness** — *no* byte sequence thrown at the request path
+  crashes it: parsing either returns a normalized dict or raises
+  :class:`ProtocolError` with a stable code, and the daemon's line
+  processor always answers with a structured error response instead of
+  closing the connection.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.server import protocol
+from repro.server.daemon import ForecastServer
+from repro.service.forecaster import ForecasterConfig, QueueForecaster
+
+# Any unicode except the two characters JSON itself escapes into \n-free
+# output anyway is fine — json.dumps never emits a raw newline, so the
+# NDJSON framing is safe for arbitrary text fields.  Test exactly that.
+TEXT = st.text(min_size=1, max_size=50)
+IDS = st.one_of(st.none(), st.integers(), st.text(max_size=20))
+NOW = st.one_of(
+    st.none(),
+    st.floats(min_value=0.0, max_value=1e12, allow_nan=False),
+    st.integers(min_value=0, max_value=10**12),
+)
+
+
+def encode_line(request: dict) -> bytes:
+    """Client-side framing: compact JSON + newline, as ForecastClient sends."""
+    line = json.dumps(
+        {k: v for k, v in request.items() if v is not None},
+        separators=(",", ":"),
+    ).encode("utf-8")
+    assert b"\n" not in line  # NDJSON framing invariant
+    return line
+
+
+class TestRoundTrip:
+    @given(job=TEXT, queue=TEXT, procs=st.integers(1, 10**6), now=NOW, rid=IDS)
+    @settings(max_examples=200, deadline=None)
+    def test_submit_round_trips(self, job, queue, procs, now, rid):
+        wire = encode_line(
+            {"op": "submit", "job": job, "queue": queue, "procs": procs,
+             "now": now, "id": rid}
+        )
+        parsed = protocol.parse_request(wire)
+        assert parsed["op"] == "submit"
+        assert parsed["job"] == job
+        assert parsed["queue"] == queue
+        assert parsed["procs"] == procs
+        assert parsed["id"] == rid
+        if now is None:
+            assert parsed["now"] is None
+        else:
+            assert parsed["now"] == pytest.approx(float(now))
+
+    @given(job=TEXT, now=NOW, rid=IDS)
+    @settings(max_examples=100, deadline=None)
+    def test_start_and_cancel_round_trip(self, job, now, rid):
+        start = protocol.parse_request(
+            encode_line({"op": "start", "job": job, "now": now, "id": rid})
+        )
+        assert (start["job"], start["id"]) == (job, rid)
+        cancel = protocol.parse_request(
+            encode_line({"op": "cancel", "job": job, "id": rid})
+        )
+        assert (cancel["job"], cancel["id"]) == (job, rid)
+
+    @given(queue=TEXT, procs=st.one_of(st.none(), st.integers(1, 10**6)))
+    @settings(max_examples=100, deadline=None)
+    def test_forecast_round_trips(self, queue, procs):
+        parsed = protocol.parse_request(
+            encode_line({"op": "forecast", "queue": queue, "procs": procs})
+        )
+        assert parsed["queue"] == queue
+        assert parsed["procs"] == procs
+
+    @given(rid=IDS)
+    @settings(max_examples=50, deadline=None)
+    def test_response_encoding_round_trips(self, rid):
+        ok = json.loads(protocol.encode(protocol.ok_response(rid, {"x": 1})))
+        assert ok == {"id": rid, "ok": True, "result": {"x": 1}}
+        err = json.loads(protocol.encode(protocol.error_response(rid, "c", "m")))
+        assert err["ok"] is False and err["error"]["code"] == "c"
+
+
+class TestTotalRobustness:
+    @given(line=st.binary(max_size=200))
+    @settings(max_examples=300, deadline=None)
+    def test_arbitrary_bytes_never_escape_protocol_error(self, line):
+        """parse_request is total: a dict out, or ProtocolError — nothing else."""
+        try:
+            parsed = protocol.parse_request(line)
+        except protocol.ProtocolError as exc:
+            assert exc.code in {"bad-json", "bad-request", "unknown-op"}
+        else:
+            assert parsed["op"] in protocol.OPS
+
+    @given(payload=st.recursive(
+        st.one_of(st.none(), st.booleans(), st.integers(), st.floats(allow_nan=False), st.text(max_size=20)),
+        lambda children: st.one_of(
+            st.lists(children, max_size=4),
+            st.dictionaries(st.text(max_size=10), children, max_size=4),
+        ),
+        max_leaves=10,
+    ))
+    @settings(max_examples=200, deadline=None)
+    def test_arbitrary_json_never_escapes_protocol_error(self, payload):
+        """Valid JSON of any shape gets the same all-or-ProtocolError treatment."""
+        line = json.dumps(payload).encode()
+        try:
+            parsed = protocol.parse_request(line)
+        except protocol.ProtocolError as exc:
+            assert exc.code in {"bad-json", "bad-request", "unknown-op"}
+        else:
+            assert parsed["op"] in protocol.OPS
+
+    def test_oversize_line_is_a_bad_request_not_a_crash(self):
+        with pytest.raises(protocol.ProtocolError) as info:
+            protocol.parse_request(b"x" * (protocol.MAX_LINE_BYTES + 1))
+        assert info.value.code == "bad-request"
+
+
+@pytest.fixture(scope="module")
+def server():
+    """An in-process server (no sockets): _process_line is synchronous."""
+    srv = ForecastServer()
+    srv.forecaster = QueueForecaster(ForecasterConfig(training_jobs=1))
+    return srv
+
+
+class TestDaemonNeverDropsTheConnection:
+    """The daemon contract: every line gets a response line, valid or not.
+
+    ``_process_line`` is the entire per-request path between the stream
+    reader and the stream writer; proving it total proves a malformed
+    frame cannot close the connection.
+    """
+
+    @given(line=st.binary(max_size=200))
+    @settings(max_examples=200, deadline=None)
+    def test_arbitrary_bytes_get_a_structured_error(self, server, line):
+        response = server._process_line(line)
+        assert isinstance(response, dict)
+        assert response["ok"] in (True, False)
+        if not response["ok"]:
+            assert isinstance(response["error"]["code"], str)
+        # And the response survives NDJSON framing.
+        assert protocol.encode(response).endswith(b"\n")
+
+    @given(job=TEXT, queue=TEXT, rid=IDS)
+    @settings(max_examples=100, deadline=None)
+    def test_valid_mutations_with_arbitrary_text_succeed(self, server, job, queue, rid):
+        response = server._process_line(
+            encode_line({"op": "submit", "job": job, "queue": queue,
+                         "procs": 1, "now": 0.0, "id": rid})
+        )
+        # Fresh random job ids almost always succeed; a repeat drawn by
+        # hypothesis is a legitimate 'conflict' — both keep the connection.
+        assert response["ok"] or response["error"]["code"] == "conflict"
+        assert response["id"] == rid
+
+    def test_error_code_per_malformation_is_stable(self, server):
+        cases = {
+            b"not json at all": "bad-json",
+            b"[1,2,3]": "bad-request",
+            b'{"op": 5}': "bad-request",
+            b'{"op": "warp"}': "unknown-op",
+            b'{"op": "submit", "job": "j"}': "bad-request",
+            b'{"op": "submit", "job": "j", "queue": "q", "procs": 0}': "bad-request",
+            b'{"op": "start"}': "bad-request",
+            b'{"op": "start", "job": "ghost"}': "unknown-job",
+        }
+        for line, code in cases.items():
+            response = server._process_line(line)
+            assert not response["ok"]
+            assert response["error"]["code"] == code, line

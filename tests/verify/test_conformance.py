@@ -1,0 +1,140 @@
+"""Unit tests for the Monte Carlo conformance engine.
+
+The full fast tier runs in ``test_verify_cli.py``; these tests pin the
+engine's building blocks — the Wilson interval arithmetic, the synthetic
+generators' analytic properties, and the determinism of the coverage
+loops — at miniature Monte Carlo sizes.
+"""
+
+import math
+from statistics import NormalDist
+
+import numpy as np
+import pytest
+
+from repro.core.bmbp import BMBPPredictor
+from repro.verify import conformance as conf
+
+
+#: Miniature tier: seconds, not minutes, for unit-level checks.
+MINI = conf.TierParams(trials=60, sample_size=80, replays=1, replay_jobs=600)
+
+
+class TestWilsonInterval:
+    def test_brackets_the_point_estimate(self):
+        lo, hi = conf.wilson_interval(95, 100)
+        assert lo < 0.95 < hi
+        assert 0.0 <= lo and hi <= 1.0
+
+    def test_known_value(self):
+        # Wilson 95% for 8/10, computed independently from the formula.
+        lo, hi = conf.wilson_interval(8, 10)
+        assert lo == pytest.approx(0.4902, abs=1e-3)
+        assert hi == pytest.approx(0.9433, abs=1e-3)
+
+    def test_extremes_stay_inside_unit_interval(self):
+        lo0, hi0 = conf.wilson_interval(0, 50)
+        loN, hiN = conf.wilson_interval(50, 50)
+        assert lo0 == 0.0 and hi0 < 0.15
+        assert loN > 0.85 and hiN == 1.0
+
+    def test_tightens_with_more_trials(self):
+        _, hi_small = conf.wilson_interval(57, 60)
+        _, hi_large = conf.wilson_interval(570, 600)
+        assert hi_large < hi_small
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            conf.wilson_interval(1, 0)
+        with pytest.raises(ValueError):
+            conf.wilson_interval(5, 4)
+
+
+class TestGenerators:
+    def test_iid_matches_analytic_quantile(self):
+        rng = np.random.default_rng(7)
+        waits = conf.iid_lognormal_waits(rng, 200_000)
+        true_q = conf.true_lognormal_quantile(0.95)
+        empirical = float(np.quantile(waits, 0.95))
+        assert empirical == pytest.approx(true_q, rel=0.02)
+
+    def test_shifted_family_matches_its_quantile(self):
+        rng = np.random.default_rng(8)
+        waits = conf.iid_lognormal_waits(rng, 200_000, shift=1.0)
+        assert np.all(waits >= 0.0)
+        true_q = conf.true_lognormal_quantile(0.95, shift=1.0)
+        assert float(np.quantile(waits, 0.95)) == pytest.approx(true_q, rel=0.02)
+
+    def test_ar1_is_marginally_stationary(self):
+        """Unit marginal variance: logs are N(mu, sigma) at every lag."""
+        rng = np.random.default_rng(9)
+        logs = np.log(conf.ar1_log_waits(rng, 200_000, rho=0.5))
+        assert float(logs.mean()) == pytest.approx(conf.MU, abs=0.02)
+        assert float(logs.std()) == pytest.approx(conf.SIGMA, rel=0.02)
+        # And actually correlated: lag-1 autocorrelation near rho.
+        centered = logs - logs.mean()
+        rho_hat = float(
+            (centered[:-1] * centered[1:]).mean() / centered.var()
+        )
+        assert rho_hat == pytest.approx(0.5, abs=0.03)
+
+    def test_regime_shift_trace_structure(self):
+        rng = np.random.default_rng(10)
+        trace = conf.regime_shift_trace(rng, 400, jump=1.0)
+        assert len(trace) == 400
+        waits = np.array([job.wait for job in trace])
+        # The post-shift half sits e^1 higher in the median.
+        ratio = np.median(waits[200:]) / np.median(waits[:200])
+        assert ratio == pytest.approx(math.e, rel=0.35)
+
+
+class TestStaticCoverage:
+    def test_deterministic_given_seed(self):
+        run = lambda: conf.static_coverage(
+            lambda: BMBPPredictor(0.95, 0.95),
+            lambda rng: conf.iid_lognormal_waits(rng, 80),
+            conf.true_lognormal_quantile(0.95),
+            trials=40,
+            seed=123,
+        )
+        assert run() == run()
+
+    def test_bmbp_overcovers_at_miniature_sizes(self):
+        covered, trials = conf.static_coverage(
+            lambda: BMBPPredictor(0.95, 0.95),
+            lambda rng: conf.iid_lognormal_waits(rng, 80),
+            conf.true_lognormal_quantile(0.95),
+            trials=60,
+            seed=456,
+        )
+        _, hi = conf.wilson_interval(covered, trials)
+        assert hi >= 0.95
+
+
+class TestChecks:
+    def test_negative_control_flags_point_quantile(self):
+        passed, details = conf.check_detects_undercoverage(MINI)
+        assert passed, details
+        # The harness saw under-coverage confidently below C:
+        assert details["wilson_95"][1] < 0.95
+
+    def test_regime_replay_records_change_points(self):
+        passed, details = conf.check_bmbp_regime_replay(MINI)
+        assert "change_points" in details
+        assert details["trials"] > 0
+
+    def test_registry_names_are_stable(self):
+        # VERIFY.json consumers key on these names.
+        assert list(conf.CONFORMANCE_CHECKS) == [
+            "bmbp-iid-coverage",
+            "bmbp-ar1-coverage",
+            "bmbp-regime-replay-coverage",
+            "lognormal-iid-coverage",
+            "harness-detects-undercoverage",
+            "baseline-sweep",
+        ]
+
+    def test_wilson_z_matches_normal_quantile(self):
+        # Guards the inv_cdf plumbing the interval relies on.
+        z = NormalDist().inv_cdf(0.975)
+        assert z == pytest.approx(1.959964, abs=1e-5)

@@ -1,0 +1,123 @@
+"""Golden-trace regression: the committed fixtures, and the differ itself.
+
+Two things must hold: the pinned goldens match the current code (a numeric
+regression anywhere in the predictor/replay stack fails here with a
+first-divergence message), and the comparison logic actually catches the
+perturbations it exists for.
+"""
+
+import copy
+import json
+import shutil
+
+import pytest
+
+from repro.verify import golden
+
+
+@pytest.fixture(scope="module")
+def ar1_recomputed():
+    """One recompute of the ar1 fixture, shared across differ tests."""
+    return golden.compute_golden(golden.golden_dir() / "trace-ar1.swf")
+
+
+def _pinned(name):
+    return json.loads((golden.golden_dir() / name).read_text())
+
+
+class TestCommittedFixtures:
+    def test_fixture_files_exist(self):
+        names = {p.name for p in golden.golden_dir().iterdir()}
+        assert {"trace-ar1.swf", "trace-regime.swf",
+                "golden-ar1.json", "golden-regime.json"} <= names
+
+    def test_goldens_match_current_code(self):
+        passed, details = golden.verify_goldens()
+        assert passed, details.get("divergences")
+        assert sorted(details["fixtures"]) == [
+            "golden-ar1.json", "golden-regime.json",
+        ]
+
+    def test_regime_fixture_pins_a_change_point(self):
+        # The regime trace exists to pin detector behaviour, not just bounds.
+        pinned = _pinned("golden-regime.json")
+        assert pinned["methods"]["bmbp"]["change_points"] >= 1
+
+    def test_golden_schema_and_replay_params_are_pinned(self):
+        for name in ("golden-ar1.json", "golden-regime.json"):
+            pinned = _pinned(name)
+            assert pinned["schema"] == golden.GOLDEN_SCHEMA
+            assert pinned["replay"] == {"epoch": 300.0, "training_fraction": 0.10}
+            assert len(pinned["trace_sha256"]) == 64
+
+
+class TestDiffer:
+    def test_identical_records_have_no_divergence(self, ar1_recomputed):
+        assert golden.compare_golden(ar1_recomputed, ar1_recomputed) == []
+
+    def test_value_drift_is_caught_with_location(self, ar1_recomputed):
+        pinned = copy.deepcopy(ar1_recomputed)
+        pinned["methods"]["bmbp"]["series_values"][3] *= 1.0 + 1e-6
+        problems = golden.compare_golden(pinned, ar1_recomputed)
+        assert len(problems) == 1
+        assert "bmbp.series_values[3]" in problems[0]
+        assert "rtol" in problems[0]
+
+    def test_last_ulp_noise_is_forgiven(self, ar1_recomputed):
+        pinned = copy.deepcopy(ar1_recomputed)
+        pinned["methods"]["bmbp"]["series_values"][3] *= 1.0 + 1e-12
+        assert golden.compare_golden(pinned, ar1_recomputed) == []
+
+    def test_counter_drift_is_caught_exactly(self, ar1_recomputed):
+        pinned = copy.deepcopy(ar1_recomputed)
+        pinned["methods"]["downey"]["n_correct"] += 1
+        problems = golden.compare_golden(pinned, ar1_recomputed)
+        assert problems == [
+            "downey.n_correct: expected "
+            f"{pinned['methods']['downey']['n_correct']}, "
+            f"got {ar1_recomputed['methods']['downey']['n_correct']}"
+        ]
+
+    def test_series_truncation_is_caught(self, ar1_recomputed):
+        pinned = copy.deepcopy(ar1_recomputed)
+        pinned["methods"]["bmbp"]["series_times"].pop()
+        pinned["methods"]["bmbp"]["series_values"].pop()
+        problems = golden.compare_golden(pinned, ar1_recomputed)
+        assert len(problems) == 1 and "series length" in problems[0]
+
+    def test_trace_tamper_is_caught_by_sha(self, ar1_recomputed):
+        pinned = copy.deepcopy(ar1_recomputed)
+        pinned["trace_sha256"] = "0" * 64
+        problems = golden.compare_golden(pinned, ar1_recomputed)
+        assert any("trace fixture changed" in p for p in problems)
+
+    def test_dropped_method_is_caught(self, ar1_recomputed):
+        recomputed = copy.deepcopy(ar1_recomputed)
+        del recomputed["methods"]["downey"]
+        problems = golden.compare_golden(ar1_recomputed, recomputed)
+        assert problems == ["method 'downey' no longer computed"]
+
+    def test_unknown_schema_is_rejected_outright(self, ar1_recomputed):
+        pinned = copy.deepcopy(ar1_recomputed)
+        pinned["schema"] = "bmbp-golden-v999"
+        problems = golden.compare_golden(pinned, ar1_recomputed)
+        assert problems == ["unknown golden schema 'bmbp-golden-v999'"]
+
+
+class TestRegeneration:
+    def test_regenerate_round_trips(self, tmp_path):
+        """--update-golden on an unchanged tree reproduces the pinned files."""
+        for name in ("trace-ar1.swf", "trace-regime.swf"):
+            shutil.copy(golden.golden_dir() / name, tmp_path / name)
+        written = golden.regenerate_goldens(tmp_path)
+        assert sorted(written) == ["golden-ar1.json", "golden-regime.json"]
+        for name in written:
+            assert json.loads((tmp_path / name).read_text()) == _pinned(name)
+
+    def test_verify_fails_cleanly_on_missing_directory(self, tmp_path):
+        passed, details = golden.verify_goldens(tmp_path / "nope")
+        assert not passed and "does not exist" in details["error"]
+
+    def test_verify_fails_cleanly_on_empty_directory(self, tmp_path):
+        passed, details = golden.verify_goldens(tmp_path)
+        assert not passed and "no golden-*.json" in details["error"]
