@@ -1,0 +1,68 @@
+"""Route benchmark: oracle regret and fan-out decision latency at scale.
+
+Replays eight synthetic sites' SWF traces through real forecast daemons,
+drives the routing broker over them, and asserts the acceptance shape:
+the broker's mean oracle-regret is strictly the lowest of the policies,
+p99 fan-out decision latency stays under 50 ms against the 8 live
+backends, and killing one backend mid-run degrades (stale-cache answers,
+breaker opens) without a single failed route.  Writes the
+``BENCH_route.json`` artifact at the repository root.
+
+Marked ``slow`` like the other paper-scale benchmarks; run with
+``pytest benchmarks/bench_route.py -m slow``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.broker import run_route_bench
+from repro.broker.evaluate import BENCH_ROUTE_SCHEMA
+
+ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_route.json"
+
+SITES = 8
+FEED_JOBS = 120
+ROUTES = 120
+DEGRADED_ROUTES = 40
+#: Decision-latency ceiling.  50 ms is ~10x what an 8-backend fan-out
+#: takes on an unloaded dev box, but latency is a property of the machine;
+#: loosen on slow/shared hardware rather than letting the benchmark flake
+#: (BMBP_BENCH_MAX_P99_MS=200 pytest ... -m slow).
+MAX_P99_MS = float(os.environ.get("BMBP_BENCH_MAX_P99_MS", 50.0))
+
+
+def test_route_regret_latency_and_degradation(benchmark):
+    report = benchmark.pedantic(
+        run_route_bench,
+        kwargs={
+            "sites": SITES,
+            "feed_jobs": FEED_JOBS,
+            "routes": ROUTES,
+            "degraded_routes": DEGRADED_ROUTES,
+            "artifact": ARTIFACT,
+        },
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+
+    assert report["schema"] == BENCH_ROUTE_SCHEMA
+
+    # The paper's Figure 1 decision rule must beat the blind policies.
+    regret = report["regret"]
+    assert regret["probes"] > 0
+    assert regret["broker_strictly_lowest"], regret["policies"]
+
+    healthy = report["healthy"]
+    assert healthy["failed_routes"] == 0
+    p99 = healthy["decision_latency_ms"]["p99"]
+    assert p99 is not None and p99 < MAX_P99_MS, f"p99 {p99:.1f} ms"
+
+    # Killing one backend mid-run must not fail a single route: the dead
+    # site serves stale-cache answers and its breaker opens.
+    degraded = report["degraded"]
+    assert degraded["failed_routes"] == 0
+    assert degraded["breaker_opened"]
+    assert degraded["stale_answers"] > 0

@@ -1,0 +1,40 @@
+"""Multi-site predictive routing broker.
+
+Fans a forecast request out to a registry of forecast daemons (one per
+site), collects predicted queuing-delay bounds over the NDJSON protocol
+with per-request deadlines, bounded retries, hedged duplicates, per-site
+circuit breakers and a stale-while-revalidate cache, then recommends the
+feasible queue with the smallest predicted bound.  See docs/broker.md.
+"""
+
+from repro.broker.breaker import CircuitBreaker
+from repro.broker.broker import RoutingBroker
+from repro.broker.cache import CacheHit, ForecastCache
+from repro.broker.daemon import BrokerConfig, BrokerServer, serve_broker
+from repro.broker.evaluate import evaluate_regret, make_site_traces, run_route_bench
+from repro.broker.fanout import Backend, BackendError, ConnectionPool, SiteQuote
+from repro.broker.ranking import RouteDecision, feasible_queues, rank_quotes
+from repro.broker.registry import SiteSpec, load_sites_file, parse_site_arg
+
+__all__ = [
+    "Backend",
+    "BackendError",
+    "BrokerConfig",
+    "BrokerServer",
+    "CacheHit",
+    "CircuitBreaker",
+    "ConnectionPool",
+    "ForecastCache",
+    "RouteDecision",
+    "RoutingBroker",
+    "SiteQuote",
+    "SiteSpec",
+    "evaluate_regret",
+    "feasible_queues",
+    "load_sites_file",
+    "make_site_traces",
+    "parse_site_arg",
+    "rank_quotes",
+    "run_route_bench",
+    "serve_broker",
+]

@@ -1,0 +1,110 @@
+"""Per-backend circuit breaker with half-open probing.
+
+A dead or misbehaving forecast daemon must not make every routing decision
+pay its timeout: after ``failure_threshold`` consecutive transport
+failures the breaker *opens* and the broker stops dialing that backend,
+serving its last-known bound from the stale-while-revalidate cache
+instead.  After ``reset_timeout`` seconds the breaker moves to
+*half-open* and admits exactly one probe request; a successful probe
+closes the breaker (normal traffic resumes), a failed probe re-opens it
+and restarts the cooldown clock.
+
+The breaker is deliberately clock-injectable (``clock=`` parameter) so
+tests can drive state transitions without sleeping, and it keeps a
+transition log counter that the broker folds into the Prometheus
+exposition (``bmbp_broker_breaker_transitions_total``).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict
+
+__all__ = ["CLOSED", "HALF_OPEN", "OPEN", "CircuitBreaker"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker: closed -> open -> half-open -> closed."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        reset_timeout: float = 2.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be at least 1")
+        if reset_timeout <= 0.0:
+            raise ValueError("reset_timeout must be positive")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self._clock = clock
+        self._state = CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probe_in_flight = False
+        #: ``"closed->open"`` style transition counters (Prometheus labels).
+        self.transitions: Dict[str, int] = {}
+
+    # ---------------------------------------------------------------- state
+
+    @property
+    def state(self) -> str:
+        """Current state, advancing open -> half-open when the cooldown ends."""
+        if self._state == OPEN and (
+            self._clock() - self._opened_at >= self.reset_timeout
+        ):
+            self._transition(HALF_OPEN)
+        return self._state
+
+    def _transition(self, to: str) -> None:
+        if to == self._state:
+            return
+        key = f"{self._state}->{to}"
+        self.transitions[key] = self.transitions.get(key, 0) + 1
+        self._state = to
+        if to == OPEN:
+            self._opened_at = self._clock()
+            self._probe_in_flight = False
+        elif to == HALF_OPEN:
+            self._probe_in_flight = False
+        elif to == CLOSED:
+            self._failures = 0
+            self._probe_in_flight = False
+
+    # ------------------------------------------------------------- decisions
+
+    def allow_request(self) -> bool:
+        """Whether the caller may attempt a network request right now.
+
+        In half-open state only a single probe is admitted at a time;
+        concurrent callers are told to fall back to the cache until the
+        probe's verdict (success/failure) resolves the state.
+        """
+        state = self.state  # may advance open -> half-open
+        if state == CLOSED:
+            return True
+        if state == OPEN:
+            return False
+        if self._probe_in_flight:
+            return False
+        self._probe_in_flight = True
+        return True
+
+    def record_success(self) -> None:
+        self._failures = 0
+        if self._state in (HALF_OPEN, OPEN):
+            self._transition(CLOSED)
+
+    def record_failure(self) -> None:
+        if self._state == HALF_OPEN:
+            # The probe failed: back to open, cooldown restarts.
+            self._transition(OPEN)
+            return
+        self._failures += 1
+        if self._state == CLOSED and self._failures >= self.failure_threshold:
+            self._transition(OPEN)

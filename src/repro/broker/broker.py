@@ -1,0 +1,175 @@
+"""The routing broker: registry + fan-out + ranking behind one ``route()``.
+
+``RoutingBroker`` answers the paper's Figure 1 question as a service:
+*"where should I submit an n-node job to start soonest, at the configured
+quantile and confidence?"*.  One call fans a forecast request out to every
+feasible (site, queue) pair concurrently, collects live bounds (or
+degraded stale ones — see :mod:`repro.broker.fanout`), and returns an
+explicitly ordered recommendation with per-site provenance.
+
+``route()`` never raises for backend trouble: a site that is slow, down,
+or breaker-open contributes a stale or ``none`` quote instead of an
+exception, so the broker's availability is the *best* backend's, not the
+worst's.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Dict, List, Optional
+
+from repro.broker.fanout import Backend, SiteQuote
+from repro.broker.ranking import RouteDecision, feasible_queues, rank_quotes
+from repro.broker.registry import SiteSpec
+from repro.server.metrics import BrokerMetrics
+
+__all__ = ["RoutingBroker"]
+
+
+class RoutingBroker:
+    """Fan-out routing over a registry of forecast daemons."""
+
+    def __init__(
+        self,
+        sites: List[SiteSpec],
+        metrics: Optional[BrokerMetrics] = None,
+        request_timeout: float = 0.25,
+        retries: int = 1,
+        hedge_after: Optional[float] = None,
+        cache_ttl: float = 0.5,
+        breaker_failures: int = 3,
+        breaker_reset: float = 2.0,
+        pool_size: int = 4,
+    ):
+        if not sites:
+            raise ValueError("broker needs at least one site")
+        names = [spec.name for spec in sites]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate site names: {names}")
+        self.metrics = metrics if metrics is not None else BrokerMetrics()
+        self.backends: Dict[str, Backend] = {}
+        for spec in sites:
+            self.backends[spec.name] = self._make_backend(
+                spec,
+                request_timeout=request_timeout,
+                retries=retries,
+                hedge_after=hedge_after,
+                cache_ttl=cache_ttl,
+                breaker_failures=breaker_failures,
+                breaker_reset=breaker_reset,
+                pool_size=pool_size,
+            )
+
+    def _make_backend(self, spec: SiteSpec, *, request_timeout, retries,
+                      hedge_after, cache_ttl, breaker_failures,
+                      breaker_reset, pool_size) -> Backend:
+        from repro.broker.breaker import CircuitBreaker
+        from repro.broker.cache import ForecastCache
+
+        return Backend(
+            spec,
+            metrics=self.metrics,
+            request_timeout=request_timeout,
+            retries=retries,
+            hedge_after=hedge_after,
+            pool_size=pool_size,
+            breaker=CircuitBreaker(
+                failure_threshold=breaker_failures, reset_timeout=breaker_reset
+            ),
+            cache=ForecastCache(ttl=cache_ttl),
+        )
+
+    @property
+    def sites(self) -> List[SiteSpec]:
+        return [backend.spec for backend in self.backends.values()]
+
+    # --------------------------------------------------------------- routing
+
+    async def route(
+        self,
+        procs: int = 1,
+        walltime: Optional[float] = None,
+        queue: Optional[str] = None,
+        deadline: Optional[float] = None,
+    ) -> RouteDecision:
+        """One routing decision; see the module docstring for semantics.
+
+        ``queue`` restricts the fan-out to a single queue name across all
+        sites; ``deadline`` is the per-request network budget in seconds
+        (default: each backend's worst-case retry budget).
+        """
+        if procs < 1:
+            raise ValueError(f"procs must be at least 1, got {procs}")
+        started = time.perf_counter()
+        tasks = []
+        infeasible = []
+        for backend in self.backends.values():
+            feasible, excluded = feasible_queues(backend.spec, procs, walltime)
+            infeasible.extend(excluded)
+            if queue is not None:
+                feasible = [name for name in feasible if name == queue]
+            for name in feasible:
+                tasks.append(backend.forecast(name, procs, deadline=deadline))
+        quotes: List[SiteQuote] = []
+        ok = True
+        if tasks:
+            for result in await asyncio.gather(*tasks, return_exceptions=True):
+                if isinstance(result, BaseException):
+                    # forecast() degrades internally; an exception here is a
+                    # broker bug — count it, keep the route alive anyway.
+                    ok = False
+                    continue
+                quotes.append(result)
+        decision = RouteDecision(
+            procs=procs,
+            walltime=walltime,
+            ranked=rank_quotes(quotes),
+            infeasible=infeasible,
+            decided_ms=(time.perf_counter() - started) * 1e3,
+        )
+        self.metrics.record_route(time.perf_counter() - started, ok=ok)
+        return decision
+
+    # ----------------------------------------------------------- inspection
+
+    def describe(self) -> str:
+        """One line per site: endpoint, queues, breaker state."""
+        lines = []
+        for name in sorted(self.backends):
+            backend = self.backends[name]
+            spec = backend.spec
+            queues = ",".join(sorted(spec.queues))
+            lines.append(
+                f"{name}: {spec.host}:{spec.port} queues=[{queues}] "
+                f"breaker={backend.breaker.state}"
+            )
+        return "\n".join(lines)
+
+    def sites_payload(self) -> List[dict]:
+        """JSON-ready registry view for the ``sites`` op."""
+        payload = []
+        for name in sorted(self.backends):
+            backend = self.backends[name]
+            spec = backend.spec
+            payload.append({
+                "name": name,
+                "host": spec.host,
+                "port": spec.port,
+                "queues": {
+                    queue: {
+                        "max_procs": limit.max_procs,
+                        "max_runtime": limit.max_runtime,
+                    }
+                    for queue, limit in sorted(spec.queues.items())
+                },
+                "breaker": backend.breaker.state,
+                "cache_entries": len(backend.cache),
+            })
+        return payload
+
+    async def close(self) -> None:
+        await asyncio.gather(
+            *(backend.close() for backend in self.backends.values()),
+            return_exceptions=True,
+        )

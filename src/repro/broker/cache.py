@@ -1,0 +1,75 @@
+"""Stale-while-revalidate forecast cache.
+
+Every successful forecast response the broker receives is remembered here,
+keyed by ``(site, queue, procs)``.  The cache serves two purposes:
+
+* **Latency** — an entry younger than ``ttl`` seconds is served
+  immediately (``fresh``) while the broker revalidates it against the
+  backend in the background, so a hot routing loop never waits on a
+  round-trip it already knows the answer to.
+* **Availability** — when a backend is unreachable (or its circuit
+  breaker is open) the broker degrades to the entry regardless of age,
+  flagged ``stale: true`` with its age in the provenance, instead of
+  failing the route.  A dead site therefore costs accuracy, never
+  availability.
+
+Entries are bounded (LRU eviction at ``max_entries``) so a broker fanning
+out over many queues cannot grow without limit.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from typing import Callable, Hashable, NamedTuple, Optional
+
+__all__ = ["CacheHit", "ForecastCache"]
+
+
+class CacheHit(NamedTuple):
+    """A cache lookup result: the stored value and how old it is."""
+
+    value: object
+    age: float
+    fresh: bool
+
+
+class ForecastCache:
+    """Bounded LRU of last-known forecast results with a freshness window."""
+
+    def __init__(
+        self,
+        ttl: float = 0.5,
+        max_entries: int = 4096,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if max_entries < 1:
+            raise ValueError("max_entries must be at least 1")
+        self.ttl = ttl
+        self.max_entries = max_entries
+        self._clock = clock
+        self._entries: "OrderedDict[Hashable, tuple]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def put(self, key: Hashable, value: object) -> None:
+        self._entries[key] = (value, self._clock())
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def lookup(self, key: Hashable) -> Optional[CacheHit]:
+        """The stored entry (any age), or ``None`` if never seen."""
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        value, stored_at = entry
+        self._entries.move_to_end(key)
+        age = max(0.0, self._clock() - stored_at)
+        return CacheHit(value=value, age=age, fresh=self.ttl > 0 and age <= self.ttl)
+
+    def fresh(self, key: Hashable) -> Optional[CacheHit]:
+        """The stored entry only if still inside the freshness window."""
+        hit = self.lookup(key)
+        return hit if hit is not None and hit.fresh else None

@@ -1,0 +1,129 @@
+"""Ranking engine: feasibility filtering plus bound-ordered recommendation.
+
+Feasibility reuses the scheduler substrate's published-constraint model
+(:mod:`repro.scheduler.constraints`): a probe :class:`SchedJob` carrying
+the request's node count and walltime is screened against each queue's
+:class:`QueueLimit` exactly the way the batch software would screen the
+real submission — so the broker never recommends a queue that would
+reject the job on arrival.
+
+Ordering is explicit and total.  Quotes with a usable bound sort by
+
+1. the predicted bound (smaller starts sooner — the paper's Figure 1
+   decision rule),
+2. quote source (``live`` beats fresh ``cache`` beats ``stale``: at equal
+   bounds, trust the freshest data),
+3. bound age (younger first),
+4. site name, then queue name (a deterministic final tie-break).
+
+Quotes with no bound at all (untrained predictor, dead site with an empty
+cache) rank after every bounded quote, ordered by the same source/site
+rule, and stay in the response so the caller sees *why* a site was not
+recommended.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.broker.fanout import SiteQuote
+from repro.broker.registry import SiteSpec
+from repro.scheduler.constraints import QueueLimit
+from repro.scheduler.job import SchedJob
+
+__all__ = ["RouteDecision", "feasible_queues", "rank_quotes"]
+
+#: Source preference at equal bounds (lower ranks first).
+_SOURCE_RANK = {"live": 0, "cache": 1, "stale": 2, "none": 3}
+
+
+def _probe_job(procs: int, walltime: Optional[float]) -> SchedJob:
+    """The hypothetical submission the constraint table screens."""
+    estimate = walltime if walltime is not None and walltime > 0 else 1.0
+    return SchedJob(
+        job_id=-1, arrival=0.0, runtime=estimate, procs=procs, estimate=estimate
+    )
+
+
+def feasible_queues(
+    spec: SiteSpec, procs: int, walltime: Optional[float] = None
+) -> Tuple[List[str], List[Dict[str, Any]]]:
+    """Partition a site's queues into (feasible names, infeasible records).
+
+    Infeasible records carry the violated limit so the route response can
+    explain the exclusion.
+    """
+    job = _probe_job(procs, walltime)
+    feasible: List[str] = []
+    infeasible: List[Dict[str, Any]] = []
+    for queue, limit in sorted(spec.queues.items()):
+        if limit.admits(job):
+            feasible.append(queue)
+        else:
+            infeasible.append({
+                "site": spec.name,
+                "queue": queue,
+                "reason": _violation(limit, job),
+            })
+    return feasible, infeasible
+
+
+def _violation(limit: QueueLimit, job: SchedJob) -> str:
+    if limit.max_procs is not None and job.procs > limit.max_procs:
+        return f"procs {job.procs} > max_procs {limit.max_procs}"
+    return f"walltime {job.estimate:.0f} > max_runtime {limit.max_runtime:.0f}"
+
+
+def rank_quotes(quotes: List[SiteQuote]) -> List[SiteQuote]:
+    """Total explicit ordering (see module docstring)."""
+    bounded = [quote for quote in quotes if quote.bound is not None]
+    unbounded = [quote for quote in quotes if quote.bound is None]
+    bounded.sort(
+        key=lambda q: (
+            q.bound,
+            _SOURCE_RANK.get(q.source, len(_SOURCE_RANK)),
+            q.age_s if q.age_s is not None else float("inf"),
+            q.site,
+            q.queue,
+        )
+    )
+    unbounded.sort(
+        key=lambda q: (
+            _SOURCE_RANK.get(q.source, len(_SOURCE_RANK)),
+            q.site,
+            q.queue,
+        )
+    )
+    return bounded + unbounded
+
+
+@dataclass
+class RouteDecision:
+    """A ranked routing recommendation with per-site provenance."""
+
+    procs: int
+    walltime: Optional[float]
+    ranked: List[SiteQuote]
+    infeasible: List[Dict[str, Any]] = field(default_factory=list)
+    decided_ms: float = 0.0
+    decided_unix: float = field(default_factory=time.time)
+
+    @property
+    def best(self) -> Optional[SiteQuote]:
+        """The recommendation: the top-ranked quote with a usable bound."""
+        if self.ranked and self.ranked[0].bound is not None:
+            return self.ranked[0]
+        return None
+
+    def to_dict(self) -> Dict[str, Any]:
+        best = self.best
+        return {
+            "procs": self.procs,
+            "walltime": self.walltime,
+            "best": best.provenance() if best is not None else None,
+            "ranked": [quote.provenance() for quote in self.ranked],
+            "infeasible": list(self.infeasible),
+            "decided_ms": round(self.decided_ms, 3),
+        }

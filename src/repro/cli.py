@@ -15,6 +15,10 @@ Usage::
     python -m repro bench-serve --json BENCH_serve.json # load-test it
     python -m repro verify --fast                       # self-verification
 
+    python -m repro broker --site a=host1:7077 --site b=host2:7077
+    python -m repro route --procs 8 --walltime 3600     # ask the broker
+    python -m repro bench-route --sites 3               # routing-regret bench
+
 Replays fan out over ``--jobs`` worker processes (default: ``BMBP_JOBS``
 or 1) and their results persist in a versioned on-disk cache, so a warm
 rerun does zero replays.  ``--no-cache`` bypasses the cache for one run;
@@ -84,7 +88,9 @@ def build_parser() -> argparse.ArgumentParser:
             "Live-service subcommands (each with its own --help): "
             "serve (the forecast daemon), tail (feed it an SWF log), "
             "bench-serve (load-test it), verify (the self-verification "
-            "suite)."
+            "suite), broker (the multi-site routing broker), route "
+            "(one routing decision), bench-route (the routing-regret "
+            "benchmark)."
         ),
     )
     parser.add_argument(
@@ -136,6 +142,9 @@ SERVER_COMMANDS = {
     "tail": "feed a daemon from an SWF trace file",
     "bench-serve": "load-test a daemon and write BENCH_serve.json",
     "verify": "run the self-verification suite and write VERIFY.json",
+    "broker": "run the multi-site routing broker daemon",
+    "route": "ask where to submit a job (broker daemon or --site specs)",
+    "bench-route": "replay K sites, score routing regret, write BENCH_route.json",
 }
 
 
@@ -307,6 +316,270 @@ def _verify_main(argv: List[str]) -> int:
     return verify_main(argv)
 
 
+def _add_site_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--site", action="append", default=[], metavar="NAME=HOST:PORT[:QUEUES]",
+        help="a forecast daemon to route over (repeatable); queues default "
+        "to 'normal'",
+    )
+    parser.add_argument(
+        "--sites-file", default=None, metavar="PATH",
+        help="JSON site registry with per-queue limits (see docs/broker.md)",
+    )
+
+
+def _collect_sites(args: argparse.Namespace) -> list:
+    from repro.broker import load_sites_file, parse_site_arg
+
+    sites = [parse_site_arg(spec) for spec in args.site]
+    if args.sites_file is not None:
+        sites.extend(load_sites_file(args.sites_file))
+    return sites
+
+
+def build_broker_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="bmbp broker", description=SERVER_COMMANDS["broker"]
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=7079,
+        help="TCP port (default %(default)s; 0 = ephemeral, written to the "
+        "state directory's server.port file)",
+    )
+    parser.add_argument(
+        "--state-dir", default=None, metavar="DIR",
+        help="directory for the port file (the broker itself is stateless)",
+    )
+    _add_site_args(parser)
+    parser.add_argument(
+        "--request-timeout", type=float, default=0.25, metavar="SECONDS",
+        help="per-attempt backend timeout (default %(default)s)",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=1,
+        help="extra backend attempts per request (default %(default)s)",
+    )
+    parser.add_argument(
+        "--hedge-after", type=float, default=None, metavar="SECONDS",
+        help="launch the duplicate request after this long (default: each "
+        "backend's observed p95 latency)",
+    )
+    parser.add_argument(
+        "--cache-ttl", type=float, default=0.5, metavar="SECONDS",
+        help="stale-while-revalidate freshness window (default %(default)s)",
+    )
+    parser.add_argument(
+        "--breaker-failures", type=int, default=3,
+        help="consecutive failures that open a site's breaker (default %(default)s)",
+    )
+    parser.add_argument(
+        "--breaker-reset", type=float, default=2.0, metavar="SECONDS",
+        help="open-breaker cooldown before a half-open probe (default %(default)s)",
+    )
+    parser.add_argument(
+        "--pool-size", type=int, default=4,
+        help="max pooled connections per backend (default %(default)s)",
+    )
+    parser.add_argument("--drain-timeout", type=float, default=5.0, metavar="SECONDS")
+    return parser
+
+
+def _broker_main(argv: List[str]) -> int:
+    from repro.broker import BrokerConfig, serve_broker
+
+    args = build_broker_parser().parse_args(argv)
+    sites = _collect_sites(args)
+    if not sites:
+        print("bmbp broker: at least one --site or --sites-file is required",
+              file=sys.stderr)
+        return 2
+    return serve_broker(BrokerConfig(
+        sites=sites,
+        host=args.host,
+        port=args.port,
+        state_dir=args.state_dir,
+        request_timeout=args.request_timeout,
+        retries=args.retries,
+        hedge_after=args.hedge_after,
+        cache_ttl=args.cache_ttl,
+        breaker_failures=args.breaker_failures,
+        breaker_reset=args.breaker_reset,
+        pool_size=args.pool_size,
+        drain_timeout=args.drain_timeout,
+    ))
+
+
+def build_route_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="bmbp route", description=SERVER_COMMANDS["route"]
+    )
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="broker daemon host (ignored with --site)")
+    parser.add_argument("--port", type=int, default=7079,
+                        help="broker daemon port (ignored with --site)")
+    _add_site_args(parser)
+    parser.add_argument("--procs", type=int, default=1)
+    parser.add_argument("--walltime", type=float, default=None, metavar="SECONDS")
+    parser.add_argument("--queue", default=None,
+                        help="restrict the fan-out to one queue name")
+    parser.add_argument("--deadline", type=float, default=None, metavar="SECONDS",
+                        help="per-site network budget for the fan-out")
+    parser.add_argument("--json", action="store_true",
+                        help="print the full decision as JSON")
+    return parser
+
+
+def _format_route(decision: dict) -> str:
+    lines = []
+    best = decision.get("best")
+    if best is not None:
+        bound = best["bound"]
+        lines.append(
+            f"best: {best['site']}/{best['queue']} "
+            f"bound={bound:,.0f}s ({best['source']})"
+        )
+    else:
+        lines.append("best: none (no site produced a usable bound)")
+    for quote in decision.get("ranked", []):
+        bound = quote["bound"]
+        bound_text = f"{bound:,.0f}s" if bound is not None else "-"
+        flags = [quote["source"]]
+        if quote["stale"]:
+            flags.append("stale")
+        if quote["hedged"]:
+            flags.append("hedged")
+        lines.append(
+            f"  {quote['site']}/{quote['queue']}: bound={bound_text} "
+            f"[{','.join(flags)}] breaker={quote['breaker']}"
+        )
+    for excluded in decision.get("infeasible", []):
+        lines.append(
+            f"  {excluded['site']}/{excluded['queue']}: "
+            f"infeasible ({excluded['reason']})"
+        )
+    lines.append(f"decided in {decision.get('decided_ms', 0.0):.1f} ms")
+    return "\n".join(lines)
+
+
+def _route_main(argv: List[str]) -> int:
+    import asyncio
+    import json as json_module
+
+    args = build_route_parser().parse_args(argv)
+    sites = _collect_sites(args)
+    if sites:
+        from repro.broker import RoutingBroker
+
+        broker = RoutingBroker(sites)
+
+        async def _ask() -> dict:
+            try:
+                decision = await broker.route(
+                    procs=args.procs, walltime=args.walltime,
+                    queue=args.queue, deadline=args.deadline,
+                )
+                return decision.to_dict()
+            finally:
+                await broker.close()
+
+        decision = asyncio.run(_ask())
+    else:
+        from repro.server.client import ForecastClient, ServerError, TransportError
+
+        try:
+            with ForecastClient(args.host, args.port) as client:
+                decision = client._request(
+                    "route", procs=args.procs, walltime=args.walltime,
+                    queue=args.queue, deadline=args.deadline,
+                )
+        except (ServerError, TransportError) as exc:
+            print(f"bmbp route: {exc}", file=sys.stderr)
+            return 1
+    if args.json:
+        print(json_module.dumps(decision, indent=2, sort_keys=True))
+    else:
+        print(_format_route(decision))
+    return 0 if decision.get("best") is not None else 1
+
+
+def build_bench_route_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="bmbp bench-route", description=SERVER_COMMANDS["bench-route"]
+    )
+    parser.add_argument(
+        "--sites", type=int, default=3,
+        help="forecast daemons to spawn and route over (default %(default)s)",
+    )
+    parser.add_argument(
+        "--feed-jobs", type=int, default=200, metavar="N",
+        help="SWF jobs fed to each daemon before routing (default %(default)s)",
+    )
+    parser.add_argument(
+        "--routes", type=int, default=60, metavar="N",
+        help="routing decisions in the healthy phase (default %(default)s)",
+    )
+    parser.add_argument(
+        "--degraded-routes", type=int, default=30, metavar="N",
+        help="routing decisions after killing one backend (default %(default)s)",
+    )
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument(
+        "--request-timeout", type=float, default=0.25, metavar="SECONDS",
+    )
+    parser.add_argument(
+        "--no-kill", action="store_true",
+        help="skip the kill-one-backend degradation phase",
+    )
+    parser.add_argument(
+        "--json", default="BENCH_route.json", metavar="PATH",
+        help="regret/latency artifact path (default %(default)s)",
+    )
+    return parser
+
+
+def _bench_route_main(argv: List[str]) -> int:
+    from repro.broker import run_route_bench
+
+    args = build_bench_route_parser().parse_args(argv)
+    report = run_route_bench(
+        sites=args.sites,
+        feed_jobs=args.feed_jobs,
+        routes=args.routes,
+        degraded_routes=args.degraded_routes,
+        seed=args.seed,
+        artifact=args.json,
+        request_timeout=args.request_timeout,
+        kill_one=not args.no_kill,
+    )
+    regret = report["regret"]
+    parts = [
+        f"{policy}={stats['mean_regret_s']:.0f}s"
+        for policy, stats in regret["policies"].items()
+    ]
+    latency = report["healthy"]["decision_latency_ms"]
+    print(
+        f"regret over {regret['probes']} probes: {' '.join(parts)} "
+        f"(broker strictly lowest: {regret['broker_strictly_lowest']})"
+    )
+    print(
+        f"decision latency over {latency['count']} routes: "
+        f"p50={latency['p50']:.1f}ms p99={latency['p99']:.1f}ms "
+        f"({report['healthy']['failed_routes']} failed)"
+    )
+    if "degraded" in report:
+        degraded = report["degraded"]
+        print(
+            f"after killing {degraded['killed_site']}: "
+            f"{degraded['routes']} routes, "
+            f"{degraded['failed_routes']} failed, "
+            f"{degraded['stale_answers']} stale answers, "
+            f"breaker opened: {degraded['breaker_opened']}"
+        )
+    print(f"[bmbp] route benchmark written to {args.json}", file=sys.stderr)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -316,6 +589,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             "tail": _tail_main,
             "bench-serve": _bench_serve_main,
             "verify": _verify_main,
+            "broker": _broker_main,
+            "route": _route_main,
+            "bench-route": _bench_route_main,
         }
         return dispatch[argv[0]](list(argv[1:]))
     args = build_parser().parse_args(argv)

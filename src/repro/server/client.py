@@ -18,6 +18,12 @@ on a retry attempt as success (the job *is* pending, which is what the
 caller asked for).  A retried ``start`` whose first attempt was applied
 surfaces as ``unknown-job`` — the ambiguity is left to the caller, since
 the job may genuinely be unknown.
+
+With ``keepalive=N`` a connection that sat idle longer than N seconds is
+health-pinged (one ``healthz`` round-trip) before the next real request;
+a rotten connection is dropped and redialed instead of costing a retried
+mutation.  The paced log tail uses this — at low speedups minutes can
+pass between events.
 """
 
 from __future__ import annotations
@@ -78,6 +84,7 @@ class ForecastClient:
         retries: int = 5,
         backoff: float = 0.05,
         max_backoff: float = 2.0,
+        keepalive: Optional[float] = None,
     ):
         self.host = host
         self.port = port
@@ -85,8 +92,14 @@ class ForecastClient:
         self.retries = retries
         self.backoff = backoff
         self.max_backoff = max_backoff
+        #: Idle seconds after which the next request health-pings the pooled
+        #: connection first (None = off).  A connection that sat idle past a
+        #: NAT/firewall/server drain window fails the cheap ping and is
+        #: redialed, instead of burning a real request to discover the rot.
+        self.keepalive = keepalive
         self._sock: Optional[socket.socket] = None
         self._file = None
+        self._last_used = 0.0
 
     # ------------------------------------------------------------ transport
 
@@ -96,6 +109,7 @@ class ForecastClient:
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self._sock = sock
         self._file = sock.makefile("rwb")
+        self._last_used = time.monotonic()
 
     def close(self) -> None:
         if self._file is not None:
@@ -117,6 +131,41 @@ class ForecastClient:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
+    def _roundtrip(self, line: bytes) -> Any:
+        """Write one request line, read one response line (no retry)."""
+        self._file.write(line)
+        self._file.flush()
+        raw = self._file.readline()
+        if not raw:
+            raise ConnectionResetError("server closed the connection")
+        self._last_used = time.monotonic()
+        return json.loads(raw)
+
+    def ping(self) -> bool:
+        """Health-check the current pooled connection with one ``healthz``.
+
+        Returns ``False`` (and drops the connection) instead of raising, so
+        callers can probe before committing a mutation.  Never dials: a
+        closed client stays closed.
+        """
+        if self._file is None:
+            return False
+        try:
+            response = self._roundtrip(b'{"op":"healthz"}\n')
+        except (OSError, ValueError):
+            self.close()
+            return False
+        return bool(response.get("ok"))
+
+    def _maybe_keepalive(self) -> None:
+        """Ping (and drop, if rotten) a connection idle past ``keepalive``."""
+        if (
+            self.keepalive is not None
+            and self._file is not None
+            and time.monotonic() - self._last_used > self.keepalive
+        ):
+            self.ping()
+
     def _request(self, op: str, **fields: Any) -> Any:
         """One round-trip with transport-level retry; returns ``result``."""
         payload = {"op": op}
@@ -124,16 +173,12 @@ class ForecastClient:
         line = json.dumps(payload, separators=(",", ":")).encode() + b"\n"
         delay = self.backoff
         last_error: Optional[Exception] = None
+        self._maybe_keepalive()
         for attempt in range(self.retries + 1):
             try:
                 if self._file is None:
                     self._connect()
-                self._file.write(line)
-                self._file.flush()
-                raw = self._file.readline()
-                if not raw:
-                    raise ConnectionResetError("server closed the connection")
-                response = json.loads(raw)
+                response = self._roundtrip(line)
             except (OSError, ValueError) as exc:
                 last_error = exc
                 self.close()

@@ -12,6 +12,12 @@ sizes).
 Exposed two ways by the daemon: the ``metrics`` protocol op returns the
 :meth:`ServerMetrics.snapshot` dict as JSON; HTTP ``GET /metrics`` returns
 :meth:`ServerMetrics.render_text`, a Prometheus-style text exposition.
+
+:class:`BrokerMetrics` lives here too — the routing broker's counters
+(fan-out decision latency, hedges, breaker transitions, stale serves)
+share this module's histogram type and text renderer conventions so the
+whole system has exactly one Prometheus exporter implementation, and
+``GET /metrics`` on either daemon parses with the same scraper.
 """
 
 from __future__ import annotations
@@ -19,7 +25,7 @@ from __future__ import annotations
 import time
 from typing import Dict, List, Optional
 
-__all__ = ["LatencyHistogram", "ServerMetrics"]
+__all__ = ["BrokerMetrics", "LatencyHistogram", "ServerMetrics"]
 
 #: Log-spaced latency bucket upper bounds, in seconds (100 us .. 10 s).
 _BUCKETS = (
@@ -210,5 +216,152 @@ class ServerMetrics:
                 lines.append(
                     f'bmbp_predictor_history_size{{queue="{queue}",'
                     f'bin="{bin_name}"}} {size}'
+                )
+        return "\n".join(lines) + "\n"
+
+
+#: Numeric encoding of breaker states for the per-site state gauge.
+_BREAKER_STATE_VALUES = {"closed": 0, "half-open": 1, "open": 2}
+
+
+class BrokerMetrics:
+    """The routing broker's counters and gauges (one exporter, see above).
+
+    Recorded by :mod:`repro.broker.fanout`/:mod:`repro.broker.broker` and
+    rendered by the broker daemon's ``GET /metrics``; quote sources are
+    ``live`` (fresh network answer), ``cache`` (fresh SWR hit), ``stale``
+    (degraded last-known bound) and ``none`` (no data at all).
+    """
+
+    def __init__(self) -> None:
+        self.started_monotonic = time.monotonic()
+        self.routes_total = 0
+        self.route_errors = 0
+        self.fanout_latency = LatencyHistogram()
+        self.hedges_total = 0
+        self.hedge_wins_total = 0
+        self.quote_sources: Dict[str, int] = {}
+        self.backend_requests: Dict[str, int] = {}
+        self.backend_errors: Dict[str, int] = {}
+        self.backend_latency: Dict[str, LatencyHistogram] = {}
+        self.breaker_transitions: Dict[str, Dict[str, int]] = {}
+        self.breaker_states: Dict[str, str] = {}
+
+    # ------------------------------------------------------------ recording
+
+    def record_route(self, seconds: float, ok: bool = True) -> None:
+        self.routes_total += 1
+        self.fanout_latency.observe(seconds)
+        if not ok:
+            self.route_errors += 1
+
+    def record_backend_request(
+        self, site: str, seconds: Optional[float], ok: bool
+    ) -> None:
+        self.backend_requests[site] = self.backend_requests.get(site, 0) + 1
+        if seconds is not None:
+            self.backend_latency.setdefault(site, LatencyHistogram()).observe(seconds)
+        if not ok:
+            self.backend_errors[site] = self.backend_errors.get(site, 0) + 1
+
+    def record_hedge(self, won: bool) -> None:
+        self.hedges_total += 1
+        if won:
+            self.hedge_wins_total += 1
+
+    def record_quote_source(self, source: str) -> None:
+        self.quote_sources[source] = self.quote_sources.get(source, 0) + 1
+
+    def record_breaker(self, site: str, state: str,
+                       transitions: Dict[str, int]) -> None:
+        """Sync a site's breaker state gauge and transition counters."""
+        self.breaker_states[site] = state
+        self.breaker_transitions[site] = dict(transitions)
+
+    # ------------------------------------------------------------ rendering
+
+    def snapshot(self) -> dict:
+        return {
+            "uptime_s": time.monotonic() - self.started_monotonic,
+            "routes": {"total": self.routes_total, "errors": self.route_errors},
+            "fanout_latency": self.fanout_latency.snapshot(),
+            "hedges": {"fired": self.hedges_total, "won": self.hedge_wins_total},
+            "quote_sources": dict(sorted(self.quote_sources.items())),
+            "backends": {
+                site: {
+                    "requests": count,
+                    "errors": self.backend_errors.get(site, 0),
+                    "latency": self.backend_latency[site].snapshot()
+                    if site in self.backend_latency
+                    else None,
+                    "breaker_state": self.breaker_states.get(site),
+                    "breaker_transitions": self.breaker_transitions.get(site, {}),
+                }
+                for site, count in sorted(self.backend_requests.items())
+            },
+        }
+
+    def render_text(self) -> str:
+        """Prometheus-style text exposition for the broker daemon."""
+        lines = [
+            "# TYPE bmbp_broker_uptime_seconds gauge",
+            f"bmbp_broker_uptime_seconds "
+            f"{time.monotonic() - self.started_monotonic:.3f}",
+            "# TYPE bmbp_broker_routes_total counter",
+            f"bmbp_broker_routes_total {self.routes_total}",
+            "# TYPE bmbp_broker_route_errors_total counter",
+            f"bmbp_broker_route_errors_total {self.route_errors}",
+            "# TYPE bmbp_broker_hedges_total counter",
+            f"bmbp_broker_hedges_total {self.hedges_total}",
+            "# TYPE bmbp_broker_hedge_wins_total counter",
+            f"bmbp_broker_hedge_wins_total {self.hedge_wins_total}",
+            "# TYPE bmbp_broker_fanout_latency_seconds summary",
+        ]
+        hist = self.fanout_latency
+        for q in (0.5, 0.9, 0.99):
+            value = hist.quantile(q)
+            if value is not None:
+                lines.append(
+                    f'bmbp_broker_fanout_latency_seconds{{quantile="{q}"}} '
+                    f"{value:.6f}"
+                )
+        lines.append(f"bmbp_broker_fanout_latency_seconds_count {hist.count}")
+        lines.append(f"bmbp_broker_fanout_latency_seconds_sum {hist.total:.6f}")
+        lines.append("# TYPE bmbp_broker_quotes_total counter")
+        for source, count in sorted(self.quote_sources.items()):
+            lines.append(f'bmbp_broker_quotes_total{{source="{source}"}} {count}')
+        lines.append("# TYPE bmbp_broker_backend_requests_total counter")
+        for site, count in sorted(self.backend_requests.items()):
+            lines.append(
+                f'bmbp_broker_backend_requests_total{{site="{site}"}} {count}'
+            )
+        lines.append("# TYPE bmbp_broker_backend_errors_total counter")
+        for site, count in sorted(self.backend_errors.items()):
+            lines.append(
+                f'bmbp_broker_backend_errors_total{{site="{site}"}} {count}'
+            )
+        lines.append("# TYPE bmbp_broker_backend_latency_seconds summary")
+        for site, site_hist in sorted(self.backend_latency.items()):
+            for q in (0.5, 0.99):
+                value = site_hist.quantile(q)
+                if value is not None:
+                    lines.append(
+                        f'bmbp_broker_backend_latency_seconds{{site="{site}",'
+                        f'quantile="{q}"}} {value:.6f}'
+                    )
+            lines.append(
+                f'bmbp_broker_backend_latency_seconds_count{{site="{site}"}} '
+                f"{site_hist.count}"
+            )
+        lines.append("# TYPE bmbp_broker_breaker_state gauge")
+        for site, state in sorted(self.breaker_states.items()):
+            value = _BREAKER_STATE_VALUES.get(state, -1)
+            lines.append(f'bmbp_broker_breaker_state{{site="{site}"}} {value}')
+        lines.append("# TYPE bmbp_broker_breaker_transitions_total counter")
+        for site, transitions in sorted(self.breaker_transitions.items()):
+            for transition, count in sorted(transitions.items()):
+                lines.append(
+                    f'bmbp_broker_breaker_transitions_total{{site="{site}",'
+                    f'transition="{transition}"}} {count}'
                 )
         return "\n".join(lines) + "\n"

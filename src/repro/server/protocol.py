@@ -26,6 +26,12 @@ refit      admin     optional ``now``
 checkpoint admin     --
 =========  ========  =====================================================
 
+The routing broker daemon (:mod:`repro.broker.daemon`) reuses this exact
+framing with its own op set (:data:`BROKER_OPS`): ``route`` (optional
+``procs``/``walltime``/``queue``/``deadline``), ``sites``, plus the shared
+``describe``/``healthz``/``metrics``; HTTP GET reads come from
+:data:`BROKER_HTTP_ROUTES` (``/route?procs=8&walltime=3600``, ``/sites``).
+
 Read paths are additionally reachable as plain HTTP/1.1 ``GET`` requests
 on the same port (``/healthz``, ``/metrics``, ``/forecast?queue=q&procs=4``,
 ``/outlook?queue=q``, ``/queues``, ``/describe``) so a browser, ``curl``,
@@ -45,6 +51,8 @@ from urllib.parse import parse_qsl, urlsplit
 
 __all__ = [
     "ADMIN_OPS",
+    "BROKER_HTTP_ROUTES",
+    "BROKER_OPS",
     "MAX_LINE_BYTES",
     "MUTATION_OPS",
     "OPS",
@@ -68,6 +76,10 @@ MUTATION_OPS = frozenset({"submit", "start", "cancel"})
 QUERY_OPS = frozenset({"forecast", "outlook", "queues", "describe", "healthz", "metrics"})
 ADMIN_OPS = frozenset({"refit", "checkpoint"})
 OPS = MUTATION_OPS | QUERY_OPS | ADMIN_OPS
+
+#: The routing broker daemon speaks the same framing with its own op set
+#: (``route``/``sites`` plus the shared read ops); see repro/broker/daemon.py.
+BROKER_OPS = frozenset({"route", "sites", "describe", "healthz", "metrics"})
 
 #: Error codes (stable API, documented in docs/server.md):
 #:   bad-json       request line is not valid JSON
@@ -113,11 +125,13 @@ def _field(request: Dict[str, Any], name: str, kind, *, required: bool = True):
     return value
 
 
-def parse_request(line: bytes) -> Dict[str, Any]:
+def parse_request(line: bytes, ops: frozenset = OPS) -> Dict[str, Any]:
     """Parse and validate one request line into a normalized request dict.
 
     The returned dict always has ``op`` and ``id`` keys plus the validated
-    operation-specific fields (absent optionals are ``None``).
+    operation-specific fields (absent optionals are ``None``).  ``ops``
+    selects the daemon's op set (:data:`OPS` for the forecast daemon,
+    :data:`BROKER_OPS` for the routing broker).
     """
     if len(line) > MAX_LINE_BYTES:
         raise ProtocolError("bad-request", "request line exceeds size limit")
@@ -130,7 +144,7 @@ def parse_request(line: bytes) -> Dict[str, Any]:
     op = raw.get("op")
     if not isinstance(op, str):
         raise ProtocolError("bad-request", "missing or non-string 'op'")
-    if op not in OPS:
+    if op not in ops:
         raise ProtocolError("unknown-op", f"unknown op {op!r}")
     request: Dict[str, Any] = {"op": op, "id": raw.get("id")}
     if op == "submit":
@@ -155,7 +169,21 @@ def parse_request(line: bytes) -> Dict[str, Any]:
         request["queue"] = _field(raw, "queue", str)
     elif op == "refit":
         request["now"] = _field(raw, "now", float, required=False)
-    # queues/describe/healthz/metrics/checkpoint take no fields.
+    elif op == "route":
+        procs = _field(raw, "procs", int, required=False)
+        if procs is not None and procs < 1:
+            raise ProtocolError("bad-request", "'procs' must be at least 1")
+        request["procs"] = procs if procs is not None else 1
+        walltime = _field(raw, "walltime", float, required=False)
+        if walltime is not None and walltime <= 0:
+            raise ProtocolError("bad-request", "'walltime' must be positive")
+        request["walltime"] = walltime
+        request["queue"] = _field(raw, "queue", str, required=False)
+        deadline = _field(raw, "deadline", float, required=False)
+        if deadline is not None and deadline <= 0:
+            raise ProtocolError("bad-request", "'deadline' must be positive")
+        request["deadline"] = deadline
+    # queues/sites/describe/healthz/metrics/checkpoint take no fields.
     return request
 
 
@@ -184,6 +212,15 @@ _HTTP_ROUTES = {
     "/describe": "describe",
 }
 
+#: The broker daemon's HTTP surface (same framing, its own route table).
+BROKER_HTTP_ROUTES = {
+    "/healthz": "healthz",
+    "/metrics": "metrics",
+    "/route": "route",
+    "/sites": "sites",
+    "/describe": "describe",
+}
+
 _HTTP_STATUS_TEXT = {200: "OK", 400: "Bad Request", 404: "Not Found",
                      405: "Method Not Allowed"}
 
@@ -203,15 +240,44 @@ def parse_http_request_line(line: bytes) -> Tuple[str, str, Dict[str, str]]:
     return method, parts.path, dict(parse_qsl(parts.query))
 
 
-def http_request_to_op(method: str, path: str, query: Dict[str, str]) -> Dict[str, Any]:
+def _query_int(query: Dict[str, str], name: str) -> Optional[int]:
+    if name not in query:
+        return None
+    try:
+        return int(query[name])
+    except ValueError:
+        raise ProtocolError(
+            "bad-request", f"query parameter {name!r} must be an integer"
+        ) from None
+
+
+def _query_float(query: Dict[str, str], name: str) -> Optional[float]:
+    if name not in query:
+        return None
+    try:
+        return float(query[name])
+    except ValueError:
+        raise ProtocolError(
+            "bad-request", f"query parameter {name!r} must be a number"
+        ) from None
+
+
+def http_request_to_op(
+    method: str,
+    path: str,
+    query: Dict[str, str],
+    routes: Optional[Dict[str, str]] = None,
+) -> Dict[str, Any]:
     """Map an HTTP GET to the equivalent protocol request dict.
 
-    Raises :class:`ProtocolError` with code ``http-404``/``http-405``/
-    ``bad-request`` for unroutable requests.
+    ``routes`` selects the daemon's route table (:data:`_HTTP_ROUTES` for
+    the forecast daemon by default, :data:`BROKER_HTTP_ROUTES` for the
+    broker).  Raises :class:`ProtocolError` with code ``http-404``/
+    ``http-405``/``bad-request`` for unroutable requests.
     """
     if method not in ("GET", "HEAD"):
         raise ProtocolError("http-405", f"method {method} not allowed")
-    op = _HTTP_ROUTES.get(path)
+    op = (routes if routes is not None else _HTTP_ROUTES).get(path)
     if op is None:
         raise ProtocolError("http-404", f"no such path {path!r}")
     request: Dict[str, Any] = {"op": op, "id": None}
@@ -221,17 +287,24 @@ def http_request_to_op(method: str, path: str, query: Dict[str, str]) -> Dict[st
             raise ProtocolError("bad-request", "query parameter 'queue' is required")
         request["queue"] = queue
     if op == "forecast":
-        procs: Optional[int] = None
-        if "procs" in query:
-            try:
-                procs = int(query["procs"])
-            except ValueError:
-                raise ProtocolError(
-                    "bad-request", "query parameter 'procs' must be an integer"
-                ) from None
-            if procs < 1:
-                raise ProtocolError("bad-request", "'procs' must be at least 1")
+        procs = _query_int(query, "procs")
+        if procs is not None and procs < 1:
+            raise ProtocolError("bad-request", "'procs' must be at least 1")
         request["procs"] = procs
+    if op == "route":
+        procs = _query_int(query, "procs")
+        if procs is not None and procs < 1:
+            raise ProtocolError("bad-request", "'procs' must be at least 1")
+        request["procs"] = procs if procs is not None else 1
+        walltime = _query_float(query, "walltime")
+        if walltime is not None and walltime <= 0:
+            raise ProtocolError("bad-request", "'walltime' must be positive")
+        request["walltime"] = walltime
+        request["queue"] = query.get("queue") or None
+        deadline = _query_float(query, "deadline")
+        if deadline is not None and deadline <= 0:
+            raise ProtocolError("bad-request", "'deadline' must be positive")
+        request["deadline"] = deadline
     return request
 
 

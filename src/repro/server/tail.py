@@ -126,7 +126,9 @@ def tail_swf(
 ) -> Dict[str, float]:
     """Tail an SWF file (plain or ``.gz``) into a live daemon."""
     trace = load_swf(path, queue_names=queue_names)
-    with ForecastClient(host, port) as client:
+    # A paced tail can idle for minutes between events; the keepalive ping
+    # revalidates the pooled connection instead of risking a retried submit.
+    with ForecastClient(host, port, keepalive=30.0) as client:
         client.wait_until_up()
         return tail_trace(
             trace, client, speedup=speedup, limit=limit,

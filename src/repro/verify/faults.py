@@ -39,6 +39,8 @@ daemon.mutation     ``drop`` (apply + journal the mutation, then reset the
 engine.worker       ``die`` (``os._exit`` — only inside a pool worker
                     process), ``raise`` (raise inside the task)
 cache.put           ``corrupt`` (scribble over the entry file just written)
+broker.request      ``drop`` (abort the in-flight backend connection
+                    mid-fan-out, as if the remote daemon crashed)
 ==================  ==========================================================
 
 Injected crashes exit with :data:`CRASH_EXIT_CODE` so a scenario can prove
@@ -537,6 +539,112 @@ def scenario_cache_corruption(tmp: Path) -> Dict[str, Any]:
     return {"recomputed_after_corruption": True, "rehit_after_recompute": True}
 
 
+def scenario_broker_backend_crash(tmp: Path) -> Dict[str, Any]:
+    """One backend's connection is aborted mid-fan-out (``broker.request:
+    drop``): the route must still return a well-formed ranked response with
+    every healthy site live, the dropped site degraded (not missing, not
+    corrupt), no connection slot leaked, and the next clean route must go
+    back to all-live."""
+    import asyncio
+    import json as json_module
+
+    from repro.broker import RoutingBroker, SiteSpec
+
+    bounds = {"alpha": 500.0, "beta": 1500.0, "gamma": 2500.0}
+
+    def make_handler(bound: float):
+        async def handler(reader, writer):
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                request = json_module.loads(line)
+                writer.write(json_module.dumps({
+                    "id": request.get("id"), "ok": True,
+                    "result": {"bound": bound},
+                }).encode() + b"\n")
+                await writer.drain()
+            writer.close()
+        return handler
+
+    async def drive() -> Dict[str, Any]:
+        servers = []
+        specs = []
+        try:
+            for name, bound in bounds.items():
+                server = await asyncio.start_server(
+                    make_handler(bound), "127.0.0.1", 0
+                )
+                servers.append(server)
+                specs.append(SiteSpec(
+                    name=name, host="127.0.0.1",
+                    port=server.sockets[0].getsockname()[1],
+                ))
+            # cache_ttl=0 forces every route onto the network, so the
+            # scheduled drop is guaranteed to hit a live request; retries=0
+            # makes exactly one quote degrade.
+            broker = RoutingBroker(
+                specs, request_timeout=0.5, retries=0, cache_ttl=0.0
+            )
+            clean = await broker.route(procs=2)
+            assert [q.source for q in clean.ranked] == ["live"] * 3
+            # Hit counters start at install, so the faulted fan-out's three
+            # requests are hits 1-3; @2 drops the middle one.
+            install("broker.request:drop@2")
+            try:
+                faulted = await broker.route(procs=2)
+            finally:
+                reset()
+            after = await broker.route(procs=2)
+            in_use = {
+                name: backend.pool.in_use
+                for name, backend in broker.backends.items()
+            }
+            await broker.close()
+            return {
+                "faulted": faulted.to_dict(),
+                "after": after.to_dict(),
+                "in_use": in_use,
+            }
+        finally:
+            for server in servers:
+                server.close()
+                await server.wait_closed()
+
+    outcome = asyncio.run(drive())
+    faulted = outcome["faulted"]
+    sources = [quote["source"] for quote in faulted["ranked"]]
+    assert len(faulted["ranked"]) == len(bounds), (
+        f"dropped site missing from the ranked response: {sources}"
+    )
+    assert sources.count("live") == len(bounds) - 1, (
+        f"expected exactly one degraded quote, got sources {sources}"
+    )
+    degraded = [q for q in faulted["ranked"] if q["source"] != "live"]
+    assert degraded[0]["source"] in ("stale", "none") and degraded[0]["error"], (
+        f"dropped site not marked degraded: {degraded[0]}"
+    )
+    live_bounds = sorted(
+        q["bound"] for q in faulted["ranked"] if q["source"] == "live"
+    )
+    assert all(bound in bounds.values() for bound in live_bounds), (
+        f"live quotes corrupted by the aborted connection: {live_bounds}"
+    )
+    assert faulted["best"] is not None, "fault turned into a failed route"
+    leaked = {site: n for site, n in outcome["in_use"].items() if n != 0}
+    assert not leaked, f"connection slots leaked after the drop: {leaked}"
+    after_sources = [quote["source"] for quote in outcome["after"]["ranked"]]
+    assert after_sources == ["live"] * len(bounds), (
+        f"broker did not recover to all-live after the fault: {after_sources}"
+    )
+    return {
+        "ranked_intact": True,
+        "degraded_site": degraded[0]["site"],
+        "slots_leaked": 0,
+        "recovered_all_live": True,
+    }
+
+
 #: Scenario registry: name -> (driver, needs_reference).
 SCENARIOS: Dict[str, Tuple[Callable, bool]] = {
     "torn-journal": (scenario_torn_journal, True),
@@ -546,6 +654,7 @@ SCENARIOS: Dict[str, Tuple[Callable, bool]] = {
     "dropped-connection": (scenario_dropped_connection, True),
     "worker-death": (scenario_worker_death, False),
     "cache-corruption": (scenario_cache_corruption, False),
+    "broker-backend-crash": (scenario_broker_backend_crash, False),
 }
 
 

@@ -1,0 +1,122 @@
+"""Fixtures for the broker test suite.
+
+Unit and integration tests drive the fan-out machinery against in-process
+fake forecast daemons (:class:`FakeSite`) so failure modes — slow answers,
+crashes, protocol errors — are scriptable per request.  The daemon and
+smoke tests spawn real subprocesses instead; the session fixture
+guarantees those children can import ``repro`` regardless of how pytest
+itself was launched.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+import repro
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _subprocess_can_import_repro():
+    """Prepend the repro source root to PYTHONPATH for spawned daemons."""
+    src = str(Path(repro.__file__).resolve().parent.parent)
+    existing = os.environ.get("PYTHONPATH", "")
+    if src not in existing.split(os.pathsep):
+        os.environ["PYTHONPATH"] = (
+            src + (os.pathsep + existing if existing else "")
+        )
+
+
+class FakeSite:
+    """In-loop fake forecast daemon with scriptable latency and failures.
+
+    ``behavior`` is consulted per request: ``ok`` answers with ``bound``,
+    ``error`` returns a structured protocol error, and ``close`` drops the
+    connection without answering (a mid-request crash, as the client sees
+    it).  ``delay`` is seconds before answering — or an ``f(request_index)``
+    callable, which is how the hedge tests make the primary connection slow
+    and the duplicate's fast.  Async context manager; binds an ephemeral
+    port on enter.
+    """
+
+    def __init__(self, name: str = "fake", bound: float = 1000.0, delay=0.0):
+        self.name = name
+        self.bound = bound
+        self.delay = delay
+        self.behavior = "ok"
+        self.requests = 0
+        self.port = None
+        self._server = None
+        self._writers = set()
+
+    async def __aenter__(self) -> "FakeSite":
+        self._server = await asyncio.start_server(self._handle, "127.0.0.1", 0)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def __aexit__(self, *_exc) -> None:
+        await self.stop()
+
+    def spec(self):
+        from repro.broker import SiteSpec
+
+        return SiteSpec(name=self.name, host="127.0.0.1", port=self.port)
+
+    async def stop(self) -> None:
+        """Stop listening AND reset live connections (a real process death
+        kills established sockets too, not just the accept queue)."""
+        if self._server is None:
+            return
+        self._server.close()
+        for writer in list(self._writers):
+            writer.transport.abort()
+        try:
+            await self._server.wait_closed()
+        except asyncio.CancelledError:
+            raise
+        except Exception:
+            pass
+        self._server = None
+
+    async def _handle(self, reader, writer) -> None:
+        self._writers.add(writer)
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                self.requests += 1
+                delay = (
+                    self.delay(self.requests)
+                    if callable(self.delay)
+                    else self.delay
+                )
+                if delay:
+                    await asyncio.sleep(delay)
+                if self.behavior == "close":
+                    break
+                if self.behavior == "error":
+                    payload = {
+                        "ok": False,
+                        "error": {"code": "internal", "message": "boom"},
+                    }
+                else:
+                    request = json.loads(line)
+                    payload = {
+                        "ok": True,
+                        "result": {
+                            "queue": request.get("queue", "normal"),
+                            "bound": self.bound,
+                        },
+                    }
+                writer.write(json.dumps(payload).encode() + b"\n")
+                await writer.drain()
+        except (asyncio.CancelledError, ConnectionError, OSError):
+            pass
+        finally:
+            self._writers.discard(writer)
+            writer.close()

@@ -1,0 +1,94 @@
+"""Circuit breaker state machine: closed -> open -> half-open -> closed."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.broker import CircuitBreaker
+from repro.broker.breaker import CLOSED, HALF_OPEN, OPEN
+
+
+class Clock:
+    """Injectable monotonic clock so transitions need no real sleeping."""
+
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def make(threshold=3, reset=2.0):
+    clock = Clock()
+    breaker = CircuitBreaker(
+        failure_threshold=threshold, reset_timeout=reset, clock=clock
+    )
+    return breaker, clock
+
+
+def test_opens_after_consecutive_failures():
+    breaker, _ = make(threshold=3)
+    breaker.record_failure()
+    breaker.record_failure()
+    assert breaker.state == CLOSED
+    assert breaker.allow_request()
+    breaker.record_failure()
+    assert breaker.state == OPEN
+    assert not breaker.allow_request()
+    assert breaker.transitions == {"closed->open": 1}
+
+
+def test_success_resets_the_consecutive_count():
+    breaker, _ = make(threshold=2)
+    breaker.record_failure()
+    breaker.record_success()
+    breaker.record_failure()
+    assert breaker.state == CLOSED  # failures were never consecutive
+
+
+def test_half_open_admits_exactly_one_probe():
+    breaker, clock = make(threshold=1, reset=2.0)
+    breaker.record_failure()
+    assert not breaker.allow_request()
+    clock.advance(2.0)
+    assert breaker.state == HALF_OPEN
+    assert breaker.allow_request()  # the single probe
+    assert not breaker.allow_request()  # concurrent caller falls back to cache
+
+
+def test_probe_success_closes():
+    breaker, clock = make(threshold=1, reset=2.0)
+    breaker.record_failure()
+    clock.advance(2.0)
+    assert breaker.allow_request()
+    breaker.record_success()
+    assert breaker.state == CLOSED
+    assert breaker.allow_request()
+    assert breaker.transitions == {
+        "closed->open": 1,
+        "open->half-open": 1,
+        "half-open->closed": 1,
+    }
+
+
+def test_probe_failure_reopens_and_restarts_the_cooldown():
+    breaker, clock = make(threshold=1, reset=2.0)
+    breaker.record_failure()
+    clock.advance(2.0)
+    assert breaker.allow_request()
+    breaker.record_failure()
+    assert breaker.state == OPEN
+    clock.advance(1.9)  # cooldown restarted at the probe's failure
+    assert breaker.state == OPEN
+    clock.advance(0.1)
+    assert breaker.state == HALF_OPEN
+
+
+def test_rejects_degenerate_configuration():
+    with pytest.raises(ValueError):
+        CircuitBreaker(failure_threshold=0)
+    with pytest.raises(ValueError):
+        CircuitBreaker(reset_timeout=0.0)

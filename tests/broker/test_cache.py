@@ -1,0 +1,75 @@
+"""Stale-while-revalidate cache: freshness window, stale lookups, LRU bound."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.broker import ForecastCache
+
+
+class Clock:
+    def __init__(self):
+        self.now = 50.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def test_fresh_within_ttl_then_stale_but_never_forgotten():
+    clock = Clock()
+    cache = ForecastCache(ttl=0.5, clock=clock)
+    cache.put(("normal", 4), 1234.0)
+    hit = cache.fresh(("normal", 4))
+    assert hit is not None and hit.value == 1234.0 and hit.fresh
+    clock.advance(0.6)
+    assert cache.fresh(("normal", 4)) is None  # too old to serve fresh
+    hit = cache.lookup(("normal", 4))  # ...but still there for degradation
+    assert hit is not None
+    assert hit.value == 1234.0
+    assert not hit.fresh
+    assert hit.age == pytest.approx(0.6)
+
+
+def test_zero_ttl_disables_freshness_but_keeps_the_stale_fallback():
+    cache = ForecastCache(ttl=0.0, clock=Clock())
+    cache.put("k", 7.0)
+    assert cache.fresh("k") is None
+    assert cache.lookup("k").value == 7.0
+
+
+def test_missing_key_is_a_clean_miss():
+    cache = ForecastCache()
+    assert cache.lookup("never-seen") is None
+    assert cache.fresh("never-seen") is None
+
+
+def test_lru_eviction_prefers_recently_used_entries():
+    cache = ForecastCache(ttl=10.0, max_entries=2, clock=Clock())
+    cache.put("a", 1)
+    cache.put("b", 2)
+    assert cache.lookup("a").value == 1  # touch: "a" is now most recent
+    cache.put("c", 3)  # evicts "b", the least recently used
+    assert cache.lookup("b") is None
+    assert cache.lookup("a").value == 1
+    assert cache.lookup("c").value == 3
+    assert len(cache) == 2
+
+
+def test_overwrite_resets_the_age():
+    clock = Clock()
+    cache = ForecastCache(ttl=1.0, clock=clock)
+    cache.put("k", 1.0)
+    clock.advance(5.0)
+    cache.put("k", 2.0)
+    hit = cache.fresh("k")
+    assert hit is not None
+    assert hit.value == 2.0
+    assert hit.age == 0.0
+
+
+def test_rejects_degenerate_capacity():
+    with pytest.raises(ValueError):
+        ForecastCache(max_entries=0)

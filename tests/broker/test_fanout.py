@@ -1,0 +1,216 @@
+"""Fan-out edge cases against scriptable fake backends: hedge races,
+all-backends-down degradation, and breaker half-open recovery.
+
+These are the three failure shapes the broker exists to absorb; each test
+drives a real :class:`~repro.broker.fanout.Backend` (pool, breaker, cache,
+hedging — nothing mocked below the socket) against a :class:`FakeSite`
+whose per-request latency and behavior the test scripts.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.broker import (
+    Backend,
+    CircuitBreaker,
+    ForecastCache,
+    RoutingBroker,
+    SiteSpec,
+)
+from repro.scheduler.constraints import QueueLimit
+from tests.broker.conftest import FakeSite
+
+
+def make_backend(site, **kwargs):
+    kwargs.setdefault("request_timeout", 2.0)
+    kwargs.setdefault("retries", 0)
+    kwargs.setdefault("cache", ForecastCache(ttl=0.0))
+    return Backend(site.spec(), **kwargs)
+
+
+def test_live_quote_happy_path():
+    async def scenario():
+        async with FakeSite(bound=321.0) as site:
+            backend = make_backend(site)
+            quote = await backend.forecast("normal", 4)
+            await backend.close()
+            return quote, site.requests
+
+    quote, requests = asyncio.run(scenario())
+    assert quote.source == "live"
+    assert quote.bound == 321.0
+    assert not quote.stale and not quote.hedged
+    assert quote.breaker == "closed"
+    assert quote.latency_ms is not None
+    assert requests == 1
+
+
+def test_fresh_cache_hit_serves_immediately_and_revalidates_behind_it():
+    async def scenario():
+        async with FakeSite(bound=77.0) as site:
+            backend = make_backend(site, cache=ForecastCache(ttl=30.0))
+            first = await backend.forecast("normal", 4)
+            site.bound = 99.0  # the background revalidation sees this
+            second = await backend.forecast("normal", 4)
+            await asyncio.sleep(0.05)  # let the refresh land
+            third = await backend.forecast("normal", 4)
+            await backend.close()
+            return first, second, third
+
+    first, second, third = asyncio.run(scenario())
+    assert (first.source, first.bound) == ("live", 77.0)
+    # The hit is served instantly from cache, not blocked on the refresh...
+    assert (second.source, second.bound) == ("cache", 77.0)
+    assert not second.stale
+    # ...and the refresh updated the entry behind it.
+    assert third.bound == 99.0
+
+
+def test_hedge_fires_after_delay_and_the_duplicate_wins():
+    # Primary request sleeps 250 ms; the hedge (request 2) answers at once.
+    delays = {1: 0.25}
+
+    async def scenario():
+        async with FakeSite(bound=55.0,
+                            delay=lambda i: delays.get(i, 0.0)) as site:
+            backend = make_backend(site, hedge_after=0.02)
+            quote = await backend.forecast("normal", 4)
+            in_use = backend.pool.in_use
+            snap = backend.metrics.snapshot()
+            follow_up = await backend.forecast("normal", 4)
+            await backend.close()
+            return quote, in_use, snap, follow_up, site.requests
+
+    quote, in_use, snap, follow_up, requests = asyncio.run(scenario())
+    assert quote.source == "live"
+    assert quote.bound == 55.0
+    assert quote.hedged
+    assert snap["hedges"] == {"fired": 1, "won": 1}
+    assert in_use == 0  # the loser's slot was released, never leaked
+    assert requests >= 2  # the duplicate really went out
+    assert follow_up.source == "live"  # and the backend is still usable
+
+
+def test_primary_answering_just_after_the_hedge_fires_still_yields_one_result():
+    async def scenario():
+        # Primary answers at ~60 ms — after the 20 ms hedge launch but well
+        # before the duplicate's 300 ms answer: the primary must win and
+        # exactly one result is used either way.
+        async with FakeSite(bound=12.0,
+                            delay=lambda i: 0.06 if i == 1 else 0.3) as site:
+            backend = make_backend(site, hedge_after=0.02)
+            quote = await backend.forecast("normal", 4)
+            snap = backend.metrics.snapshot()
+            in_use = backend.pool.in_use
+            await backend.close()
+            return quote, snap, in_use
+
+    quote, snap, in_use = asyncio.run(scenario())
+    assert quote.source == "live"
+    assert quote.bound == 12.0
+    assert quote.hedged  # a duplicate was launched...
+    assert snap["hedges"] == {"fired": 1, "won": 0}  # ...but the primary won
+    assert in_use == 0
+
+
+def test_structured_server_error_degrades_to_an_explicit_none_quote():
+    async def scenario():
+        async with FakeSite() as site:
+            site.behavior = "error"
+            backend = make_backend(site)
+            quote = await backend.forecast("normal", 4)
+            await backend.close()
+            return quote
+
+    quote = asyncio.run(scenario())
+    assert quote.source == "none"
+    assert quote.bound is None
+    assert quote.stale
+    assert "internal" in quote.error
+
+
+def test_all_backends_down_serves_stale_cache_with_the_flag_set():
+    async def scenario():
+        async with FakeSite(name="a", bound=500.0) as a, \
+                FakeSite(name="b", bound=300.0) as b:
+            broker = RoutingBroker(
+                [a.spec(), b.spec()],
+                request_timeout=0.2, retries=0, cache_ttl=0.0,
+            )
+            healthy = await broker.route(procs=4, walltime=3600.0)
+            await a.stop()
+            await b.stop()
+            down = await broker.route(procs=4, walltime=3600.0)
+            await broker.close()
+            return healthy, down
+
+    healthy, down = asyncio.run(scenario())
+    assert healthy.best.site == "b"  # 300 < 500
+    assert all(q.source == "live" for q in healthy.ranked)
+    # Dead sites cost accuracy, never availability: the route still answers
+    # from the last-known bounds, explicitly flagged stale.
+    assert down.best is not None
+    assert down.best.site == "b"
+    assert down.best.bound == 300.0
+    assert all(q.source == "stale" and q.stale for q in down.ranked)
+    assert down.to_dict()["best"]["stale"] is True
+
+
+def test_breaker_opens_short_circuits_and_recovers_via_half_open_probe():
+    async def scenario():
+        out = {}
+        async with FakeSite(bound=42.0) as site:
+            backend = make_backend(
+                site,
+                breaker=CircuitBreaker(failure_threshold=1, reset_timeout=0.15),
+            )
+            out["live"] = await backend.forecast("normal", 4)
+            site.behavior = "close"  # the daemon starts crashing mid-request
+            out["first_failure"] = await backend.forecast("normal", 4)
+            requests_when_open = site.requests
+            out["short_circuit"] = await backend.forecast("normal", 4)
+            out["no_dial"] = site.requests == requests_when_open
+            site.behavior = "ok"  # the daemon comes back
+            await asyncio.sleep(0.2)  # cooldown elapses -> half-open
+            out["probe"] = await backend.forecast("normal", 4)
+            out["transitions"] = dict(backend.breaker.transitions)
+            await backend.close()
+        return out
+
+    out = asyncio.run(scenario())
+    assert out["live"].source == "live"
+    failure = out["first_failure"]
+    assert failure.source == "stale" and failure.stale
+    assert failure.bound == 42.0  # last-known bound, not an error
+    assert failure.breaker == "open"
+    short = out["short_circuit"]
+    assert short.source == "stale"
+    assert short.error == "breaker-open"
+    assert out["no_dial"]  # an open breaker means zero network traffic
+    probe = out["probe"]
+    assert probe.source == "live"
+    assert probe.bound == 42.0
+    assert probe.breaker == "closed"
+    assert out["transitions"]["open->half-open"] == 1
+    assert out["transitions"]["half-open->closed"] == 1
+
+
+def test_route_excludes_infeasible_queues_before_any_network_traffic():
+    async def scenario():
+        async with FakeSite(name="tiny") as site:
+            spec = SiteSpec(
+                name="tiny", host="127.0.0.1", port=site.port,
+                queues={"small": QueueLimit(max_procs=8)},
+            )
+            broker = RoutingBroker([spec], request_timeout=0.2, retries=0)
+            decision = await broker.route(procs=64)
+            await broker.close()
+            return decision, site.requests
+
+    decision, requests = asyncio.run(scenario())
+    assert requests == 0  # screened out before a single byte went out
+    assert decision.ranked == []
+    assert decision.best is None
+    assert decision.infeasible[0]["queue"] == "small"
+    assert "max_procs 8" in decision.infeasible[0]["reason"]

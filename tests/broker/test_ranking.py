@@ -1,0 +1,89 @@
+"""Feasibility filtering and the explicit total order on quotes."""
+
+from __future__ import annotations
+
+from repro.broker import RouteDecision, SiteSpec, feasible_queues, rank_quotes
+from repro.broker.fanout import SiteQuote
+from repro.scheduler.constraints import QueueLimit
+
+
+def quote(site="a", queue="normal", bound=100.0, source="live", age=0.0,
+          stale=False):
+    return SiteQuote(
+        site=site, queue=queue, procs=4, bound=bound, source=source,
+        stale=stale, age_s=age, breaker="closed",
+    )
+
+
+def test_feasibility_excludes_violated_limits_with_reasons():
+    spec = SiteSpec(
+        name="a", host="h", port=7077,
+        queues={
+            "small": QueueLimit(max_procs=8),
+            "short": QueueLimit(max_runtime=1800.0),
+            "wide": QueueLimit(),
+        },
+    )
+    feasible, infeasible = feasible_queues(spec, procs=16, walltime=3600.0)
+    assert feasible == ["wide"]
+    by_queue = {record["queue"]: record["reason"] for record in infeasible}
+    assert set(by_queue) == {"small", "short"}
+    assert "max_procs 8" in by_queue["small"]
+    assert "max_runtime 1800" in by_queue["short"]
+    assert all(record["site"] == "a" for record in infeasible)
+
+
+def test_everything_feasible_when_limits_are_unset():
+    spec = SiteSpec(name="a", host="h", port=7077)
+    feasible, infeasible = feasible_queues(spec, procs=4096, walltime=1e9)
+    assert feasible == ["normal"]
+    assert infeasible == []
+
+
+def test_rank_orders_by_bound_first():
+    ranked = rank_quotes([
+        quote(site="b", bound=200.0),
+        quote(site="a", bound=50.0),
+        quote(site="c", bound=120.0),
+    ])
+    assert [q.site for q in ranked] == ["a", "c", "b"]
+
+
+def test_equal_bounds_prefer_fresher_source_then_age_then_name():
+    stale_q = quote(site="a", bound=100.0, source="stale", age=9.0, stale=True)
+    cached = quote(site="m", bound=100.0, source="cache", age=0.1)
+    live_q = quote(site="z", bound=100.0, source="live")
+    ranked = rank_quotes([stale_q, cached, live_q])
+    assert [q.source for q in ranked] == ["live", "cache", "stale"]
+    # Age breaks a same-source tie...
+    young = quote(site="b", bound=100.0, source="stale", age=1.0, stale=True)
+    assert [q.site for q in rank_quotes([stale_q, young])] == ["b", "a"]
+    # ...and site name breaks a same-age tie, deterministically.
+    assert [q.site for q in rank_quotes([quote(site="b"), quote(site="a")])] \
+        == ["a", "b"]
+
+
+def test_unbounded_quotes_rank_last_but_stay_in_the_response():
+    dead = SiteQuote(
+        site="dead", queue="normal", procs=4, bound=None, source="none",
+        stale=True, age_s=None, breaker="open", error="down",
+    )
+    ranked = rank_quotes([dead, quote(site="a", bound=99999.0)])
+    assert [q.site for q in ranked] == ["a", "dead"]
+    decision = RouteDecision(procs=4, walltime=None, ranked=ranked)
+    assert decision.best is not None
+    assert decision.best.site == "a"
+
+
+def test_best_is_none_when_nothing_has_a_bound():
+    dead = SiteQuote(
+        site="dead", queue="normal", procs=4, bound=None, source="none",
+        stale=True, age_s=None, breaker="open", error="down",
+    )
+    decision = RouteDecision(procs=4, walltime=None, ranked=rank_quotes([dead]))
+    assert decision.best is None
+    payload = decision.to_dict()
+    assert payload["best"] is None
+    assert len(payload["ranked"]) == 1
+    assert payload["ranked"][0]["source"] == "none"
+    assert payload["ranked"][0]["error"] == "down"

@@ -1,0 +1,66 @@
+"""Site spec parsing (`--site name=host:port[:queues]`) and the JSON registry."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.broker import SiteSpec, load_sites_file, parse_site_arg
+from repro.broker.registry import DEFAULT_QUEUE
+
+
+def test_parse_minimal_site_arg():
+    spec = parse_site_arg("sdsc=10.0.0.5:7077")
+    assert (spec.name, spec.host, spec.port) == ("sdsc", "10.0.0.5", 7077)
+    assert list(spec.queues) == [DEFAULT_QUEUE]
+
+
+def test_parse_site_arg_with_queues_and_default_host():
+    spec = parse_site_arg("a=:7077:normal,debug")
+    assert spec.host == "127.0.0.1"
+    assert sorted(spec.queues) == ["debug", "normal"]
+
+
+@pytest.mark.parametrize("bad", ["nohost", "=h:1", "a=h", "a=h:xx", "a=h:0"])
+def test_bad_site_args_are_rejected(bad):
+    with pytest.raises(ValueError):
+        parse_site_arg(bad)
+
+
+def test_site_spec_validates_itself():
+    with pytest.raises(ValueError):
+        SiteSpec(name="", host="h", port=7077)
+    with pytest.raises(ValueError):
+        SiteSpec(name="a", host="h", port=7077, queues={})
+
+
+def test_load_sites_file_round_trip(tmp_path):
+    path = tmp_path / "sites.json"
+    path.write_text(json.dumps({"sites": [
+        {"name": "a", "host": "h1", "port": 7071,
+         "queues": {"normal": {"max_procs": 128, "max_runtime": 86400}}},
+        {"name": "b", "port": 7072},
+    ]}))
+    specs = load_sites_file(path)
+    assert [spec.name for spec in specs] == ["a", "b"]
+    assert specs[0].queues["normal"].max_procs == 128
+    assert specs[1].host == "127.0.0.1"
+    assert list(specs[1].queues) == [DEFAULT_QUEUE]
+
+
+def test_duplicate_site_names_are_rejected(tmp_path):
+    path = tmp_path / "sites.json"
+    path.write_text(json.dumps({"sites": [
+        {"name": "a", "port": 7071},
+        {"name": "a", "port": 7072},
+    ]}))
+    with pytest.raises(ValueError, match="duplicate"):
+        load_sites_file(path)
+
+
+def test_empty_registry_is_rejected(tmp_path):
+    path = tmp_path / "sites.json"
+    path.write_text(json.dumps({"sites": []}))
+    with pytest.raises(ValueError):
+        load_sites_file(path)

@@ -1,0 +1,115 @@
+"""End-to-end smoke: three real forecast daemons, ranked routing, one kill.
+
+The three sites get cleanly separated wait scales (~100 s, ~300 s, ~600 s)
+so the ranking is deterministic; the daemons run the fast-training,
+median-bound configuration so ~16 jobs of history is enough to quote.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.broker import RoutingBroker, SiteSpec
+from repro.server import ForecastClient, read_port_file, spawn_daemon
+
+#: Per-site base wait; site "a" is consistently the fastest queue.
+BASE_WAITS = (100.0, 300.0, 600.0)
+JOBS_PER_SITE = 16
+
+
+@pytest.fixture
+def three_sites(tmp_path):
+    """Three trained daemons; yields ([SiteSpec...], [Popen...])."""
+    processes = []
+    specs = []
+    try:
+        for index, base in enumerate(BASE_WAITS):
+            name = "abc"[index]
+            state_dir = tmp_path / name
+            state_dir.mkdir()
+            processes.append(spawn_daemon(
+                state_dir,
+                extra_args=[
+                    "--training-jobs", "5", "--epoch", "0", "--no-bins",
+                    "--quantile", "0.5", "--confidence", "0.8",
+                ],
+            ))
+            port = read_port_file(state_dir)
+            with ForecastClient("127.0.0.1", port) as client:
+                client.wait_until_up()
+                for i in range(JOBS_PER_SITE):
+                    submit = i * 500.0
+                    client.submit(f"j{i}", "normal", 4, now=submit)
+                    client.start(f"j{i}", now=submit + base + (i % 5) * 10.0)
+            specs.append(SiteSpec(name=name, host="127.0.0.1", port=port))
+        yield specs, processes
+    finally:
+        for process in processes:
+            if process.poll() is None:
+                process.terminate()
+        for process in processes:
+            if process.poll() is None:
+                try:
+                    process.wait(timeout=10.0)
+                except Exception:
+                    process.kill()
+                    process.wait()
+
+
+def test_routes_rank_by_bound_and_survive_a_dead_site(three_sites):
+    specs, processes = three_sites
+    broker = RoutingBroker(
+        specs,
+        request_timeout=1.0, retries=0, cache_ttl=0.0,
+        breaker_reset=30.0,  # stays open for the post-kill assertions
+    )
+
+    async def drive():
+        out = {"healthy": [], "degraded": []}
+        for _ in range(5):
+            out["healthy"].append(await broker.route(procs=4, walltime=3600.0))
+        processes[0].kill()  # site "a" dies mid-run
+        processes[0].wait()
+        for _ in range(8):
+            out["degraded"].append(await broker.route(procs=4, walltime=3600.0))
+        await broker.close()
+        return out
+
+    out = asyncio.run(drive())
+
+    for decision in out["healthy"]:
+        assert decision.best is not None
+        assert decision.best.site == "a"  # lowest waits -> lowest bound
+        bounds = [quote.bound for quote in decision.ranked]
+        assert bounds == sorted(bounds)
+        assert all(quote.source == "live" for quote in decision.ranked)
+        assert [quote.site for quote in decision.ranked] == ["a", "b", "c"]
+
+    # Not a single failed route after the kill: the dead site degrades to
+    # its last-known bound while the survivors keep answering live.
+    assert len(out["degraded"]) == 8
+    for decision in out["degraded"]:
+        assert decision.best is not None
+    last = out["degraded"][-1]
+    by_site = {quote.site: quote for quote in last.ranked}
+    assert by_site["a"].source == "stale" and by_site["a"].stale
+    assert by_site["b"].source == "live"
+    assert by_site["c"].source == "live"
+    assert broker.backends["a"].breaker.state == "open"
+
+
+def test_route_cli_in_process_with_site_specs(three_sites, capsys):
+    from repro.cli import main
+
+    specs, _processes = three_sites
+    argv = ["route", "--procs", "4", "--walltime", "3600", "--json"]
+    for spec in specs:
+        argv += ["--site", f"{spec.name}=127.0.0.1:{spec.port}"]
+    assert main(argv) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["best"]["site"] == "a"
+    assert [quote["site"] for quote in payload["ranked"]] == ["a", "b", "c"]
+    assert payload["infeasible"] == []
