@@ -11,10 +11,17 @@ illustrates what "prediction without quantified confidence" looks like.
 
 from __future__ import annotations
 
+import math
 from typing import Optional
 
-from repro.core.predictor import BoundKind, QuantilePredictor
-from repro.stats.distributions import DEFAULT_LOG_SHIFT, fit_loguniform
+import numpy as np
+
+from repro.core.predictor import (
+    BoundKind,
+    QuantilePredictor,
+    register_batch_aware_observe,
+)
+from repro.stats.distributions import DEFAULT_LOG_SHIFT, LogUniformDistribution
 
 __all__ = ["DowneyLogUniformPredictor"]
 
@@ -45,12 +52,54 @@ class DowneyLogUniformPredictor(QuantilePredictor):
         if shift <= 0.0:
             raise ValueError(f"log shift must be positive, got {shift}")
         self.shift = shift
+        # The MLE support is the sample's raw range — maintained as running
+        # extremes so a refit is O(1) instead of an O(history) scan.  The
+        # log transform is monotone, so log(min + shift) is min(log(x +
+        # shift)) exactly, matching ``fit_loguniform`` on the full window.
+        self._lo: Optional[float] = None
+        self._hi: Optional[float] = None
+
+    def observe(self, wait: float, predicted: Optional[float] = None) -> None:
+        if self._lo is None:
+            self._lo = self._hi = wait
+        else:
+            if wait < self._lo:
+                self._lo = wait
+            if wait > self._hi:
+                self._hi = wait
+        super().observe(wait, predicted=predicted)
+
+    def _absorb_batch(self, waits: np.ndarray) -> None:
+        lo = float(waits.min())
+        hi = float(waits.max())
+        if self._lo is None:
+            self._lo, self._hi = lo, hi
+        else:
+            self._lo = min(self._lo, lo)
+            self._hi = max(self._hi, hi)
+        self.history.extend(waits)
+
+    def _on_history_trimmed(self) -> None:
+        values = self.history.arrival_view()
+        if values.size == 0:
+            self._lo = self._hi = None
+        else:
+            self._lo = float(values.min())
+            self._hi = float(values.max())
 
     def _compute_bound(self) -> Optional[float]:
-        values = self.history.arrival_view()
-        if values.size < 2:
+        if len(self.history) < 2:
             return None
-        fitted = fit_loguniform(values, shift=self.shift)
+        if self._lo + self.shift <= 0.0:
+            raise ValueError("all values must exceed -shift for a log-uniform fit")
+        fitted = LogUniformDistribution(
+            log_lo=math.log(self._lo + self.shift),
+            log_hi=math.log(self._hi + self.shift),
+            shift=self.shift,
+        )
         # A point estimate of the q-quantile serves as both the "upper" and
         # "lower" quote — the model carries no confidence margin to shift it.
         return max(0.0, fitted.quantile(self.quantile))
+
+
+register_batch_aware_observe(DowneyLogUniformPredictor.observe)

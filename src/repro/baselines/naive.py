@@ -16,7 +16,11 @@ from typing import Optional
 
 import numpy as np
 
-from repro.core.predictor import BoundKind, QuantilePredictor
+from repro.core.predictor import (
+    BoundKind,
+    QuantilePredictor,
+    register_batch_aware_observe,
+)
 
 __all__ = ["MaxObservedPredictor", "MeanWaitPredictor", "PointQuantilePredictor"]
 
@@ -44,6 +48,16 @@ class MaxObservedPredictor(QuantilePredictor):
             self._extreme = min(self._extreme, wait)
         super().observe(wait, predicted=predicted)
 
+    def _absorb_batch(self, waits: np.ndarray) -> None:
+        extreme = float(waits.max() if self.kind is BoundKind.UPPER else waits.min())
+        if self._extreme is None:
+            self._extreme = extreme
+        elif self.kind is BoundKind.UPPER:
+            self._extreme = max(self._extreme, extreme)
+        else:
+            self._extreme = min(self._extreme, extreme)
+        self.history.extend(waits)
+
     def _on_history_trimmed(self) -> None:
         values = self.history.arrival_view()
         if values.size == 0:
@@ -69,13 +83,13 @@ class PointQuantilePredictor(QuantilePredictor):
     name = "point-quantile"
 
     def _compute_bound(self) -> Optional[float]:
-        sample = self.history.sorted_values()
-        if sample.size == 0:
+        n = len(self.history)
+        if n == 0:
             return None
         # The point estimate of the q-quantile serves both bound kinds —
         # having no confidence margin is exactly this baseline's flaw.
-        rank = max(1, math.ceil(sample.size * self.quantile))
-        return float(sample[rank - 1])
+        rank = max(1, math.ceil(n * self.quantile))
+        return self.history.order_statistic(rank)
 
 
 class MeanWaitPredictor(QuantilePredictor):
@@ -88,3 +102,6 @@ class MeanWaitPredictor(QuantilePredictor):
         if values.size == 0:
             return None
         return float(values.mean())
+
+
+register_batch_aware_observe(MaxObservedPredictor.observe)

@@ -45,10 +45,14 @@ class WeibullPredictor(QuantilePredictor):
             raise ValueError(f"shift must be positive, got {shift}")
         self.shift = shift
         self.max_history = max_history
+        self._last_shape: Optional[float] = None
 
     def _compute_bound(self) -> Optional[float]:
         values = self.history.arrival_view()
         if values.size < 10:
             return None
-        fitted = fit_weibull(values[-self.max_history:], shift=self.shift)
+        fitted = fit_weibull(
+            values[-self.max_history:], shift=self.shift, guess=self._last_shape
+        )
+        self._last_shape = fitted.shape
         return max(0.0, fitted.quantile(self.quantile) - self.shift)

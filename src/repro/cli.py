@@ -18,6 +18,7 @@ Usage::
     python -m repro broker --site a=host1:7077 --site b=host2:7077
     python -m repro route --procs 8 --walltime 3600     # ask the broker
     python -m repro bench-route --sites 3               # routing-regret bench
+    python -m repro bench-core --smoke                  # replay-kernel bench
 
 Replays fan out over ``--jobs`` worker processes (default: ``BMBP_JOBS``
 or 1) and their results persist in a versioned on-disk cache, so a warm
@@ -90,7 +91,7 @@ def build_parser() -> argparse.ArgumentParser:
             "bench-serve (load-test it), verify (the self-verification "
             "suite), broker (the multi-site routing broker), route "
             "(one routing decision), bench-route (the routing-regret "
-            "benchmark)."
+            "benchmark), bench-core (the replay-kernel benchmark)."
         ),
     )
     parser.add_argument(
@@ -145,6 +146,7 @@ SERVER_COMMANDS = {
     "broker": "run the multi-site routing broker daemon",
     "route": "ask where to submit a job (broker daemon or --site specs)",
     "bench-route": "replay K sites, score routing regret, write BENCH_route.json",
+    "bench-core": "benchmark the replay kernel and write BENCH_core.json",
 }
 
 
@@ -580,6 +582,74 @@ def _bench_route_main(argv: List[str]) -> int:
     return 0
 
 
+def build_bench_core_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="bmbp bench-core", description=SERVER_COMMANDS["bench-core"]
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI variant: small traces, and assert the batched engine beats "
+        "the reference by the BMBP_BENCH_MIN_CORE_SPEEDUP floor (default 2x)",
+    )
+    parser.add_argument(
+        "--reps", type=int, default=None, metavar="N",
+        help="repetitions per measurement, best-of (default: 5, smoke: 2)",
+    )
+    parser.add_argument(
+        "--dense-jobs", type=int, default=None, metavar="N",
+        help="jobs in the dense benchmark traces (default: 50000, smoke: 8000)",
+    )
+    parser.add_argument(
+        "--sparse-jobs", type=int, default=None, metavar="N",
+        help="jobs in the sparse benchmark trace (default: 20000, smoke: 2000)",
+    )
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument(
+        "--skip-per-method", action="store_true",
+        help="skip the per-method single-predictor replay matrix",
+    )
+    parser.add_argument(
+        "--json", default="BENCH_core.json", metavar="PATH",
+        help="kernel benchmark artifact path (default %(default)s)",
+    )
+    return parser
+
+
+def _bench_core_main(argv: List[str]) -> int:
+    from repro.runtime.benchcore import run_core_bench
+
+    args = build_bench_core_parser().parse_args(argv)
+    try:
+        report = run_core_bench(
+            smoke=args.smoke,
+            reps=args.reps,
+            dense_jobs=args.dense_jobs,
+            sparse_jobs=args.sparse_jobs,
+            seed=args.seed,
+            artifact=args.json,
+            skip_per_method=args.skip_per_method,
+        )
+    except AssertionError as exc:
+        print(f"bench-core: FAILED — {exc}", file=sys.stderr)
+        return 1
+    for label, row in report["bank_replay"].items():
+        engines = row["engines"]
+        print(
+            f"{label}: {row['n_jobs']} jobs x {row['n_methods']} methods — "
+            f"batched {engines['batched']['jobs_per_s']:,.0f} jobs/s, "
+            f"reference {engines['reference']['jobs_per_s']:,.0f} jobs/s "
+            f"({row['speedup']:.2f}x)"
+        )
+    summary = report["summary"]
+    print(
+        f"dense bank speedup: {summary['dense_bank_speedup_min']:.2f}x–"
+        f"{summary['dense_bank_speedup_max']:.2f}x; sparse (refit-bound): "
+        f"{summary['sparse_bank_speedup']:.2f}x"
+    )
+    print(f"[bmbp] core benchmark written to {args.json}", file=sys.stderr)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -592,6 +662,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             "broker": _broker_main,
             "route": _route_main,
             "bench-route": _bench_route_main,
+            "bench-core": _bench_core_main,
         }
         return dispatch[argv[0]](list(argv[1:]))
     args = build_parser().parse_args(argv)

@@ -51,6 +51,18 @@ __all__ = [
 NORMAL_APPROX_MIN_EXPECTED = 10.0
 
 
+@lru_cache(maxsize=256)
+def _z_value(confidence: float) -> float:
+    """Standard normal ``confidence``-quantile, cached.
+
+    The normal-approximation rank functions run once per refit epoch on
+    large histories — thousands of times per replay — and ``confidence``
+    takes a handful of distinct values per process, so going through
+    scipy's generic ``ppf`` dispatch every call dominated the refit cost.
+    """
+    return float(sps.norm.ppf(confidence))
+
+
 def _validate(q: float, confidence: float) -> None:
     if not 0.0 < q < 1.0:
         raise ValueError(f"quantile must be in (0, 1), got {q}")
@@ -126,7 +138,7 @@ def normal_approx_upper_rank(n: int, q: float, confidence: float) -> Optional[in
     _validate(q, confidence)
     if n <= 0:
         return None
-    z = float(sps.norm.ppf(confidence))
+    z = _z_value(confidence)
     rank = math.ceil(n * q + z * math.sqrt(n * q * (1.0 - q)))
     rank = max(rank, 1)
     if rank > n:
@@ -144,7 +156,7 @@ def normal_approx_lower_rank(n: int, q: float, confidence: float) -> Optional[in
     _validate(q, confidence)
     if n <= 0:
         return None
-    z = float(sps.norm.ppf(confidence))
+    z = _z_value(confidence)
     rank = math.floor(n * q - z * math.sqrt(n * q * (1.0 - q)))
     if rank < 1:
         return None

@@ -11,8 +11,8 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.core import binomial
 from repro.core.predictor import BoundKind, QuantilePredictor
-from repro.core.quantile import lower_confidence_bound, upper_confidence_bound
 
 __all__ = ["BMBPPredictor"]
 
@@ -70,23 +70,34 @@ class BMBPPredictor(QuantilePredictor):
         self.method = method
 
     def _compute_bound(self) -> Optional[float]:
-        sample = self.history.sorted_values()
-        if sample.size == 0:
+        n = len(self.history)
+        if n == 0:
             return None
+        # Resolve the bound rank directly, then select that single order
+        # statistic: ``order_statistic`` avoids rebuilding the window's
+        # sorted view when only a few observations arrived since the last
+        # refit, which is the common case in epoch-batched replays.
+        method = self.method
+        if method == "auto":
+            method = (
+                "normal"
+                if binomial.use_normal_approximation(n, self.quantile)
+                else "exact"
+            )
         if self.kind is BoundKind.UPPER:
-            bound = upper_confidence_bound(
-                sample,
-                self.quantile,
-                self.confidence,
-                method=self.method,
-                assume_sorted=True,
-            )
+            if method == "exact":
+                rank = binomial.upper_bound_rank(n, self.quantile, self.confidence)
+            else:
+                rank = binomial.normal_approx_upper_rank(
+                    n, self.quantile, self.confidence
+                )
         else:
-            bound = lower_confidence_bound(
-                sample,
-                self.quantile,
-                self.confidence,
-                method=self.method,
-                assume_sorted=True,
-            )
-        return None if bound is None else bound.value
+            if method == "exact":
+                rank = binomial.lower_bound_rank(n, self.quantile, self.confidence)
+            else:
+                rank = binomial.normal_approx_lower_rank(
+                    n, self.quantile, self.confidence
+                )
+        if rank is None:
+            return None
+        return self.history.order_statistic(rank)

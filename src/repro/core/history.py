@@ -38,6 +38,12 @@ __all__ = ["HistoryWindow"]
 #: Starting buffer capacity for unbounded windows.
 _MIN_CAPACITY = 64
 
+#: Largest unmerged batch :meth:`HistoryWindow.order_statistic` will select
+#: through without folding it into the sorted view first.  Bounds the
+#: per-selection work while keeping the (eventual) merge amortized over at
+#: least this many appends.
+_MAX_PENDING_SELECT = 64
+
 
 class HistoryWindow:
     """Arrival-ordered observation buffer with a lazily merged sorted view."""
@@ -146,6 +152,64 @@ class HistoryWindow:
         self._flush()
         return self._sorted
 
+    def order_statistic(self, rank: int) -> float:
+        """The ``rank``-th smallest observation (1-indexed), without a merge.
+
+        Equivalent to ``sorted_values()[rank - 1]`` but avoids rebuilding
+        the sorted view when only a few observations arrived since the last
+        flush: the k-th element of the (sorted ∪ pending) union is selected
+        in O(pending · log size) by locating each pending value's merge
+        position.  The order-statistic predictors (BMBP, point-quantile)
+        refit once per epoch with typically one or two new observations, so
+        this turns their refit from O(history) into O(new observations);
+        the deferred batch is folded in wholesale once it grows past
+        ``_MAX_PENDING_SELECT``, keeping the amortized cost of an eventual
+        full read bounded.
+        """
+        size = self._end - self._start
+        if not 1 <= rank <= size:
+            raise IndexError(f"rank {rank} out of range for {size} observations")
+        lo = max(self._merged_end, self._start)
+        pending = self._end - lo
+        if self._resort or pending > _MAX_PENDING_SELECT:
+            self._flush()
+            return float(self._sorted[rank - 1])
+        if pending == 0:
+            return float(self._sorted[rank - 1])
+        k = rank - 1  # 0-indexed rank within the merged union
+        if pending <= 2:
+            # The overwhelmingly common refit case (one or two observations
+            # per epoch): locate the pending values' union positions with
+            # scalar searches, skipping the array temporaries below.
+            v1 = float(self._buf[lo])
+            if pending == 1:
+                u1 = int(np.searchsorted(self._sorted, v1, side="right"))
+                if k == u1:
+                    return v1
+                return float(self._sorted[k - (u1 < k)])
+            v2 = float(self._buf[lo + 1])
+            if v2 < v1:
+                v1, v2 = v2, v1
+            u1 = int(np.searchsorted(self._sorted, v1, side="right"))
+            u2 = int(np.searchsorted(self._sorted, v2, side="right")) + 1
+            if k == u1:
+                return v1
+            if k == u2:
+                return v2
+            return float(self._sorted[k - (u1 < k) - (u2 < k)])
+        batch = np.sort(self._buf[lo:self._end])
+        # Stable-merge positions of the batch inside the sorted array
+        # (batch elements placed after equal sorted elements): positions
+        # are strictly increasing, so batch and sorted indices partition
+        # the union's index range exactly.
+        union_pos = np.searchsorted(self._sorted, batch, side="right")
+        union_pos += np.arange(pending)
+        hit = np.nonzero(union_pos == k)[0]
+        if hit.size:
+            return float(batch[hit[0]])
+        before = int(np.count_nonzero(union_pos < k))
+        return float(self._sorted[k - before])
+
     def trim_to_recent(self, k: int) -> None:
         """Keep only the most recent ``k`` observations (arrival order).
 
@@ -195,6 +259,13 @@ class HistoryWindow:
                 batch = np.sort(self._buf[lo:self._end])
                 if self._sorted.size == 0:
                     self._sorted = batch
+                elif batch.size > self._sorted.size // 4:
+                    # A large batch relative to the sorted array: np.insert
+                    # pays searchsorted + a full reallocation anyway, and a
+                    # wholesale sort of the window is cheaper past roughly
+                    # a quarter of the array (see ``bmbp bench-core``'s
+                    # history-flush microbenchmark for the crossover).
+                    self._sorted = np.sort(window)
                 else:
                     positions = np.searchsorted(self._sorted, batch)
                     self._sorted = np.insert(self._sorted, positions, batch)

@@ -26,7 +26,11 @@ from typing import Optional
 
 import numpy as np
 
-from repro.core.predictor import BoundKind, QuantilePredictor
+from repro.core.predictor import (
+    BoundKind,
+    QuantilePredictor,
+    register_batch_aware_observe,
+)
 from repro.stats.distributions import DEFAULT_LOG_SHIFT
 from repro.stats.tolerance import (
     normal_quantile_lower_factor,
@@ -102,6 +106,21 @@ class LogNormalPredictor(QuantilePredictor):
         self._sumsq += log_wait * log_wait
         super().observe(wait, predicted=predicted)
 
+    def _absorb_batch(self, waits: np.ndarray) -> None:
+        """Batch update of the running log-sums (one vectorized pass).
+
+        The per-item path accumulates ``math.log`` terms left to right;
+        this accumulates ``np.log`` over the batch with a pairwise
+        reduction.  The two agree to floating-point roundoff (~1e-15
+        relative), far inside the 1e-9 tolerance every bound comparison in
+        the repository uses.
+        """
+        logs = np.log(waits + self.shift)
+        self._n += int(logs.size)
+        self._sum += float(logs.sum())
+        self._sumsq += float(np.dot(logs, logs))
+        self.history.extend(waits)
+
     def _on_history_trimmed(self) -> None:
         """Rebuild the running log-sums from the retained history suffix.
 
@@ -130,3 +149,6 @@ class LogNormalPredictor(QuantilePredictor):
             factor = _lower_factor(_factor_bucket(n), self.quantile, self.confidence)
         exponent = min(mean + factor * std, _MAX_EXPONENT)
         return max(0.0, math.exp(exponent) - self.shift)
+
+
+register_batch_aware_observe(LogNormalPredictor.observe)

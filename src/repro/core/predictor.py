@@ -22,15 +22,57 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from enum import Enum
-from typing import Optional
+from typing import Callable, Optional
+
+import numpy as np
 
 from repro.core import binomial
-from repro.core.changepoint import ConsecutiveMissDetector
+from repro.core.changepoint import (
+    ConsecutiveMissDetector,
+    first_fire_index,
+    trailing_run,
+)
 from repro.core.history import HistoryWindow
 from repro.core.rare_event import RareEventTable, default_rare_event_table
 from repro.stats.autocorrelation import first_autocorrelation
 
-__all__ = ["BoundKind", "Prediction", "QuantilePredictor"]
+__all__ = [
+    "BoundKind",
+    "Prediction",
+    "QuantilePredictor",
+    "observe_is_batch_aware",
+    "register_batch_aware_observe",
+]
+
+#: ``observe`` implementations whose per-observation side effects are fully
+#: replicated by the owning class's ``_absorb_batch``.  ``observe_batch``
+#: takes its vectorized fast path only for predictors whose (possibly
+#: overridden) ``observe`` is registered here; any other override — e.g. a
+#: test double logging its inputs — transparently falls back to per-item
+#: ``observe`` calls, so batching is an optimization, never a semantic
+#: change.
+_BATCH_AWARE_OBSERVE: set = set()
+
+
+def register_batch_aware_observe(observe: Callable) -> None:
+    """Declare an ``observe`` implementation safe for vectorized feeding.
+
+    Call this (at class-definition time) for any :class:`QuantilePredictor`
+    subclass that overrides ``observe`` *and* mirrors the override's extra
+    state updates in ``_absorb_batch``.
+    """
+    _BATCH_AWARE_OBSERVE.add(observe)
+
+
+def observe_is_batch_aware(predictor: "QuantilePredictor") -> bool:
+    """Whether this predictor's ``observe`` is registered as batch-aware.
+
+    The batched replay engine treats an unregistered override
+    conservatively: its per-observation behaviour (and thus its change-point
+    interaction) cannot be modelled by :meth:`QuantilePredictor.would_fire`,
+    so scored drains are replayed per event instead.
+    """
+    return type(predictor).observe in _BATCH_AWARE_OBSERVE
 
 #: Threshold used before any training data is available: the i.i.d. value
 #: from the paper's narrative ("three measurements in a row ... almost
@@ -112,6 +154,130 @@ class QuantilePredictor(ABC):
             miss = self._is_miss(wait, predicted)
             if self.detector.record(miss):
                 self._on_change_point()
+
+    def observe_batch(
+        self, waits: np.ndarray, predicted: Optional[np.ndarray] = None
+    ) -> None:
+        """Absorb many completed waits in one pass; score those with bounds.
+
+        Exactly equivalent to calling :meth:`observe` once per element, in
+        order, with ``predicted[i]`` (``NaN`` meaning "no bound was quoted"
+        — the batch spelling of ``predicted=None``), but vectorized: the
+        history grows by one buffer copy, subclass aggregates update in one
+        pass, and the change-point detector scans the whole batch's
+        hit/miss sequence at once.  When a miss run reaches the detector
+        threshold mid-batch, the feed splits at the *identical observation
+        index* a sequential feed would have trimmed at, applies the trim,
+        and continues — so quoted-bound provenance, trim indices, and refit
+        staleness are bit-identical to the per-item path.
+
+        Predictors that override ``observe`` without registering it via
+        :func:`register_batch_aware_observe` are fed item by item.
+        """
+        waits = np.asarray(waits, dtype=float)
+        n = waits.size
+        if n == 0:
+            return
+        if np.any(waits < 0.0):
+            raise ValueError("wait times are non-negative")
+        if predicted is not None:
+            predicted = np.asarray(predicted, dtype=float)
+        if type(self).observe not in _BATCH_AWARE_OBSERVE:
+            for i in range(n):
+                value = None
+                if predicted is not None and not np.isnan(predicted[i]):
+                    value = float(predicted[i])
+                self.observe(float(waits[i]), predicted=value)
+            return
+        detector = self.detector
+        if not self.trim or detector is None or predicted is None:
+            self._absorb_batch(waits)
+            self._observations_since_refit += n
+            return
+        scored = np.flatnonzero(~np.isnan(predicted))
+        if scored.size == 0:
+            self._absorb_batch(waits)
+            self._observations_since_refit += n
+            return
+        if self.kind is BoundKind.UPPER:
+            miss = waits[scored] > predicted[scored]
+        else:
+            miss = waits[scored] < predicted[scored]
+        pos = 0  # next unfed batch index
+        k = 0  # next unscanned index within the scored subsequence
+        carry = detector.current_run
+        while True:
+            fire_k = first_fire_index(miss[k:], carry, detector.threshold)
+            if fire_k is None:
+                if pos < n:
+                    self._absorb_batch(waits[pos:])
+                    self._observations_since_refit += n - pos
+                detector.restore_run(trailing_run(miss[k:], carry))
+                return
+            fire_at = int(scored[k + fire_k])
+            self._absorb_batch(waits[pos:fire_at + 1])
+            self._observations_since_refit += fire_at + 1 - pos
+            detector.mark_change_point()
+            self._on_change_point()
+            pos = fire_at + 1
+            k += fire_k + 1
+            carry = 0
+
+    def would_fire(
+        self, waits: np.ndarray, predicted: np.ndarray
+    ) -> bool:
+        """Whether feeding this batch would trip the change-point detector.
+
+        Non-mutating companion to :meth:`observe_batch`: the replay engine
+        prechecks a segment's drain batch with this before scoring the
+        segment against a constant quote, and drops to per-event replay
+        when a mid-segment trim (which changes the quote) is coming.
+        """
+        detector = self.detector
+        if not self.trim or detector is None or waits.size == 0:
+            return False
+        scored = ~np.isnan(predicted)
+        if not scored.any():
+            return False
+        if self.kind is BoundKind.UPPER:
+            miss = waits[scored] > predicted[scored]
+        else:
+            miss = waits[scored] < predicted[scored]
+        return (
+            first_fire_index(miss, detector.current_run, detector.threshold)
+            is not None
+        )
+
+    def feed_scored(
+        self, waits: np.ndarray, scored: np.ndarray, miss: np.ndarray
+    ) -> Optional[int]:
+        """Feed a scored batch up to (and including) the first fire.
+
+        The replay engine's single-scan primitive: ``scored`` holds the
+        indices of ``waits`` that were quoted a bound and ``miss`` their
+        hit/miss outcomes, both already computed by the caller.  If the
+        change-point detector would fire at scored position ``k``, this
+        absorbs ``waits[:scored[k] + 1]`` (firing, trimming, and refitting
+        at that identical observation, exactly as a sequential feed would),
+        and returns ``scored[k]`` so the caller can requote the remainder
+        and feed it against the post-trim bound.  Otherwise the whole batch
+        is absorbed and ``None`` is returned.  Only valid on batch-aware,
+        trimming predictors (see :meth:`observe_batch`).
+        """
+        detector = self.detector
+        carry = detector.current_run
+        fire_k = first_fire_index(miss, carry, detector.threshold)
+        if fire_k is None:
+            self._absorb_batch(waits)
+            self._observations_since_refit += waits.size
+            detector.restore_run(trailing_run(miss, carry))
+            return None
+        g = int(scored[fire_k])
+        self._absorb_batch(waits[:g + 1])
+        self._observations_since_refit += g + 1
+        detector.mark_change_point()
+        self._on_change_point()
+        return g
 
     def preload_history(self, waits) -> None:
         """Bulk-load completed waits without scoring them.
@@ -224,9 +390,22 @@ class QuantilePredictor(ABC):
         self._on_history_trimmed()
         self.refit()
 
+    def _absorb_batch(self, waits: np.ndarray) -> None:
+        """Fold a batch of completed waits into history (no scoring).
+
+        Subclasses that keep running aggregates (the log-normal sums, the
+        max-observed extreme) override this to update them in the same
+        vectorized pass; the override must leave the predictor in exactly
+        the state a per-item ``observe`` loop would.
+        """
+        self.history.extend(waits)
+
     def _on_history_trimmed(self) -> None:
         """Hook for subclasses that keep running aggregates over history."""
 
     @abstractmethod
     def _compute_bound(self) -> Optional[float]:
         """Compute the bound from ``self.history``; None if not computable."""
+
+
+register_batch_aware_observe(QuantilePredictor.observe)

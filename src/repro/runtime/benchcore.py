@@ -1,0 +1,241 @@
+"""Core replay-kernel microbenchmark (``bmbp bench-core``).
+
+Measures the two replay engines (``batched`` vs ``reference``) on synthetic
+paper-scale traces and writes the ``BENCH_core.json`` artifact so kernel
+performance can be tracked across commits.  Three layers:
+
+* **Bank replay** — the full 9-method baseline bank replayed over each
+  benchmark trace, per engine; the headline number is jobs/sec and the
+  batched/reference speedup.  Traces cover the regimes that stress the
+  kernel differently: *dense* traces (tens of jobs per 300 s refit epoch,
+  the shape of the paper's busiest queues) are bound by the per-job loop
+  the batched engine vectorizes away, while *sparse* traces (about one job
+  per epoch) are bound by refit work both engines share — the artifact
+  reports both honestly rather than cherry-picking the dense win.
+* **Per-method replay** — each predictor alone over a dense trace, per
+  engine, so a regression in one method's batch path is attributable.
+* **Microbenchmarks** — :class:`~repro.core.history.HistoryWindow` flush
+  strategies (incremental merge vs wholesale resort, the ``_flush``
+  crossover) and per-method refit cost at a paper-scale history size.
+
+``--smoke`` shrinks the traces and repetitions to CI scale and *asserts*
+the dense-bank speedup: batched must beat reference by at least
+``BMBP_BENCH_MIN_CORE_SPEEDUP`` (default 2.0; set the variable when a
+loaded CI worker makes the ratio flake).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Union
+
+import numpy as np
+
+__all__ = ["CORE_BENCH_SCHEMA", "MIN_CORE_SPEEDUP", "run_core_bench"]
+
+CORE_BENCH_SCHEMA = "bmbp-bench-core/1"
+
+#: Smoke-mode floor for the dense-trace 9-method bank speedup.
+MIN_CORE_SPEEDUP = float(os.environ.get("BMBP_BENCH_MIN_CORE_SPEEDUP", 2.0))
+
+#: History size for the refit microbenchmark (the modern baselines' default
+#: ``max_history`` window).
+_REFIT_HISTORY = 4000
+
+
+def _make_trace(kind: str, n: int, interarrival: float, seed: int):
+    from repro.verify.conformance import ar1_log_waits, iid_lognormal_waits
+    from repro.workloads.trace import Trace
+
+    rng = np.random.default_rng(seed)
+    submits = np.cumsum(rng.exponential(interarrival, n))
+    if kind == "iid":
+        waits = iid_lognormal_waits(rng, n)
+    else:
+        rho = float(kind.split("ar", 1)[1]) / 10.0
+        waits = ar1_log_waits(rng, n, rho=rho)
+    return Trace.from_arrays(submits, waits, name=f"bench-{kind}-{n}")
+
+
+def _bank() -> Dict[str, Any]:
+    from repro.verify.conformance import _BASELINE_FACTORIES
+
+    return {name: factory() for name, factory in _BASELINE_FACTORIES.items()}
+
+
+def _best_of(fn: Callable[[], None], reps: int) -> float:
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _time_replay(trace, factory: Callable[[], Dict[str, Any]],
+                 engine: str, reps: int) -> float:
+    from repro.simulator.replay import ReplayConfig, replay
+
+    config = ReplayConfig()
+    return _best_of(lambda: replay(trace, factory(), config, engine=engine), reps)
+
+
+def _bench_bank(traces, reps: int) -> Dict[str, Any]:
+    out: Dict[str, Any] = {}
+    for label, trace in traces:
+        n = len(trace)
+        engines: Dict[str, Any] = {}
+        for engine in ("batched", "reference"):
+            seconds = _time_replay(trace, _bank, engine, reps)
+            engines[engine] = {
+                "best_s": round(seconds, 6),
+                "jobs_per_s": round(n / seconds, 1),
+            }
+        out[label] = {
+            "n_jobs": n,
+            "n_methods": len(_bank()),
+            "engines": engines,
+            "speedup": round(
+                engines["reference"]["best_s"] / engines["batched"]["best_s"], 3
+            ),
+        }
+    return out
+
+
+def _bench_per_method(trace, reps: int) -> Dict[str, Any]:
+    from repro.verify.conformance import _BASELINE_FACTORIES
+
+    n = len(trace)
+    out: Dict[str, Any] = {}
+    for name, factory in _BASELINE_FACTORIES.items():
+        row: Dict[str, Any] = {}
+        for engine in ("batched", "reference"):
+            seconds = _time_replay(trace, lambda: {name: factory()}, engine, reps)
+            row[f"{engine}_jobs_per_s"] = round(n / seconds, 1)
+            row[f"{engine}_best_s"] = round(seconds, 6)
+        row["speedup"] = round(row["batched_jobs_per_s"] / row["reference_jobs_per_s"], 3)
+        out[name] = row
+    return out
+
+
+def _bench_history_flush(sorted_size: int, reps: int) -> List[Dict[str, Any]]:
+    """Incremental-merge vs wholesale-resort cost around the ``_flush``
+    crossover (batch ≈ sorted_size / 4)."""
+    rng = np.random.default_rng(7)
+    base = np.sort(rng.lognormal(5.0, 2.0, sorted_size))
+    rows: List[Dict[str, Any]] = []
+    for fraction in (0.01, 0.1, 0.25, 0.5, 1.0):
+        batch = rng.lognormal(5.0, 2.0, max(1, int(sorted_size * fraction)))
+        window = np.concatenate([base, batch])
+
+        def merge() -> None:
+            b = np.sort(batch)
+            positions = np.searchsorted(base, b)
+            np.insert(base, positions, b)
+
+        def resort() -> None:
+            np.sort(window)
+
+        rows.append({
+            "sorted_size": sorted_size,
+            "batch_size": int(batch.size),
+            "merge_us": round(_best_of(merge, reps) * 1e6, 2),
+            "resort_us": round(_best_of(resort, reps) * 1e6, 2),
+        })
+    return rows
+
+
+def _bench_refit(reps: int) -> Dict[str, Any]:
+    from repro.verify.conformance import _BASELINE_FACTORIES
+
+    rng = np.random.default_rng(13)
+    waits = rng.lognormal(5.0, 2.0, _REFIT_HISTORY)
+    out: Dict[str, Any] = {}
+    for name, factory in _BASELINE_FACTORIES.items():
+        predictor = factory()
+        predictor.preload_history(waits)
+        predictor.refit()  # warm (first fit pays one-time setup)
+        out[name] = {
+            "refit_us": round(_best_of(predictor.refit, max(reps, 3)) * 1e6, 2)
+        }
+    return out
+
+
+def run_core_bench(
+    smoke: bool = False,
+    reps: Optional[int] = None,
+    dense_jobs: Optional[int] = None,
+    sparse_jobs: Optional[int] = None,
+    seed: int = 11,
+    artifact: Union[str, Path, None] = "BENCH_core.json",
+    skip_per_method: bool = False,
+) -> Dict[str, Any]:
+    """Run the kernel benchmark; write and return the artifact document.
+
+    In smoke mode, raises ``AssertionError`` if the dense-trace bank
+    speedup falls below :data:`MIN_CORE_SPEEDUP`.
+    """
+    if reps is None:
+        reps = 2 if smoke else 5
+    if dense_jobs is None:
+        dense_jobs = 8_000 if smoke else 50_000
+    if sparse_jobs is None:
+        sparse_jobs = 2_000 if smoke else 20_000
+
+    traces = [
+        ("dense-iid", _make_trace("iid", dense_jobs, 3.0, seed)),
+        ("dense-ar5", _make_trace("ar5", dense_jobs, 3.0, seed + 1)),
+        ("sparse-ar9", _make_trace("ar9", sparse_jobs, 900.0, seed + 2)),
+    ]
+    # Warm both engines once: the very first replay in a process pays
+    # import/JIT-cache costs that would otherwise pollute the first cell.
+    _time_replay(traces[0][1], _bank, "batched", 1)
+    _time_replay(traces[0][1], _bank, "reference", 1)
+
+    bank = _bench_bank(traces, reps)
+    dense_speedups = [
+        row["speedup"] for label, row in bank.items() if label.startswith("dense")
+    ]
+    document: Dict[str, Any] = {
+        "schema": CORE_BENCH_SCHEMA,
+        "created_unix": round(time.time(), 1),
+        "cpu_count": os.cpu_count(),
+        "smoke": smoke,
+        "config": {
+            "reps": reps,
+            "dense_jobs": dense_jobs,
+            "sparse_jobs": sparse_jobs,
+            "seed": seed,
+            "methods": sorted(_bank()),
+        },
+        "bank_replay": bank,
+        "summary": {
+            "dense_bank_speedup_min": min(dense_speedups),
+            "dense_bank_speedup_max": max(dense_speedups),
+            "sparse_bank_speedup": bank["sparse-ar9"]["speedup"],
+        },
+    }
+    if not skip_per_method:
+        document["per_method"] = _bench_per_method(
+            _make_trace("iid", max(dense_jobs // 2, 1_000), 3.0, seed + 3), reps
+        )
+    document["microbench"] = {
+        "history_flush": _bench_history_flush(
+            2_000 if smoke else 20_000, max(reps, 3)
+        ),
+        "refit": _bench_refit(reps),
+    }
+    if artifact is not None:
+        path = Path(artifact)
+        path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    if smoke:
+        floor = MIN_CORE_SPEEDUP
+        worst = min(dense_speedups)
+        assert worst >= floor, (
+            f"batched engine speedup {worst:.2f}x on a dense trace is below "
+            f"the {floor:.2f}x floor (override with BMBP_BENCH_MIN_CORE_SPEEDUP)"
+        )
+    return document

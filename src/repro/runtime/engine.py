@@ -134,6 +134,9 @@ class _Settings:
     jobs: Optional[int] = None
     cache: Optional[bool] = None
     cache_dir: Optional[str] = None
+    # Previous BMBP_REPLAY_ENGINE value, captured when configure() first
+    # overrides it (None = not overridden; "" = was unset).
+    engine_saved: Optional[str] = None
 
 
 _settings = _Settings()
@@ -144,10 +147,17 @@ def configure(
     jobs: Optional[int] = None,
     cache: Optional[bool] = None,
     cache_dir: Optional[str] = None,
+    engine: Optional[str] = None,
 ) -> None:
     """Set process-wide engine defaults (the CLI's ``--jobs``/``--no-cache``).
 
     ``None`` leaves a setting unchanged at its environment-derived default.
+
+    ``engine`` selects the replay engine (``"batched"``/``"reference"``,
+    the CLI's ``--replay-engine``) by exporting ``BMBP_REPLAY_ENGINE`` —
+    the environment is the one channel that reaches both in-process replays
+    and pool workers, which inherit it at spawn.  The prior value is
+    restored by :func:`reset_configuration`.
     """
     if jobs is not None:
         _settings.jobs = max(1, int(jobs))
@@ -155,6 +165,16 @@ def configure(
         _settings.cache = bool(cache)
     if cache_dir is not None:
         _settings.cache_dir = str(cache_dir)
+    if engine is not None:
+        from repro.simulator.replay import ENGINES, ENGINE_ENV_VAR
+
+        if engine not in ENGINES:
+            raise ValueError(
+                f"replay engine must be one of {ENGINES}, got {engine!r}"
+            )
+        if _settings.engine_saved is None:
+            _settings.engine_saved = os.environ.get(ENGINE_ENV_VAR, "")
+        os.environ[ENGINE_ENV_VAR] = engine
 
 
 def reset_configuration() -> None:
@@ -162,6 +182,14 @@ def reset_configuration() -> None:
     _settings.jobs = None
     _settings.cache = None
     _settings.cache_dir = None
+    if _settings.engine_saved is not None:
+        from repro.simulator.replay import ENGINE_ENV_VAR
+
+        if _settings.engine_saved:
+            os.environ[ENGINE_ENV_VAR] = _settings.engine_saved
+        else:
+            os.environ.pop(ENGINE_ENV_VAR, None)
+        _settings.engine_saved = None
 
 
 def stats() -> EngineStats:

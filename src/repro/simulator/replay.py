@@ -22,20 +22,61 @@ would see:
 Scoring: an upper-bound prediction is *correct* when the observed wait is at
 most the bound (and symmetrically for lower bounds); the recorded accuracy
 ratio is actual/predicted (Table 4's metric).
+
+Two engines implement these semantics:
+
+* ``"batched"`` (the default) — the epoch-batched kernel.  The quote is
+  piecewise constant between refits, so the trace is cut into *epoch
+  segments* and each segment is processed with a handful of vectorized
+  operations instead of a per-job Python loop: newly started jobs are fed
+  through :meth:`QuantilePredictor.observe_batch`, the segment's jobs all
+  receive the same quote, and correctness/ratio scoring happens in one
+  final numpy pass per predictor.  Change points are the one way a quote
+  can move mid-segment; a non-mutating :meth:`~QuantilePredictor.would_fire`
+  precheck detects that and drops the affected predictor to exact
+  per-event replay for that segment, so outcomes match the reference
+  engine event for event.
+* ``"reference"`` — the original per-event loop, kept as the semantic
+  oracle (``bmbp verify`` and the engine-identity property tests compare
+  against it), as the implementation for ``epoch=0`` (per-event refits have
+  no segments to batch), and as an escape hatch via the
+  ``BMBP_REPLAY_ENGINE`` environment variable.
+
+See ``docs/performance.md`` for the kernel design and measured speedups.
 """
 
 from __future__ import annotations
 
 import heapq
 import math
+import os
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.core.predictor import BoundKind, QuantilePredictor
+import numpy as np
+
+from repro.core.predictor import (
+    BoundKind,
+    QuantilePredictor,
+    observe_is_batch_aware,
+)
 from repro.simulator.results import JobRecord, ReplayResult
 from repro.workloads.trace import Trace
 
-__all__ = ["ReplayConfig", "replay", "replay_by_queue", "replay_single"]
+__all__ = ["ENGINES", "ReplayConfig", "replay", "replay_by_queue", "replay_single"]
+
+#: Recognized replay engines, in default-preference order.
+ENGINES = ("batched", "reference")
+
+#: Environment variable overriding the default engine (escape hatch).
+ENGINE_ENV_VAR = "BMBP_REPLAY_ENGINE"
+
+#: Drain batches at or below this size are fed with scalar Python instead
+#: of the vectorized ``observe_batch`` path.  On sparse traces (a handful
+#: of jobs per refit epoch) the fixed cost of setting up numpy operations
+#: on 1–2 element arrays exceeds the per-item work it saves; both paths
+#: are exact, so the crossover is purely a performance knob.
+_SMALL_BATCH = 8
 
 
 @dataclass(frozen=True)
@@ -70,10 +111,32 @@ def _score(kind: BoundKind, actual: float, predicted: float) -> Tuple[bool, floa
     return correct, ratio
 
 
+def _resolve_engine(engine: Optional[str]) -> str:
+    engine = engine or os.environ.get(ENGINE_ENV_VAR) or ENGINES[0]
+    if engine not in ENGINES:
+        raise ValueError(f"replay engine must be one of {ENGINES}, got {engine!r}")
+    return engine
+
+
+def _make_results(
+    trace: Trace, predictors: Dict[str, QuantilePredictor]
+) -> Dict[str, ReplayResult]:
+    return {
+        name: ReplayResult(
+            trace_name=trace.name,
+            predictor_name=getattr(predictors[name], "name", name),
+            quantile=predictors[name].quantile,
+            confidence=predictors[name].confidence,
+        )
+        for name in predictors
+    }
+
+
 def replay(
     trace: Trace,
     predictors: Dict[str, QuantilePredictor],
     config: Optional[ReplayConfig] = None,
+    engine: Optional[str] = None,
 ) -> Dict[str, ReplayResult]:
     """Replay a trace against several predictors simultaneously.
 
@@ -81,20 +144,34 @@ def replay(
     method comparison); each is scored independently.  The predictors are
     mutated — pass fresh instances per replay.
 
+    ``engine`` selects the implementation (``"batched"`` or
+    ``"reference"``); when omitted, the ``BMBP_REPLAY_ENGINE`` environment
+    variable decides, defaulting to ``"batched"``.  Both engines produce
+    results that agree to floating-point roundoff (identical counts and
+    change points; bounds within 1e-9 relative).
+
     Returns a dict keyed like ``predictors`` with one
     :class:`ReplayResult` each.
     """
     config = config or ReplayConfig()
+    engine = _resolve_engine(engine)
+    if engine == "batched" and config.epoch > 0.0 and len(trace) > 0:
+        return _replay_batched(trace, predictors, config)
+    return _replay_reference(trace, predictors, config)
+
+
+# --------------------------------------------------------------------------
+# Reference engine: the per-event oracle.
+# --------------------------------------------------------------------------
+
+
+def _replay_reference(
+    trace: Trace,
+    predictors: Dict[str, QuantilePredictor],
+    config: ReplayConfig,
+) -> Dict[str, ReplayResult]:
     names = list(predictors)
-    results = {
-        name: ReplayResult(
-            trace_name=trace.name,
-            predictor_name=getattr(predictors[name], "name", name),
-            quantile=predictors[name].quantile,
-            confidence=predictors[name].confidence,
-        )
-        for name in names
-    }
+    results = _make_results(trace, predictors)
     n = len(trace)
     if n == 0:
         return results
@@ -103,6 +180,8 @@ def replay(
     t0 = trace[0].submit_time
     epoch = config.epoch
     # Pending queue entries: (start_time, sequence, wait, {name: predicted}).
+    # Training jobs carry no quotes, so they share a ``None`` payload
+    # instead of allocating an all-None dict per job.
     pending: List[Tuple[float, int, float, Optional[Dict[str, Optional[float]]]]] = []
     last_boundary = -math.inf
     window = config.series_window
@@ -149,28 +228,29 @@ def replay(
                 predictors[name].finish_training()
 
         evaluated = i >= n_train
-        predicted_map: Dict[str, Optional[float]] = {}
-        for name in names:
-            value = predictors[name].predict() if evaluated else None
-            predicted_map[name] = value
-            if not evaluated:
-                continue
-            result = results[name]
-            if value is None:
-                result.n_skipped += 1
-                continue
-            correct, ratio = _score(predictors[name].kind, job.wait, value)
-            result.record_outcome(ratio, correct)
-            if config.record_jobs:
-                result.jobs.append(
-                    JobRecord(
-                        submit_time=t,
-                        predicted=value,
-                        actual=job.wait,
-                        correct=correct,
-                        procs=job.procs,
+        predicted_map: Optional[Dict[str, Optional[float]]] = (
+            {} if evaluated else None
+        )
+        if evaluated:
+            for name in names:
+                value = predictors[name].predict()
+                predicted_map[name] = value
+                result = results[name]
+                if value is None:
+                    result.n_skipped += 1
+                    continue
+                correct, ratio = _score(predictors[name].kind, job.wait, value)
+                result.record_outcome(ratio, correct)
+                if config.record_jobs:
+                    result.jobs.append(
+                        JobRecord(
+                            submit_time=t,
+                            predicted=value,
+                            actual=job.wait,
+                            correct=correct,
+                            procs=job.procs,
+                        )
                     )
-                )
         heapq.heappush(pending, (job.start_time, i, job.wait, predicted_map))
 
     for name in names:
@@ -181,13 +261,506 @@ def replay(
     return results
 
 
+# --------------------------------------------------------------------------
+# Batched engine: the epoch-segment kernel.
+# --------------------------------------------------------------------------
+#
+# Between refit boundaries a predictor's quote is a single scalar, so the
+# per-job loop collapses into per-*segment* work:
+#
+#   1. boundary drain — jobs that started at or before the epoch boundary
+#      are fed in one ``observe_batch`` call per predictor (the batch scan
+#      locates change points at the identical observation a sequential feed
+#      would);
+#   2. refit + series record, exactly once per boundary;
+#   3. quote assignment — every job in the segment receives the (constant)
+#      refit quote, recorded into a per-predictor quote array;
+#   4. intra-segment drain — jobs starting inside the segment are fed as a
+#      second batch, after a non-mutating ``would_fire`` precheck; if a
+#      change point would fire mid-segment (which moves the quote), that
+#      predictor alone replays the segment per event.
+#
+# Scoring is deferred entirely: one vectorized comparison + ratio pass per
+# predictor at the end, reading the quote arrays.  This is legal because
+# ``predict()`` is a pure read — interleaving scoring with drains (as the
+# reference engine does) can only matter when the quote changes mid-segment,
+# which is exactly the fallback case.
+#
+# Drain order equivalence: the reference engine's pending heap pops jobs in
+# (start_time, index) order, i.e. a stable argsort of start times.  Every
+# drain consumes a *prefix* of the not-yet-started jobs in that order, except
+# for jobs not yet submitted (index at or past the draining job's): on a
+# submit-ordered trace those must satisfy start == submit == drain horizon
+# (zero-wait ties), which places them in a contiguous suffix of the
+# candidate range — so each drain is the candidate range minus a counted
+# suffix, and the global drain sequence is a contiguous walk of the argsort.
+
+
+def _replay_batched(
+    trace: Trace,
+    predictors: Dict[str, QuantilePredictor],
+    config: ReplayConfig,
+) -> Dict[str, ReplayResult]:
+    names = list(predictors)
+    results = _make_results(trace, predictors)
+    n = len(trace)
+    n_train = math.ceil(config.training_fraction * n)
+    epoch = config.epoch
+    window = config.series_window
+    record_series = config.record_series
+
+    t = trace.submit_times
+    waits = trace.waits
+    t0 = float(t[0])
+    start = t + waits
+    order = np.argsort(start, kind="stable")
+    start_sorted = start[order]
+
+    # Epoch segments: a new segment starts whenever a job's epoch boundary
+    # exceeds the running maximum (mirroring the reference engine's
+    # ``boundary > last_boundary`` trigger exactly, including its handling
+    # of duplicate-timestamp runs).
+    boundaries = t0 + epoch * np.floor((t - t0) / epoch)
+    is_new = np.empty(n, dtype=bool)
+    is_new[0] = True
+    if n > 1:
+        is_new[1:] = boundaries[1:] > np.maximum.accumulate(boundaries)[:-1]
+    seg_lo = np.flatnonzero(is_new)
+    seg_hi = np.append(seg_lo[1:], n)
+    seg_boundary = boundaries[seg_lo]
+    n_seg = int(seg_lo.size)
+    # Drain horizons, as positions in the start-sorted order: jobs starting
+    # at or before the segment's boundary / last submit time.
+    horizon_bound = np.searchsorted(start_sorted, seg_boundary, side="right")
+    horizon_last = np.searchsorted(start_sorted, t[seg_hi - 1], side="right")
+
+    # Per-predictor quote arrays: quotes[name][i] is the bound job i was
+    # quoted at submit (NaN = none — training jobs and unready predictors).
+    quotes = {name: np.full(n, np.nan) for name in names}
+
+    # Hot-loop state, hoisted out of the per-segment path: bound methods,
+    # per-predictor flags, and Python-scalar copies of the arrays the
+    # scalar paths index one element at a time (a list item is a float;
+    # an ndarray item is a fresh np.float64 box, several times dearer).
+    n_names = len(names)
+    preds = [predictors[name] for name in names]
+    qarrs = [quotes[name] for name in names]
+    observes = [pr.observe for pr in preds]
+    is_upper = [pr.kind is BoundKind.UPPER for pr in preds]
+    has_trim = [pr.trim and pr.detector is not None for pr in preds]
+    aware = [observe_is_batch_aware(pr) for pr in preds]
+    waits_l = waits.tolist()
+    seg_lo_l = seg_lo.tolist()
+    seg_hi_l = seg_hi.tolist()
+    seg_boundary_l = seg_boundary.tolist()
+    horizon_bound_l = horizon_bound.tolist()
+    horizon_last_l = horizon_last.tolist()
+    t_last_l = t[seg_hi - 1].tolist()
+
+    def record_point(name: str, at: float, value: Optional[float]) -> None:
+        if value is not None and (window is None or window[0] <= at < window[1]):
+            results[name].series_times.append(at)
+            results[name].series_values.append(value)
+
+    p = 0  # drained prefix length of ``order``
+    seg = 0
+    while seg < n_seg:
+        lo = seg_lo_l[seg]
+        hi = seg_hi_l[seg]
+        boundary = seg_boundary_l[seg]
+
+        # Inert fast path: no job starts inside this segment's horizon and
+        # no refit is pending, so the quote cannot move — stamp it over a
+        # whole run of such segments without touching the predictors.
+        if (
+            lo > n_train
+            and horizon_last_l[seg] <= p
+            and all(pr.observations_since_refit == 0 for pr in preds)
+        ):
+            run_end = max(int(np.searchsorted(horizon_last, p, side="right")), seg + 1)
+            run_hi = seg_hi_l[run_end - 1]
+            for k in range(n_names):
+                value = preds[k].predict()
+                if value is None:
+                    continue
+                qarrs[k][lo:run_hi] = value
+                if record_series:
+                    for s in range(seg, run_end):
+                        record_point(names[k], seg_boundary_l[s], value)
+            seg = run_end
+            continue
+
+        # 1. Boundary drain: jobs started at or before the boundary.  A
+        # candidate submitted at this very segment (index >= lo) can only be
+        # a zero-wait tie starting exactly at the boundary (see the drain
+        # note above), so unless the horizon's last start *is* the boundary
+        # the suffix count is provably zero and skipped.
+        a_end = horizon_bound_l[seg]
+        if a_end > p and start_sorted[a_end - 1] == boundary:
+            a_end -= int(np.count_nonzero(order[p:a_end] >= lo))
+        if a_end > p:
+            if a_end - p <= _SMALL_BATCH:
+                # Scalar feed: exact for every predictor (it *is* the
+                # reference semantics), change points included.
+                for j in order[p:a_end].tolist():
+                    w = waits_l[j]
+                    for k in range(n_names):
+                        q = qarrs[k][j]
+                        observes[k](w, None if q != q else q)
+            else:
+                batch = order[p:a_end]
+                w = waits[batch]
+                for k in range(n_names):
+                    preds[k].observe_batch(w, qarrs[k][batch])
+            p = a_end
+
+        # 2. Refit + series record, once per boundary.
+        for k in range(n_names):
+            pr = preds[k]
+            pr.refit_if_stale()
+            if record_series:
+                record_point(names[k], boundary, pr.predict())
+
+        if hi <= n_train:
+            # Training segment: no quotes, no scoring, and intra-segment
+            # starts carry no bounds — defer their (pure-absorb) feed to the
+            # next boundary drain, where the identical batch arrives before
+            # the next refit.  Zero per-job work.
+            seg += 1
+            continue
+
+        if lo <= n_train:
+            # The training→evaluation transition happens mid-segment:
+            # ``finish_training`` refits (moving the quote) at an arbitrary
+            # job index, so replay this one segment exactly, per event.
+            p = _replay_transition_segment(
+                predictors, names, quotes, t, waits, order, start_sorted,
+                p, lo, hi, n_train,
+            )
+            seg += 1
+            continue
+
+        # 3. Quote assignment: the refit quote holds for the whole segment
+        # (optimistically — a mid-segment change point is handled below).
+        for k in range(n_names):
+            value = preds[k].predict()
+            if value is not None:
+                if hi - lo == 1:
+                    qarrs[k][lo] = value
+                else:
+                    qarrs[k][lo:hi] = value
+
+        # 4. Intra-segment drain: jobs starting at or before the segment's
+        # last submit.  The suffix rule leaves (at most) a zero-wait final
+        # job for the next segment's boundary drain.
+        d_end = horizon_last_l[seg]
+        if d_end > p and start_sorted[d_end - 1] == t_last_l[seg]:
+            d_end -= int(np.count_nonzero(order[p:d_end] >= hi - 1))
+        if d_end <= p:
+            seg += 1
+            continue
+        drained: Optional[np.ndarray] = None
+        if d_end - p <= _SMALL_BATCH:
+            d_list = order[p:d_end].tolist()
+            sequential: List[str] = []
+            for k in range(n_names):
+                qa = qarrs[k]
+                if has_trim[k]:
+                    if not aware[k]:
+                        # An unregistered ``observe`` override may interact
+                        # with the detector in ways the precheck cannot
+                        # model; stay exact when any drain is scored.
+                        if any(qa[j] == qa[j] for j in d_list):
+                            sequential.append(names[k])
+                            continue
+                    else:
+                        # Scalar change-point precheck: simulate the
+                        # detector's run over the batch without mutating it.
+                        det = preds[k].detector
+                        run = det.current_run
+                        threshold = det.threshold
+                        upper = is_upper[k]
+                        fire = False
+                        for j in d_list:
+                            q = qa[j]
+                            if q != q:
+                                continue
+                            if (waits_l[j] > q) if upper else (waits_l[j] < q):
+                                run += 1
+                                if run >= threshold:
+                                    fire = True
+                                    break
+                            else:
+                                run = 0
+                        if fire:
+                            if drained is None:
+                                drained = order[p:d_end]
+                                w = waits[drained]
+                            _feed_scored_with_fires(
+                                preds[k], qa, drained, w, p, t, waits,
+                                order, start_sorted, lo, hi,
+                            )
+                            continue
+                obs = observes[k]
+                for j in d_list:
+                    q = qa[j]
+                    obs(waits_l[j], None if q != q else q)
+            if sequential:
+                _replay_segment_sequential(
+                    predictors, sequential, quotes, t, waits, order,
+                    start_sorted, p, lo, hi,
+                )
+        else:
+            drained = order[p:d_end]
+            w = waits[drained]
+            sequential = []
+            for k in range(n_names):
+                predictor = preds[k]
+                if has_trim[k] and aware[k]:
+                    # Single-scan exact feed: splits at change-point fires
+                    # and requotes the rest of the segment; no-fire batches
+                    # (the common case) cost exactly one hit/miss scan.
+                    _feed_scored_with_fires(
+                        predictor, qarrs[k], drained, w, p, t, waits,
+                        order, start_sorted, lo, hi,
+                    )
+                    continue
+                predicted = qarrs[k][drained]
+                if has_trim[k] and not np.all(np.isnan(predicted)):
+                    sequential.append(names[k])
+                    continue
+                predictor.observe_batch(w, predicted)
+            if sequential:
+                _replay_segment_sequential(
+                    predictors, sequential, quotes, t, waits, order,
+                    start_sorted, p, lo, hi,
+                )
+        p = d_end
+        seg += 1
+
+    # Deferred scoring: one vectorized pass per predictor over the
+    # evaluation suffix, reproducing the reference engine's per-job
+    # outcomes (same floats, same order) from the quote arrays.
+    procs = trace.procs if config.record_jobs else None
+    for name in names:
+        result = results[name]
+        predictor = predictors[name]
+        if n_train < n:
+            q = quotes[name][n_train:]
+            w = waits[n_train:]
+            nan_mask = np.isnan(q)
+            result.n_skipped = int(np.count_nonzero(nan_mask))
+            ws = w[~nan_mask]
+            qs = q[~nan_mask]
+            if predictor.kind is BoundKind.UPPER:
+                correct = ws <= qs
+            else:
+                correct = ws >= qs
+            ratio = np.empty(ws.size, dtype=float)
+            positive = qs > 0.0
+            np.divide(ws, qs, out=ratio, where=positive)
+            if not positive.all():
+                zero = ~positive
+                ratio[zero] = np.where(ws[zero] == 0.0, 1.0, np.inf)
+            result.record_outcomes(ratio, correct)
+            if config.record_jobs:
+                scored = np.flatnonzero(~nan_mask) + n_train
+                for k, i in enumerate(scored):
+                    result.jobs.append(
+                        JobRecord(
+                            submit_time=float(t[i]),
+                            predicted=float(quotes[name][i]),
+                            actual=float(waits[i]),
+                            correct=bool(correct[k]),
+                            procs=int(procs[i]),
+                        )
+                    )
+        if predictor.detector is not None:
+            result.change_points = predictor.detector.change_points_seen
+            result.miss_threshold = predictor.detector.threshold
+    return results
+
+
+def _feed_scored_with_fires(
+    predictor: QuantilePredictor,
+    qarr: np.ndarray,
+    drains: np.ndarray,
+    w: np.ndarray,
+    p0: int,
+    t: np.ndarray,
+    waits: np.ndarray,
+    order: np.ndarray,
+    start_sorted: np.ndarray,
+    lo: int,
+    hi: int,
+    h_vec: Optional[np.ndarray] = None,
+) -> None:
+    """Feed one predictor's segment drains exactly, splitting at fires.
+
+    The optimistic segment-constant quote is valid up to the first drain at
+    which the change-point detector fires — everything before it behaves
+    exactly as the vectorized path assumed.  So instead of replaying the
+    whole segment per event, this feeds the batch up to and including the
+    firing drain (:meth:`~QuantilePredictor.feed_scored` trims and refits
+    at the identical observation), finds the first segment job whose quote
+    was *not* yet final when that drain was fed (``i*``: the first job
+    whose drain horizon lies past the fire), restamps ``[i*, hi)`` with
+    the post-fire quote, and rescans the remaining drains against the
+    updated quote array.  Each loop iteration consumes one fire; the batch
+    hit/miss sequence is scanned exactly once per iteration.
+
+    ``h_vec`` holds the segment jobs' unadjusted drain horizons
+    (``searchsorted(start_sorted, t[lo:hi], "right")``), computed lazily at
+    the first fire; the zero-wait-tie suffix adjustment (see the module
+    drain-order note) is applied lazily too, only at the exact-tie
+    boundaries where it can be nonzero.
+    """
+    upper = predictor.kind is BoundKind.UPPER
+    n_d = int(drains.size)
+    pos = 0
+    while pos < n_d:
+        tail = drains[pos:]
+        predicted = qarr[tail]
+        w_tail = w[pos:]
+        scored = np.flatnonzero(~np.isnan(predicted))
+        if upper:
+            miss = w_tail[scored] > predicted[scored]
+        else:
+            miss = w_tail[scored] < predicted[scored]
+        g = predictor.feed_scored(w_tail, scored, miss)
+        if g is None:
+            return
+        fire_at = p0 + pos + g  # absolute position of the firing drain
+        if h_vec is None:
+            h_vec = np.searchsorted(start_sorted, t[lo:hi], side="right")
+        i_star = lo + int(np.searchsorted(h_vec, fire_at, side="right"))
+        while i_star < hi:
+            h_i = int(h_vec[i_star - lo])
+            if h_i > fire_at and start_sorted[h_i - 1] == t[i_star]:
+                h_i -= int(np.count_nonzero(order[p0:h_i] >= i_star))
+            if h_i > fire_at:
+                break
+            i_star += 1
+        if i_star < hi:
+            value = predictor.predict()
+            qarr[i_star:hi] = np.nan if value is None else value
+        pos += g + 1
+
+
+def _drain_chunk(
+    order: np.ndarray,
+    start_sorted: np.ndarray,
+    p: int,
+    until: float,
+    i_limit: int,
+) -> Tuple[Optional[np.ndarray], int]:
+    """One reference-equivalent drain step: jobs with start <= ``until``.
+
+    Candidates not yet submitted (index >= ``i_limit``) occupy a suffix of
+    the candidate range (zero-wait ties; see the module-level drain-order
+    note) and are excluded by count.  Returns (chunk, new position).
+    """
+    h = int(np.searchsorted(start_sorted, until, side="right"))
+    if h > p and start_sorted[h - 1] == until:
+        h -= int(np.count_nonzero(order[p:h] >= i_limit))
+    if h <= p:
+        return None, p
+    return order[p:h], h
+
+
+def _feed_one(
+    predictor: QuantilePredictor, quote_arr: np.ndarray, wait: float, j: int
+) -> None:
+    value = quote_arr[j]
+    predictor.observe(wait, predicted=None if np.isnan(value) else float(value))
+
+
+def _replay_transition_segment(
+    predictors: Dict[str, QuantilePredictor],
+    names: List[str],
+    quotes: Dict[str, np.ndarray],
+    t: np.ndarray,
+    waits: np.ndarray,
+    order: np.ndarray,
+    start_sorted: np.ndarray,
+    p: int,
+    lo: int,
+    hi: int,
+    n_train: int,
+) -> int:
+    """Exact per-event replay of the segment containing the training cutoff."""
+    for i in range(lo, hi):
+        chunk, p = _drain_chunk(order, start_sorted, p, float(t[i]), i)
+        if chunk is not None:
+            for j in chunk:
+                wait = float(waits[j])
+                for name in names:
+                    _feed_one(predictors[name], quotes[name], wait, j)
+        if i == n_train:
+            for name in names:
+                predictors[name].finish_training()
+        if i >= n_train:
+            for name in names:
+                value = predictors[name].predict()
+                if value is not None:
+                    quotes[name][i] = value
+    return p
+
+
+def _replay_segment_sequential(
+    predictors: Dict[str, QuantilePredictor],
+    names: List[str],
+    quotes: Dict[str, np.ndarray],
+    t: np.ndarray,
+    waits: np.ndarray,
+    order: np.ndarray,
+    start_sorted: np.ndarray,
+    p: int,
+    lo: int,
+    hi: int,
+) -> None:
+    """Exact per-event replay of one post-training segment.
+
+    Used for the predictors whose change-point detector fires mid-segment
+    (the quote moves, so the segment-constant assignment is invalid): their
+    optimistic quotes are overwritten job by job.  The caller's drain
+    pointer is left untouched — the drain chunks recomputed here cover the
+    same contiguous slice the batched feed would have.
+    """
+    preds = [predictors[name] for name in names]
+    observes = [pr.observe for pr in preds]
+    qarrs = [quotes[name] for name in names]
+    n_names = len(preds)
+    # All drain horizons for the segment in one vectorized search; the
+    # zero-wait-tie suffix count is applied per chunk below, only when the
+    # horizon's last start actually equals the draining submit time.
+    h_arr = np.searchsorted(start_sorted, t[lo:hi], side="right").tolist()
+    t_l = t[lo:hi].tolist()
+    for m in range(hi - lo):
+        i = lo + m
+        h = h_arr[m]
+        if h > p and start_sorted[h - 1] == t_l[m]:
+            h -= int(np.count_nonzero(order[p:h] >= i))
+        if h > p:
+            for j in order[p:h].tolist():
+                w = waits[j]
+                for k in range(n_names):
+                    q = qarrs[k][j]
+                    observes[k](w, None if q != q else q)
+            p = h
+        for k in range(n_names):
+            value = preds[k].predict()
+            qarrs[k][i] = np.nan if value is None else value
+
+
 def replay_single(
     trace: Trace,
     predictor: QuantilePredictor,
     config: Optional[ReplayConfig] = None,
+    engine: Optional[str] = None,
 ) -> ReplayResult:
     """Replay a trace against one predictor (convenience wrapper)."""
-    return replay(trace, {"only": predictor}, config)["only"]
+    return replay(trace, {"only": predictor}, config, engine=engine)["only"]
 
 
 def replay_by_queue(
@@ -195,6 +768,7 @@ def replay_by_queue(
     factory: Callable[[], Dict[str, QuantilePredictor]],
     config: Optional[ReplayConfig] = None,
     min_jobs: int = 100,
+    engine: Optional[str] = None,
 ) -> Dict[str, Dict[str, ReplayResult]]:
     """Replay each queue of a multi-queue trace independently.
 
@@ -208,5 +782,5 @@ def replay_by_queue(
         sub = trace.by_queue(queue)
         if len(sub) < min_jobs:
             continue
-        results[queue] = replay(sub, factory(), config)
+        results[queue] = replay(sub, factory(), config, engine=engine)
     return results

@@ -87,6 +87,24 @@ class ReplayResult:
             self.n_correct += 1
         self.ratios.append(ratio)
 
+    def record_outcomes(self, ratios: np.ndarray, correct: np.ndarray) -> None:
+        """Record a whole batch of scored jobs in one vectorized pass.
+
+        ``ratios`` and ``correct`` are parallel arrays (actual/predicted
+        ratio and bound-held flag per job).  Equivalent to calling
+        :meth:`record_outcome` per element, which is how the batched replay
+        engine commits a segment's outcomes without a per-job Python loop.
+        """
+        ratios = np.asarray(ratios, dtype=float)
+        correct = np.asarray(correct, dtype=bool)
+        if ratios.shape != correct.shape:
+            raise ValueError(
+                f"ratios {ratios.shape} and correct {correct.shape} differ"
+            )
+        self.n_evaluated += int(ratios.size)
+        self.n_correct += int(np.count_nonzero(correct))
+        self.ratios.extend(ratios.tolist())
+
     def __repr__(self) -> str:  # concise: results get printed in bulk
         frac = self.fraction_correct
         med = self.median_ratio

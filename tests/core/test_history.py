@@ -214,3 +214,64 @@ class TestExtend:
         window = HistoryWindow()
         window.extend(np.array([3.0, 1.0]))
         assert window.values == [3.0, 1.0]
+
+
+class TestOrderStatisticFastPath:
+    """``order_statistic`` must agree with a full sort at every pending
+    count — including the scalar 1- and 2-pending shortcuts and exact
+    duplicates straddling the merge positions."""
+
+    def _check_all_ranks(self, window):
+        expected = sorted(window.values)
+        for rank in range(1, len(expected) + 1):
+            assert window.order_statistic(rank) == expected[rank - 1], rank
+
+    def test_one_pending(self):
+        for pending in (0.0, 2.5, 5.0, 99.0):
+            window = HistoryWindow([5.0, 1.0, 3.0, 7.0])
+            window.sorted_values()  # flush, then leave one value pending
+            window.append(pending)
+            self._check_all_ranks(window)
+
+    def test_two_pending_all_orderings(self):
+        for pair in ([0.0, 9.0], [9.0, 0.0], [4.0, 4.0], [1.0, 1.0], [6.5, 2.5]):
+            window = HistoryWindow([5.0, 1.0, 3.0, 7.0, 1.0])
+            window.sorted_values()
+            window.append(pair[0])
+            window.append(pair[1])
+            self._check_all_ranks(window)
+
+    def test_pending_duplicates_of_existing_values(self):
+        window = HistoryWindow([2.0, 2.0, 4.0])
+        window.sorted_values()
+        window.append(2.0)
+        window.append(4.0)
+        self._check_all_ranks(window)
+
+    def test_larger_pending_batch_uses_union_select(self):
+        rng = np.random.default_rng(17)
+        window = HistoryWindow(rng.lognormal(2.0, 1.0, 200).tolist())
+        window.sorted_values()
+        for value in rng.lognormal(2.0, 1.0, 10):
+            window.append(float(value))
+        self._check_all_ranks(window)
+
+    def test_selection_does_not_force_a_flush(self):
+        window = HistoryWindow([3.0, 1.0, 2.0])
+        window.sorted_values()
+        window.append(0.5)
+        before = window._merged_end
+        assert window.order_statistic(1) == 0.5
+        assert window._merged_end == before  # no merge happened
+
+    def test_flush_crossover_both_paths_agree(self):
+        # Small pending batch -> incremental merge; large -> wholesale
+        # resort.  Both must produce the identical sorted view.
+        rng = np.random.default_rng(23)
+        for batch_size in (3, 40, 120, 400):
+            window = HistoryWindow(rng.lognormal(2.0, 1.0, 160).tolist())
+            window.sorted_values()
+            batch = rng.lognormal(2.0, 1.0, batch_size)
+            window.extend(batch)
+            merged = list(window.sorted_values())
+            assert merged == sorted(window.values)

@@ -1,0 +1,54 @@
+"""Unit test for the ``bmbp bench-core`` kernel benchmark.
+
+Runs at a tiny scale (hundreds of jobs, one repetition) so it fits the
+tier-1 budget: the point is that the benchmark machinery works end to end
+and the artifact is well formed, not the speedup numbers themselves —
+those are asserted by the ``--smoke`` CI job at a realistic scale.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.runtime.benchcore import CORE_BENCH_SCHEMA, run_core_bench
+
+
+def test_tiny_bench_writes_wellformed_artifact(tmp_path):
+    path = tmp_path / "BENCH_core.json"
+    report = run_core_bench(
+        smoke=False,  # no speedup floor at this unrealistically tiny scale
+        reps=1,
+        dense_jobs=600,
+        sparse_jobs=100,
+        artifact=path,
+        skip_per_method=True,
+    )
+    on_disk = json.loads(path.read_text())
+    assert on_disk["schema"] == CORE_BENCH_SCHEMA
+    assert set(on_disk["bank_replay"]) == {"dense-iid", "dense-ar5", "sparse-ar9"}
+    for row in on_disk["bank_replay"].values():
+        assert set(row["engines"]) == {"batched", "reference"}
+        assert row["engines"]["batched"]["jobs_per_s"] > 0
+        assert row["speedup"] > 0
+    assert on_disk["summary"]["dense_bank_speedup_min"] <= \
+        on_disk["summary"]["dense_bank_speedup_max"]
+    flush = on_disk["microbench"]["history_flush"]
+    assert len(flush) == 5 and all(r["merge_us"] >= 0 for r in flush)
+    refit = on_disk["microbench"]["refit"]
+    assert "bmbp" in refit and refit["bmbp"]["refit_us"] > 0
+    assert report["config"]["reps"] == 1
+
+
+def test_per_method_matrix_covers_the_bank(tmp_path):
+    report = run_core_bench(
+        smoke=False,
+        reps=1,
+        dense_jobs=600,
+        sparse_jobs=100,
+        artifact=None,
+    )
+    per_method = report["per_method"]
+    assert set(per_method) == set(report["config"]["methods"])
+    for row in per_method.values():
+        assert row["batched_jobs_per_s"] > 0
+        assert row["reference_jobs_per_s"] > 0

@@ -1,0 +1,173 @@
+"""Batched-vs-reference replay engine identity.
+
+The batched kernel's contract is *exactness*: per-job outcomes, skip
+counts, change points, and the per-refit bound series must match the
+per-event reference engine — the batching is a pure reorganization of the
+same arithmetic, not an approximation.  The property test throws randomized
+small traces at both engines (tied submit times, zero waits, short trim
+lengths that force mid-segment fires, sliding windows, epoch/​training
+variations); the deterministic tests pin the specific regimes the kernel
+special-cases: change-point fire splitting, zero-wait drain ties, the
+small-batch scalar path, and engine selection plumbing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import (
+    MaxObservedPredictor,
+    MeanWaitPredictor,
+    PointQuantilePredictor,
+)
+from repro.core import BMBPPredictor, BoundKind, LogNormalPredictor
+from repro.runtime import configure, reset_configuration
+from repro.simulator.replay import ENGINE_ENV_VAR, ReplayConfig, replay
+
+
+def _bank():
+    """Predictors covering every kernel path: order-statistic and running-sum
+    refits, trimming (short lengths so random traces actually fire),
+    sliding windows, non-batch-aware overrides, and a lower bound."""
+    return {
+        "bmbp-trim": BMBPPredictor(trim=True, trim_length=4),
+        "bmbp-window": BMBPPredictor(trim=False, max_history=16),
+        "logn-trim": LogNormalPredictor(trim=True, trim_length=4),
+        "logn-lower": LogNormalPredictor(
+            quantile=0.05, kind=BoundKind.LOWER, trim=True, trim_length=4
+        ),
+        "point": PointQuantilePredictor(),
+        "max-observed": MaxObservedPredictor(),
+        "mean-wait": MeanWaitPredictor(),
+    }
+
+
+def _make_trace(gaps, waits):
+    from repro.workloads.trace import Trace
+
+    submits = np.cumsum(np.asarray(gaps, dtype=float))
+    return Trace.from_arrays(submits, np.asarray(waits, dtype=float), name="prop")
+
+
+def _assert_identical(trace, config):
+    batched = replay(trace, _bank(), config, engine="batched")
+    reference = replay(trace, _bank(), config, engine="reference")
+    assert set(batched) == set(reference)
+    for name in batched:
+        a, b = batched[name], reference[name]
+        assert a.n_evaluated == b.n_evaluated, name
+        assert a.n_correct == b.n_correct, name
+        assert a.n_skipped == b.n_skipped, name
+        assert a.change_points == b.change_points, name
+        ra, rb = np.asarray(a.ratios), np.asarray(b.ratios)
+        assert ra.shape == rb.shape, name
+        finite = np.isfinite(rb)
+        assert np.array_equal(np.isfinite(ra), finite), name
+        np.testing.assert_allclose(ra[finite], rb[finite], rtol=1e-9, err_msg=name)
+        assert list(a.series_times) == list(b.series_times), name
+        sa = np.asarray(a.series_values, dtype=float)
+        sb = np.asarray(b.series_values, dtype=float)
+        assert np.array_equal(np.isnan(sa), np.isnan(sb)), name
+        ok = ~np.isnan(sb)
+        np.testing.assert_allclose(sa[ok], sb[ok], rtol=1e-9, err_msg=name)
+
+
+# Coarse gap choices create tied submit times (gap 0), multiple jobs per
+# epoch (small gaps), and empty epochs (900 > the 300 s default) — every
+# segment shape the kernel distinguishes.
+GAPS = st.sampled_from([0.0, 1.0, 30.0, 150.0, 301.0, 900.0])
+# Zero waits are over-represented on purpose: they drain at their own
+# submit instant and exercise the drain-order tie rule.
+WAITS = st.one_of(
+    st.just(0.0),
+    st.floats(min_value=0.0, max_value=5_000.0, allow_nan=False),
+)
+JOBS = st.lists(st.tuples(GAPS, WAITS), min_size=5, max_size=50)
+
+
+class TestEngineIdentityProperty:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        jobs=JOBS,
+        epoch=st.sampled_from([50.0, 300.0]),
+        training=st.sampled_from([0.0, 0.1, 0.3]),
+    )
+    def test_random_traces(self, jobs, epoch, training):
+        trace = _make_trace([g for g, _ in jobs], [w for _, w in jobs])
+        config = ReplayConfig(
+            epoch=epoch, training_fraction=training, record_series=True
+        )
+        _assert_identical(trace, config)
+
+    @settings(max_examples=15, deadline=None)
+    @given(jobs=JOBS)
+    def test_epoch_zero_uses_reference_semantics(self, jobs):
+        # epoch=0 has no segments to batch; the batched entry point must
+        # fall back to the reference loop and match it trivially.
+        trace = _make_trace([g for g, _ in jobs], [w for _, w in jobs])
+        _assert_identical(trace, ReplayConfig(epoch=0.0, record_series=True))
+
+
+class TestEngineIdentityDeterministic:
+    def test_fire_splitting_mid_segment(self):
+        # A calm prefix, then a burst of huge waits arriving within one
+        # epoch: the trimming predictors must fire mid-segment, and the
+        # post-trim quote must be restamped onto the rest of the segment
+        # exactly as the reference engine would.
+        rng = np.random.default_rng(3)
+        calm = rng.lognormal(2.0, 0.3, 120)
+        burst = rng.lognormal(4.5, 0.2, 40)
+        waits = np.concatenate([calm, burst, calm[:40]])
+        trace = _make_trace(np.full(waits.size, 30.0), waits)
+        config = ReplayConfig(record_series=True)
+        result = replay(
+            trace, {"p": BMBPPredictor(trim=True, trim_length=4)},
+            config, engine="batched",
+        )["p"]
+        assert result.change_points > 0  # the split path actually ran
+        _assert_identical(trace, config)
+
+    def test_all_zero_waits_with_tied_submits(self):
+        # Every job starts the instant it is submitted, at timestamps that
+        # collide: the worst case for the drain-order tie rule.
+        trace = _make_trace([0.0, 0.0, 300.5, 0.0, 0.0, 0.0, 300.5, 0.0] * 4,
+                            [0.0] * 32)
+        _assert_identical(trace, ReplayConfig(record_series=True))
+
+    def test_single_job_segments_small_batch_path(self):
+        # One job per epoch: exercises the scalar small-batch feed.
+        rng = np.random.default_rng(5)
+        waits = rng.lognormal(3.0, 1.0, 40)
+        trace = _make_trace(np.full(40, 310.0), waits)
+        _assert_identical(trace, ReplayConfig(record_series=True))
+
+
+class TestEngineSelection:
+    def test_env_var_escape_hatch(self, monkeypatch, small_trace):
+        monkeypatch.setenv(ENGINE_ENV_VAR, "reference")
+        via_env = replay(small_trace, _bank(), ReplayConfig())
+        explicit = replay(small_trace, _bank(), ReplayConfig(), engine="reference")
+        for name in via_env:
+            assert via_env[name].n_correct == explicit[name].n_correct
+
+    def test_unknown_engine_rejected(self, small_trace):
+        with pytest.raises(ValueError, match="replay engine"):
+            replay(small_trace, _bank(), ReplayConfig(), engine="fancy")
+
+    def test_configure_sets_and_restores_env(self, monkeypatch):
+        monkeypatch.delenv(ENGINE_ENV_VAR, raising=False)
+        import os
+
+        configure(engine="reference")
+        try:
+            assert os.environ[ENGINE_ENV_VAR] == "reference"
+        finally:
+            reset_configuration()
+        assert ENGINE_ENV_VAR not in os.environ
+
+    def test_configure_rejects_unknown_engine(self):
+        with pytest.raises(ValueError, match="replay engine"):
+            configure(engine="fancy")
