@@ -7,16 +7,25 @@ as the upper bound.  Asymptotically this targets the same object as BMBP's
 order-statistic bound, at ~B times the cost and with no finite-sample
 guarantee — which is exactly the comparison worth making in the ablations.
 
-Rather than materializing B full resamples (a ``(B, n)`` draw-and-partition
-per refit — the single most expensive refit in the method bank), each
-resample's quantile is drawn *directly*: the empirical q-quantile of a
-resample of the sorted window ``s`` is ``s[J]`` where ``J`` is the rank-th
-order statistic of n iid uniform index draws.  That order statistic is
-``ceil(n * G) - 1`` with ``G ~ Beta(rank, n - rank + 1)`` — the classic
-order-statistic-of-uniforms identity — so one Beta draw per resample
-replaces n value draws, making the refit O(n log n) for the window sort
-plus O(B) for the draws, with exactly the distribution of the
-materialized bootstrap.
+The legacy algorithm (kept verbatim as the ``recompute`` A/B control)
+materializes the B resample quantiles each refit: a per-resample Beta
+draw for the rank's sampling distribution, a fancy-index into the sorted
+window, and a sort of the B estimates.  The incremental engine replaces
+all of that with a *two-order-statistic draw*: the empirical q-quantile
+of one resample of the sorted window ``s`` is ``s[J]`` where
+``J = ceil(n·G) - 1`` with ``G ~ Beta(rank, n - rank + 1)`` (the classic
+order-statistic-of-uniforms identity), and the quoted bound is a fixed
+pair of *order statistics* of the B estimates — and since ``s[J(G)]`` is
+monotone in ``G``, the m-th smallest estimate is the transform of the
+m-th smallest ``G``.  So the refit draws exactly those two:
+``U_(m) ~ Beta(m, B - m + 1)`` (uniform order statistic), its successor
+from the conditional ``U_(m+1) | U_(m)``, and maps both through the Beta
+inverse CDF in one vectorized ``betaincinv`` call.  Two scalar draws per
+refit replace the B Beta draws and the estimate sort, with exactly the
+distribution of the materialized bootstrap at any ``n_resamples`` — the
+two modes are distributionally identical but draw different realizations,
+so they are compared by a seeded distribution test rather than the
+engine-identity value check.
 """
 
 from __future__ import annotations
@@ -25,21 +34,24 @@ import math
 from typing import Optional
 
 import numpy as np
+from scipy.special import betaincinv
 
-from repro.core.predictor import BoundKind, QuantilePredictor
+from repro.core.history import HistoryWindow
+from repro.core.predictor import (
+    BoundKind,
+    QuantilePredictor,
+    register_batch_aware_observe,
+)
 
 __all__ = ["BootstrapQuantilePredictor"]
 
 
 def _linear_quantile(sorted_values: np.ndarray, q: float) -> float:
-    """The q-quantile of a pre-sorted sample (linear interpolation).
-
-    Matches ``np.quantile``'s default method without its per-call
-    dispatch overhead, which is material at one call per refit.
-    """
-    pos = (sorted_values.size - 1) * q
-    lo = int(pos)
-    frac = pos - lo
+    """``np.quantile(..., interpolation='linear')`` on a pre-sorted array."""
+    n = sorted_values.size
+    position = (n - 1) * q
+    lo = int(position)
+    frac = position - lo
     if frac == 0.0:
         return float(sorted_values[lo])
     return float(sorted_values[lo] * (1.0 - frac) + sorted_values[lo + 1] * frac)
@@ -61,6 +73,7 @@ class BootstrapQuantilePredictor(QuantilePredictor):
         n_resamples: int = 200,
         max_history: int = 4000,
         seed: int = 0,
+        refit_mode: str = "incremental",
     ):
         super().__init__(
             quantile=quantile,
@@ -69,6 +82,7 @@ class BootstrapQuantilePredictor(QuantilePredictor):
             trim=trim,
             trim_length=trim_length,
             rare_event_table=rare_event_table,
+            refit_mode=refit_mode,
         )
         if n_resamples < 10:
             raise ValueError(f"need at least 10 resamples, got {n_resamples}")
@@ -77,23 +91,79 @@ class BootstrapQuantilePredictor(QuantilePredictor):
         self.n_resamples = n_resamples
         self.max_history = max_history
         self._rng = np.random.default_rng(seed)
+        # The bound is the C-quantile (np.quantile linear interpolation) of
+        # the B resample estimates — a fixed mix of the (m) and (m+1)
+        # order statistics of B, none of which depends on the window, so
+        # the draw parameters are constants of the predictor.
+        level = confidence if kind is BoundKind.UPPER else 1.0 - confidence
+        position = (n_resamples - 1) * level
+        self._m = int(position) + 1  # 1-indexed order statistic of the B
+        self._frac = position - (self._m - 1)
+        self._level = level
+        # Exponent of the conditional-successor inverse CDF (see
+        # ``_compute_bound``), constant per predictor.
+        self._succ_exp = 1.0 / (n_resamples - self._m) if self._m < n_resamples else 1.0
+        # Sorted mirror of the last ``max_history`` observations: a bounded
+        # HistoryWindow whose incrementally maintained sorted view replaces
+        # the per-refit ``np.sort(values[-max_history:])`` — the window the
+        # bootstrap resamples is identical (same multiset, same sorted
+        # array), but keeping it costs O(new observations) per refit
+        # instead of O(n log n).  The mirror shares the epoch's pre-sorted
+        # drain batch with the other order-statistic windows (the
+        # shared-sort pass), and a change-point trim rebuilds it from the
+        # retained history.  The legacy recompute arm re-sorts instead and
+        # skips the mirror upkeep entirely.
+        self._keep_mirror = refit_mode != "recompute"
+        self._mirror = HistoryWindow(max_size=max_history)
+
+    def observe(self, wait: float, predicted: Optional[float] = None) -> None:
+        if self._keep_mirror:
+            self._mirror.append(wait)
+        super().observe(wait, predicted=predicted)
+
+    def _absorb_batch(self, waits: np.ndarray, shared=None) -> None:
+        if self._keep_mirror:
+            if shared is not None and waits.size >= 9:
+                self._mirror.extend(waits, presorted=shared.sorted_waits())
+            else:
+                self._mirror.extend(waits)
+        super()._absorb_batch(waits, shared)
+
+    def _on_history_trimmed(self) -> None:
+        if self._keep_mirror:
+            self._mirror.clear()
+            self._mirror.extend(self.history.arrival_view())
 
     def _compute_bound(self) -> Optional[float]:
-        values = self.history.arrival_view()
-        if values.size < 30:
+        if len(self.history) < 30:
             return None
-        # Bound the per-refit cost on long histories; the most recent
-        # observations are the relevant ones anyway.
-        window = np.sort(values[-self.max_history:])
+        rank_of = math.ceil
+        if self.refit_mode == "recompute":
+            # Legacy materialized bootstrap (the bench-core A/B control):
+            # sort the window, draw all B resample quantiles, sort those.
+            window = np.sort(self.history.arrival_view()[-self.max_history:])
+            n = window.size
+            rank = max(1, rank_of(n * self.quantile))
+            draws = self._rng.beta(rank, n - rank + 1, size=self.n_resamples)
+            idx = np.minimum(np.ceil(draws * n).astype(np.intp) - 1, n - 1)
+            estimates = np.sort(window[idx])
+            return _linear_quantile(estimates, self._level)
+        window = self._mirror.sorted_values()
         n = window.size
-        rank = max(1, math.ceil(n * self.quantile))
-        # One resample's rank statistic is window[ceil(n*G) - 1] with
-        # G ~ Beta(rank, n - rank + 1): the index J is the rank-th order
-        # statistic of n uniform index draws, and inverse-transforming its
-        # CDF P(J <= j) = P(G <= (j+1)/n) lands on exactly this formula.
-        draws = self._rng.beta(rank, n - rank + 1, size=self.n_resamples)
-        idx = np.minimum(np.ceil(draws * n).astype(np.intp) - 1, n - 1)
-        estimates = np.sort(window[idx])
-        if self.kind is BoundKind.UPPER:
-            return _linear_quantile(estimates, self.confidence)
-        return _linear_quantile(estimates, 1.0 - self.confidence)
+        rank = max(1, rank_of(n * self.quantile))
+        m = self._m
+        frac = self._frac
+        u = self._rng.beta(m, self.n_resamples - m + 1)
+        if frac == 0.0:
+            g = betaincinv(rank, n - rank + 1, u)
+            return window.item(min(rank_of(g * n) - 1, n - 1))
+        # U_(m+1) | U_(m) = u is the minimum of the B - m uniforms above
+        # u, i.e. u + (1 - u) * (1 - W ** (1 / (B - m))), W ~ U(0, 1).
+        u2 = u + (1.0 - u) * (1.0 - self._rng.random() ** self._succ_exp)
+        g, g2 = betaincinv(rank, n - rank + 1, np.array((u, u2)))
+        bound = window.item(min(rank_of(g * n) - 1, n - 1))
+        upper = window.item(min(rank_of(g2 * n) - 1, n - 1))
+        return bound * (1.0 - frac) + upper * frac
+
+
+register_batch_aware_observe(BootstrapQuantilePredictor.observe)

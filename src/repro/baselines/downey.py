@@ -40,7 +40,11 @@ class DowneyLogUniformPredictor(QuantilePredictor):
         trim_length: Optional[int] = None,
         rare_event_table=None,
         shift: float = DEFAULT_LOG_SHIFT,
+        refit_mode: str = "incremental",
     ):
+        # ``refit_mode`` is accepted for bank-builder uniformity; the
+        # running-extremes refit predates the mode split and is identical
+        # (and O(1)) either way.
         super().__init__(
             quantile=quantile,
             confidence=confidence,
@@ -48,6 +52,7 @@ class DowneyLogUniformPredictor(QuantilePredictor):
             trim=trim,
             trim_length=trim_length,
             rare_event_table=rare_event_table,
+            refit_mode=refit_mode,
         )
         if shift <= 0.0:
             raise ValueError(f"log shift must be positive, got {shift}")
@@ -69,7 +74,10 @@ class DowneyLogUniformPredictor(QuantilePredictor):
                 self._hi = wait
         super().observe(wait, predicted=predicted)
 
-    def _absorb_batch(self, waits: np.ndarray) -> None:
+    def _absorb_batch(self, waits: np.ndarray, shared=None) -> None:
+        # The running extremes ARE the memoized sufficient statistics of
+        # the log-uniform MLE (its support is the sample's range), so both
+        # the scalar and the batch feed keep refits O(1).
         lo = float(waits.min())
         hi = float(waits.max())
         if self._lo is None:
@@ -77,7 +85,7 @@ class DowneyLogUniformPredictor(QuantilePredictor):
         else:
             self._lo = min(self._lo, lo)
             self._hi = max(self._hi, hi)
-        self.history.extend(waits)
+        super()._absorb_batch(waits, shared)
 
     def _on_history_trimmed(self) -> None:
         values = self.history.arrival_view()

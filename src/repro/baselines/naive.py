@@ -7,6 +7,12 @@ essentially never useful; ``PointQuantilePredictor`` is tight but
 under-covers (no confidence margin); ``MeanWaitPredictor`` is what a user
 eyeballing the queue's average would do and is neither correct nor tight
 for heavy-tailed waits.
+
+``PointQuantilePredictor`` doubles as the host for the streaming-sketch
+bank methods: constructed with ``refit_mode="p2"`` or ``"tdigest"`` it
+quotes a P²/t-digest estimate of the same empirical quantile (reported as
+``p2-quantile``/``tdigest-quantile``), trading the exact order statistic
+for an O(1)-memory, O(1)-refit approximation.
 """
 
 from __future__ import annotations
@@ -17,6 +23,7 @@ from typing import Optional
 import numpy as np
 
 from repro.core.predictor import (
+    SKETCH_REFIT_MODES,
     BoundKind,
     QuantilePredictor,
     register_batch_aware_observe,
@@ -35,8 +42,12 @@ class MaxObservedPredictor(QuantilePredictor):
     name = "max-observed"
 
     def __init__(self, quantile: float = 0.95, confidence: float = 0.95,
-                 kind: BoundKind = BoundKind.UPPER, trim: bool = False):
-        super().__init__(quantile=quantile, confidence=confidence, kind=kind, trim=trim)
+                 kind: BoundKind = BoundKind.UPPER, trim: bool = False,
+                 refit_mode: str = "incremental"):
+        # ``refit_mode`` accepted for bank-builder uniformity; the running
+        # extreme is identical (and O(1)) in both exact modes.
+        super().__init__(quantile=quantile, confidence=confidence, kind=kind,
+                         trim=trim, refit_mode=refit_mode)
         self._extreme: Optional[float] = None
 
     def observe(self, wait: float, predicted: Optional[float] = None) -> None:
@@ -48,7 +59,7 @@ class MaxObservedPredictor(QuantilePredictor):
             self._extreme = min(self._extreme, wait)
         super().observe(wait, predicted=predicted)
 
-    def _absorb_batch(self, waits: np.ndarray) -> None:
+    def _absorb_batch(self, waits: np.ndarray, shared=None) -> None:
         extreme = float(waits.max() if self.kind is BoundKind.UPPER else waits.min())
         if self._extreme is None:
             self._extreme = extreme
@@ -56,7 +67,7 @@ class MaxObservedPredictor(QuantilePredictor):
             self._extreme = max(self._extreme, extreme)
         else:
             self._extreme = min(self._extreme, extreme)
-        self.history.extend(waits)
+        super()._absorb_batch(waits, shared)
 
     def _on_history_trimmed(self) -> None:
         values = self.history.arrival_view()
@@ -78,30 +89,88 @@ class PointQuantilePredictor(QuantilePredictor):
     imperfection (nonstationarity, autocorrelation, estimation noise) drags
     it below the target: the ablation that shows why BMBP's binomial margin
     is not optional.
+
+    ``refit_mode`` selects how the quantile is served: ``"incremental"``
+    (default) reads the window's maintained sorted view through a rank
+    subscription (bit-identical to sorting, O(new observations) per
+    refit); ``"recompute"`` re-sorts every refit (the benchmarked A/B
+    control); ``"p2"``/``"tdigest"`` stream the estimate through a sketch
+    — those variants report themselves as the ``p2-quantile`` and
+    ``tdigest-quantile`` bank methods.
     """
 
-    name = "point-quantile"
+    _SKETCH_CAPABLE = True
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._rank_key = self.history.subscribe_rank(
+            "point-quantile", self._point_rank
+        )
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        if self.refit_mode in SKETCH_REFIT_MODES:
+            return f"{self.refit_mode}-quantile"
+        return "point-quantile"
+
+    def _point_rank(self, n: int) -> Optional[int]:
+        # The point estimate of the q-quantile serves both bound kinds —
+        # having no confidence margin is exactly this baseline's flaw.
+        if n == 0:
+            return None
+        return max(1, math.ceil(n * self.quantile))
 
     def _compute_bound(self) -> Optional[float]:
         n = len(self.history)
         if n == 0:
             return None
-        # The point estimate of the q-quantile serves both bound kinds —
-        # having no confidence margin is exactly this baseline's flaw.
-        rank = max(1, math.ceil(n * self.quantile))
-        return self.history.order_statistic(rank)
+        if self.refit_mode in SKETCH_REFIT_MODES:
+            return self._sketch.quantile(self.quantile)
+        if self.refit_mode == "recompute":
+            rank = self._point_rank(n)
+            return float(np.sort(self.history.arrival_view())[rank - 1])
+        return self.history.rank_value(self._rank_key)
 
 
 class MeanWaitPredictor(QuantilePredictor):
-    """Quotes the historical mean wait (the eyeball forecast)."""
+    """Quotes the historical mean wait (the eyeball forecast).
+
+    The mean is maintained as a running (count, sum) pair so a refit is
+    O(1) regardless of history length; a trim rebuilds the pair from the
+    retained window in one vectorized pass.  The running sum and a fresh
+    ``mean()`` over the window agree to floating-point roundoff (~1e-15
+    relative) — inside every bound tolerance in the repository.
+    """
 
     name = "mean-wait"
 
-    def _compute_bound(self) -> Optional[float]:
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._n = 0
+        self._sum = 0.0
+
+    def observe(self, wait: float, predicted: Optional[float] = None) -> None:
+        self._n += 1
+        self._sum += wait
+        super().observe(wait, predicted=predicted)
+
+    def _absorb_batch(self, waits: np.ndarray, shared=None) -> None:
+        self._n += int(waits.size)
+        self._sum += float(waits.sum())
+        super()._absorb_batch(waits, shared)
+
+    def _on_history_trimmed(self) -> None:
         values = self.history.arrival_view()
-        if values.size == 0:
+        self._n = int(values.size)
+        self._sum = float(values.sum())
+
+    def _compute_bound(self) -> Optional[float]:
+        if self._n == 0:
             return None
-        return float(values.mean())
+        if self.refit_mode == "recompute":
+            return float(self.history.arrival_view().mean())
+        return self._sum / self._n
 
 
 register_batch_aware_observe(MaxObservedPredictor.observe)
+register_batch_aware_observe(MeanWaitPredictor.observe)

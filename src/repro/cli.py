@@ -588,8 +588,10 @@ def build_bench_core_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--smoke", action="store_true",
-        help="CI variant: small traces, and assert the batched engine beats "
-        "the reference by the BMBP_BENCH_MIN_CORE_SPEEDUP floor (default 2x)",
+        help="CI variant: small traces, and assert the floors — batched vs "
+        "reference (BMBP_BENCH_MIN_CORE_SPEEDUP, default 2x) and "
+        "incremental vs recompute refits on the sparse trace "
+        "(BMBP_BENCH_MIN_SPARSE_SPEEDUP, default 1.5x)",
     )
     parser.add_argument(
         "--reps", type=int, default=None, metavar="N",
@@ -601,7 +603,7 @@ def build_bench_core_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--sparse-jobs", type=int, default=None, metavar="N",
-        help="jobs in the sparse benchmark trace (default: 20000, smoke: 2000)",
+        help="jobs in the sparse benchmark trace (default: 20000, smoke: 4000)",
     )
     parser.add_argument("--seed", type=int, default=11)
     parser.add_argument(
@@ -611,6 +613,10 @@ def build_bench_core_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--json", default="BENCH_core.json", metavar="PATH",
         help="kernel benchmark artifact path (default %(default)s)",
+    )
+    parser.add_argument(
+        "--refit-json", default="BENCH_refit.json", metavar="PATH",
+        help="refit A/B + microbenchmark artifact path (default %(default)s)",
     )
     return parser
 
@@ -627,6 +633,7 @@ def _bench_core_main(argv: List[str]) -> int:
             sparse_jobs=args.sparse_jobs,
             seed=args.seed,
             artifact=args.json,
+            refit_artifact=args.refit_json,
             skip_per_method=args.skip_per_method,
         )
     except AssertionError as exc:
@@ -646,7 +653,14 @@ def _bench_core_main(argv: List[str]) -> int:
         f"{summary['dense_bank_speedup_max']:.2f}x; sparse (refit-bound): "
         f"{summary['sparse_bank_speedup']:.2f}x"
     )
+    ab = report["refit_bench"]["sparse_refit_ab"]
+    print(
+        f"sparse refit A/B: incremental {ab['incremental_jobs_per_s']:,.0f} "
+        f"jobs/s vs recompute {ab['recompute_jobs_per_s']:,.0f} jobs/s "
+        f"({ab['speedup']:.2f}x)"
+    )
     print(f"[bmbp] core benchmark written to {args.json}", file=sys.stderr)
+    print(f"[bmbp] refit benchmark written to {args.refit_json}", file=sys.stderr)
     return 0
 
 

@@ -15,13 +15,22 @@ from repro.core.clustering import AttributeClusterer, ClusteredPredictor
 from repro.core.history import HistoryWindow
 from repro.core.interval import IntervalPredictor, QuantileBank
 from repro.core.lognormal import LogNormalPredictor
-from repro.core.predictor import BoundKind, Prediction, QuantilePredictor
+from repro.core.predictor import (
+    REFIT_MODES,
+    SKETCH_REFIT_MODES,
+    BoundKind,
+    Prediction,
+    QuantilePredictor,
+)
 from repro.core.quantile import (
     QuantileBound,
+    bound_rank,
     lower_confidence_bound,
     two_sided_confidence_interval,
     upper_confidence_bound,
 )
+from repro.core.refit import EpochBatch
+from repro.core.sketch import P2Quantile, TDigest
 from repro.core.rare_event import (
     RareEventTable,
     default_rare_event_table,
@@ -34,15 +43,21 @@ __all__ = [
     "ClusteredPredictor",
     "BoundKind",
     "ConsecutiveMissDetector",
+    "EpochBatch",
     "HistoryWindow",
     "IntervalPredictor",
     "LogNormalPredictor",
+    "P2Quantile",
     "Prediction",
     "QuantileBank",
     "QuantileBound",
     "QuantilePredictor",
+    "REFIT_MODES",
     "RareEventTable",
+    "SKETCH_REFIT_MODES",
+    "TDigest",
     "binomial_cdf",
+    "bound_rank",
     "default_rare_event_table",
     "generate_rare_event_table",
     "lower_bound_rank",

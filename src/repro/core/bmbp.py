@@ -9,10 +9,18 @@ This is the paper's primary contribution.
 
 from __future__ import annotations
 
+import math
 from typing import Optional
 
+import numpy as np
+
 from repro.core import binomial
-from repro.core.predictor import BoundKind, QuantilePredictor
+from repro.core.predictor import (
+    SKETCH_REFIT_MODES,
+    BoundKind,
+    QuantilePredictor,
+)
+from repro.core.quantile import bound_rank
 
 __all__ = ["BMBPPredictor"]
 
@@ -41,9 +49,18 @@ class BMBPPredictor(QuantilePredictor):
         Optional fixed sliding window: keep only the most recent N
         observations.  An ablation alternative to change-point trimming —
         see the ablations experiment.
+    refit_mode:
+        ``"incremental"`` (default) serves the bound from the history
+        window's incrementally maintained sorted view via a rank
+        subscription — bit-identical to a full re-select, O(new
+        observations) per refit.  ``"recompute"`` re-sorts the window every
+        refit (the legacy path, kept as the benchmarked A/B control).
+        ``"p2"``/``"tdigest"`` serve the bound rank's probability from a
+        streaming sketch — O(1) per refit, approximate by contract.
     """
 
     name = "bmbp"
+    _SKETCH_CAPABLE = True
 
     def __init__(
         self,
@@ -55,6 +72,7 @@ class BMBPPredictor(QuantilePredictor):
         trim_length: Optional[int] = None,
         rare_event_table=None,
         max_history: Optional[int] = None,
+        refit_mode: str = "incremental",
     ):
         super().__init__(
             quantile=quantile,
@@ -64,40 +82,82 @@ class BMBPPredictor(QuantilePredictor):
             trim_length=trim_length,
             rare_event_table=rare_event_table,
             max_history=max_history,
+            refit_mode=refit_mode,
         )
         if method not in ("auto", "exact", "normal"):
             raise ValueError(f"unknown method {method!r}")
         self.method = method
+        # Declare the bound rank to the shared maintained sorted view; the
+        # resolver is memoized per window size and the binomial searches
+        # behind ``bound_rank`` are lru-cached, so steady-state resolution
+        # is a dictionary hit.
+        self._rank_key = self.history.subscribe_rank("bmbp-bound", self._bound_rank)
+        # Closed-form fast path for the normal-approximation rank: a
+        # growing window resolves its rank at every refit (the per-size
+        # memo never hits), and the shared ``bound_rank`` dispatch costs
+        # several call layers each time.  Once n clears the paper's
+        # switch-over rule the resolution is a two-line formula, so inline
+        # it; below the threshold (or with ``method="exact"``) fall back
+        # to the shared resolver.
+        self._z = binomial._z_value(confidence)
+        if method == "exact":
+            self._normal_n_min: Optional[int] = None
+        elif method == "normal":
+            self._normal_n_min = 1
+        else:
+            e = binomial.NORMAL_APPROX_MIN_EXPECTED
+            n_min = max(1, int(max(e / quantile, e / (1.0 - quantile))) - 2)
+            while not binomial.use_normal_approximation(n_min, quantile):
+                n_min += 1
+            self._normal_n_min = n_min
+
+    def _bound_rank(self, n: int) -> Optional[int]:
+        """The binomial bound rank for a window of ``n`` observations."""
+        n_min = self._normal_n_min
+        if n_min is not None and n >= n_min:
+            # Same expressions as binomial.normal_approx_upper_rank /
+            # normal_approx_lower_rank, term for term, so the resolved
+            # rank is bit-identical to the shared resolver's.
+            q = self.quantile
+            z = self._z
+            if self.kind is BoundKind.UPPER:
+                rank = math.ceil(n * q + z * math.sqrt(n * q * (1.0 - q)))
+                if rank < 1:
+                    rank = 1
+                return rank if rank <= n else None
+            rank = math.floor(n * q - z * math.sqrt(n * q * (1.0 - q)))
+            if rank < 1:
+                return None
+            return min(rank, n)
+        return bound_rank(
+            n,
+            self.quantile,
+            self.confidence,
+            side="upper" if self.kind is BoundKind.UPPER else "lower",
+            method=self.method,
+        )
 
     def _compute_bound(self) -> Optional[float]:
         n = len(self.history)
         if n == 0:
             return None
-        # Resolve the bound rank directly, then select that single order
-        # statistic: ``order_statistic`` avoids rebuilding the window's
-        # sorted view when only a few observations arrived since the last
-        # refit, which is the common case in epoch-batched replays.
-        method = self.method
-        if method == "auto":
-            method = (
-                "normal"
-                if binomial.use_normal_approximation(n, self.quantile)
-                else "exact"
-            )
-        if self.kind is BoundKind.UPPER:
-            if method == "exact":
-                rank = binomial.upper_bound_rank(n, self.quantile, self.confidence)
-            else:
-                rank = binomial.normal_approx_upper_rank(
-                    n, self.quantile, self.confidence
-                )
-        else:
-            if method == "exact":
-                rank = binomial.lower_bound_rank(n, self.quantile, self.confidence)
-            else:
-                rank = binomial.normal_approx_lower_rank(
-                    n, self.quantile, self.confidence
-                )
-        if rank is None:
-            return None
-        return self.history.order_statistic(rank)
+        if self.refit_mode in SKETCH_REFIT_MODES:
+            # Approximate path: quote the sketch's estimate of the bound
+            # rank's empirical probability.  The rank machinery (and thus
+            # the binomial confidence margin) is identical to the exact
+            # path; only the selection is approximate.
+            rank = self._bound_rank(n)
+            if rank is None:
+                return None
+            return self._sketch.quantile(min(1.0 - 1e-12, rank / n))
+        if self.refit_mode == "recompute":
+            # Legacy full-recompute refit (the bench-core A/B control):
+            # re-sort the window and select.
+            rank = self._bound_rank(n)
+            if rank is None:
+                return None
+            return float(np.sort(self.history.arrival_view())[rank - 1])
+        # Incremental path: the subscription selects through the window's
+        # maintained sorted view — bit-identical to the recompute path,
+        # O(observations since the last read) instead of O(n log n).
+        return self.history.rank_value(self._rank_key)

@@ -34,15 +34,38 @@ from repro.core.changepoint import (
 )
 from repro.core.history import HistoryWindow
 from repro.core.rare_event import RareEventTable, default_rare_event_table
+from repro.core.refit import EpochBatch
+from repro.core.sketch import make_sketch
 from repro.stats.autocorrelation import first_autocorrelation
 
 __all__ = [
     "BoundKind",
     "Prediction",
     "QuantilePredictor",
+    "REFIT_MODES",
+    "SKETCH_REFIT_MODES",
     "observe_is_batch_aware",
     "register_batch_aware_observe",
 ]
+
+#: Exact refit strategies every predictor supports: ``"incremental"`` (the
+#: default — maintained windows, running sums, memoized log caches) and
+#: ``"recompute"`` (the legacy full-recompute paths, kept as the A/B
+#: control the ``bmbp bench-core`` sparse-regime assertion measures
+#: against).  Both produce the same bounds — incremental order statistics
+#: bit-identically, running sums to floating-point roundoff.
+REFIT_MODES = ("incremental", "recompute")
+
+#: Approximate refit strategies backed by :mod:`repro.core.sketch`; only
+#: predictors whose bound is a plain order statistic opt in (class
+#: attribute ``_SKETCH_CAPABLE``).  Sketch-backed bounds are O(1) per
+#: refit but approximate by contract — see ``docs/verification.md``.
+SKETCH_REFIT_MODES = ("p2", "tdigest")
+
+#: Smallest drain batch worth handing a shared pre-sorted copy to the
+#: window (below this the window folds the batch with scalar inserts and
+#: would ignore the hint).
+_PRESORT_MIN_BATCH = 9
 
 #: ``observe`` implementations whose per-observation side effects are fully
 #: replicated by the owning class's ``_absorb_batch``.  ``observe_batch``
@@ -105,6 +128,11 @@ class QuantilePredictor(ABC):
     #: Human-readable method name, overridden by subclasses.
     name = "base"
 
+    #: Whether this predictor's bound can be served by a streaming sketch
+    #: (``refit_mode="p2"``/``"tdigest"``).  Only order-statistic bounds
+    #: qualify; subclasses opt in explicitly.
+    _SKETCH_CAPABLE = False
+
     def __init__(
         self,
         quantile: float = 0.95,
@@ -114,11 +142,29 @@ class QuantilePredictor(ABC):
         trim_length: Optional[int] = None,
         rare_event_table: Optional[RareEventTable] = None,
         max_history: Optional[int] = None,
+        refit_mode: str = "incremental",
     ):
         if not 0.0 < quantile < 1.0:
             raise ValueError(f"quantile must be in (0, 1), got {quantile}")
         if not 0.0 < confidence < 1.0:
             raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+        if refit_mode in SKETCH_REFIT_MODES:
+            if not type(self)._SKETCH_CAPABLE:
+                raise ValueError(
+                    f"{type(self).__name__} does not support sketch refit "
+                    f"mode {refit_mode!r} (not an order-statistic bound)"
+                )
+        elif refit_mode not in REFIT_MODES:
+            raise ValueError(
+                f"refit_mode must be one of {REFIT_MODES + SKETCH_REFIT_MODES}, "
+                f"got {refit_mode!r}"
+            )
+        self.refit_mode = refit_mode
+        self._sketch = (
+            make_sketch(refit_mode, quantile)
+            if refit_mode in SKETCH_REFIT_MODES
+            else None
+        )
         self.quantile = quantile
         self.confidence = confidence
         self.kind = BoundKind(kind)
@@ -149,6 +195,8 @@ class QuantilePredictor(ABC):
         if wait < 0.0:
             raise ValueError(f"wait times are non-negative, got {wait}")
         self.history.append(wait)
+        if self._sketch is not None:
+            self._sketch.update(wait)
         self._observations_since_refit += 1
         if self.trim and predicted is not None:
             miss = self._is_miss(wait, predicted)
@@ -156,7 +204,10 @@ class QuantilePredictor(ABC):
                 self._on_change_point()
 
     def observe_batch(
-        self, waits: np.ndarray, predicted: Optional[np.ndarray] = None
+        self,
+        waits: np.ndarray,
+        predicted: Optional[np.ndarray] = None,
+        shared: Optional[EpochBatch] = None,
     ) -> None:
         """Absorb many completed waits in one pass; score those with bounds.
 
@@ -173,6 +224,11 @@ class QuantilePredictor(ABC):
 
         Predictors that override ``observe`` without registering it via
         :func:`register_batch_aware_observe` are fed item by item.
+
+        ``shared``, when given, must be an :class:`EpochBatch` wrapping
+        exactly ``waits``: the replay engine builds one per drain batch so
+        the whole method bank shares a single sorted/log/summary view of
+        the epoch's new observations (see :mod:`repro.core.refit`).
         """
         waits = np.asarray(waits, dtype=float)
         n = waits.size
@@ -191,12 +247,12 @@ class QuantilePredictor(ABC):
             return
         detector = self.detector
         if not self.trim or detector is None or predicted is None:
-            self._absorb_batch(waits)
+            self._absorb_batch(waits, shared)
             self._observations_since_refit += n
             return
         scored = np.flatnonzero(~np.isnan(predicted))
         if scored.size == 0:
-            self._absorb_batch(waits)
+            self._absorb_batch(waits, shared)
             self._observations_since_refit += n
             return
         if self.kind is BoundKind.UPPER:
@@ -210,7 +266,10 @@ class QuantilePredictor(ABC):
             fire_k = first_fire_index(miss[k:], carry, detector.threshold)
             if fire_k is None:
                 if pos < n:
-                    self._absorb_batch(waits[pos:])
+                    # The shared views describe the *whole* batch; a feed
+                    # split by an earlier fire absorbs slices, which the
+                    # views no longer match.
+                    self._absorb_batch(waits[pos:], shared if pos == 0 else None)
                     self._observations_since_refit += n - pos
                 detector.restore_run(trailing_run(miss[k:], carry))
                 return
@@ -249,7 +308,11 @@ class QuantilePredictor(ABC):
         )
 
     def feed_scored(
-        self, waits: np.ndarray, scored: np.ndarray, miss: np.ndarray
+        self,
+        waits: np.ndarray,
+        scored: np.ndarray,
+        miss: np.ndarray,
+        shared: Optional[EpochBatch] = None,
     ) -> Optional[int]:
         """Feed a scored batch up to (and including) the first fire.
 
@@ -268,7 +331,7 @@ class QuantilePredictor(ABC):
         carry = detector.current_run
         fire_k = first_fire_index(miss, carry, detector.threshold)
         if fire_k is None:
-            self._absorb_batch(waits)
+            self._absorb_batch(waits, shared)
             self._observations_since_refit += waits.size
             detector.restore_run(trailing_run(miss, carry))
             return None
@@ -304,9 +367,15 @@ class QuantilePredictor(ABC):
         self._observations_since_refit = 0
 
     def refit_if_stale(self) -> None:
-        """Refit only when new observations arrived since the last refit."""
+        """Refit only when new observations arrived since the last refit.
+
+        Inlines :meth:`refit` rather than delegating: this runs once per
+        method per epoch boundary, where a sparse replay's epochs hold a
+        single job — the extra call frame is measurable across the bank.
+        """
         if self._observations_since_refit > 0 or self._current is None:
-            self.refit()
+            self._current = self._compute_bound()
+            self._observations_since_refit = 0
 
     def predict(self) -> Optional[float]:
         """The bound quoted to a user right now (None if not computable)."""
@@ -390,18 +459,34 @@ class QuantilePredictor(ABC):
         self._on_history_trimmed()
         self.refit()
 
-    def _absorb_batch(self, waits: np.ndarray) -> None:
+    def _absorb_batch(
+        self, waits: np.ndarray, shared: Optional[EpochBatch] = None
+    ) -> None:
         """Fold a batch of completed waits into history (no scoring).
 
         Subclasses that keep running aggregates (the log-normal sums, the
         max-observed extreme) override this to update them in the same
         vectorized pass; the override must leave the predictor in exactly
-        the state a per-item ``observe`` loop would.
+        the state a per-item ``observe`` loop would, and should forward
+        ``shared`` (the epoch's memoized batch views) to ``super()``.
         """
-        self.history.extend(waits)
+        if shared is not None and waits.size >= _PRESORT_MIN_BATCH:
+            self.history.extend(waits, presorted=shared.sorted_waits())
+        else:
+            self.history.extend(waits)
+        if self._sketch is not None:
+            self._sketch.update_batch(waits)
 
     def _on_history_trimmed(self) -> None:
-        """Hook for subclasses that keep running aggregates over history."""
+        """Hook for subclasses that keep running aggregates over history.
+
+        The base implementation rebuilds the sketch (when a sketch refit
+        mode is active) from the retained window; sketch-capable
+        subclasses overriding this hook must call ``super()``.
+        """
+        if self._sketch is not None:
+            self._sketch.reset()
+            self._sketch.update_batch(self.history.arrival_view())
 
     @abstractmethod
     def _compute_bound(self) -> Optional[float]:

@@ -16,6 +16,7 @@ from repro.core import binomial
 
 __all__ = [
     "QuantileBound",
+    "bound_rank",
     "lower_confidence_bound",
     "two_sided_confidence_interval",
     "upper_confidence_bound",
@@ -72,6 +73,38 @@ def _as_sorted_array(sample: Sequence[float], assume_sorted: bool) -> np.ndarray
     if not assume_sorted:
         arr = np.sort(arr)
     return arr
+
+
+def bound_rank(
+    n: int,
+    quantile: float,
+    confidence: float,
+    side: str = "upper",
+    method: str = "auto",
+) -> Optional[int]:
+    """The 1-indexed order-statistic rank a bound at this level selects.
+
+    The single rank-resolution rule shared by the bound functions below,
+    :class:`~repro.core.bmbp.BMBPPredictor`, and the
+    :meth:`~repro.core.history.HistoryWindow.subscribe_rank` resolvers the
+    predictors register — one definition, so the incremental refit path
+    and the recompute path cannot drift apart.  Returns ``None`` when no
+    rank of ``n`` observations attains the requested level.  The
+    underlying binomial searches are memoized, so resolving a rank is an
+    O(1) dictionary hit in steady state.
+    """
+    if n <= 0:
+        return None
+    if side not in ("upper", "lower"):
+        raise ValueError(f"side must be 'upper' or 'lower', got {side!r}")
+    chosen = _resolve_method(method, n, quantile)
+    if side == "upper":
+        if chosen == "exact":
+            return binomial.upper_bound_rank(n, quantile, confidence)
+        return binomial.normal_approx_upper_rank(n, quantile, confidence)
+    if chosen == "exact":
+        return binomial.lower_bound_rank(n, quantile, confidence)
+    return binomial.normal_approx_lower_rank(n, quantile, confidence)
 
 
 def upper_confidence_bound(

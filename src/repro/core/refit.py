@@ -1,0 +1,75 @@
+"""Shared per-epoch batch views for the batched refit pass.
+
+In the epoch-batched replay engine every predictor in the bank absorbs the
+*same* drain batch at the same moment.  Before this module each predictor
+re-derived whatever summary it needed from its own copy of the batch — the
+order-statistic windows each sorted it, both log-normal variants and the
+Weibull fit each took ``np.log`` of it, and the running-sum methods each
+reduced it.  :class:`EpochBatch` wraps one drain batch and memoizes those
+derived views, so each is computed once per epoch and shared across the
+whole method bank:
+
+* ``sorted_waits()`` — ``np.sort`` of the batch, handed to
+  :meth:`~repro.core.history.HistoryWindow.extend` as a pre-sorted merge
+  hint by every order-statistic window (BMBP, point-quantile, the
+  bootstrap mirror);
+* ``logs(shift)`` / ``log_moments(shift)`` — the shifted-log transform and
+  its (n, Σ, Σ²) moments, keyed by shift so the log-normal pair and the
+  Weibull log cache (all using the same default shift) share one pass.
+
+Exactness: every view is the *identical* numpy expression the predictors
+previously evaluated privately (same op, same operand order), so sharing
+changes which predictor pays for a computation, never its result.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["EpochBatch"]
+
+
+class EpochBatch:
+    """One drain batch plus memoized derived views, shared across a bank."""
+
+    __slots__ = ("waits", "_sorted", "_logs", "_log_moments")
+
+    def __init__(self, waits: np.ndarray):
+        self.waits = waits
+        self._sorted: Optional[np.ndarray] = None
+        self._logs: Dict[float, np.ndarray] = {}
+        self._log_moments: Dict[float, Tuple[int, float, float]] = {}
+
+    def sorted_waits(self) -> np.ndarray:
+        """``np.sort`` of the batch (computed once, shared read-only)."""
+        if self._sorted is None:
+            self._sorted = np.sort(self.waits)
+        return self._sorted
+
+    def logs(self, shift: float) -> np.ndarray:
+        """``np.log(waits + shift)`` (computed once per shift, read-only)."""
+        cached = self._logs.get(shift)
+        if cached is None:
+            cached = np.log(self.waits + shift)
+            self._logs[shift] = cached
+        return cached
+
+    def log_moments(self, shift: float) -> Tuple[int, float, float]:
+        """``(n, sum, sum-of-squares)`` of the shifted logs, once per shift.
+
+        The exact reductions ``LogNormalPredictor._absorb_batch`` performs
+        (``logs.sum()`` and ``np.dot(logs, logs)``), so the Trim and NoTrim
+        variants absorb one shared pass instead of two private ones.
+        """
+        cached = self._log_moments.get(shift)
+        if cached is None:
+            logs = self.logs(shift)
+            cached = (
+                int(logs.size),
+                float(logs.sum()),
+                float(np.dot(logs, logs)),
+            )
+            self._log_moments[shift] = cached
+        return cached

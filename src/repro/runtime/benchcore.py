@@ -2,7 +2,7 @@
 
 Measures the two replay engines (``batched`` vs ``reference``) on synthetic
 paper-scale traces and writes the ``BENCH_core.json`` artifact so kernel
-performance can be tracked across commits.  Three layers:
+performance can be tracked across commits.  Four layers:
 
 * **Bank replay** — the full 9-method baseline bank replayed over each
   benchmark trace, per engine; the headline number is jobs/sec and the
@@ -10,18 +10,33 @@ performance can be tracked across commits.  Three layers:
   kernel differently: *dense* traces (tens of jobs per 300 s refit epoch,
   the shape of the paper's busiest queues) are bound by the per-job loop
   the batched engine vectorizes away, while *sparse* traces (about one job
-  per epoch) are bound by refit work both engines share — the artifact
-  reports both honestly rather than cherry-picking the dense win.
+  per epoch) are bound by refit work — the artifact reports both honestly
+  rather than cherry-picking the dense win.
+* **Refit A/B** — the sparse trace replayed with the bank in
+  ``refit_mode="incremental"`` (production: maintained sorted views, rank
+  subscriptions, log caches, running sums) vs ``refit_mode="recompute"``
+  (the legacy full-recompute refits).  Same engine, same trace, same
+  bounds — the speedup isolates the incremental refit engine's
+  contribution from everything else on the machine.
 * **Per-method replay** — each predictor alone over a dense trace, per
   engine, so a regression in one method's batch path is attributable.
-* **Microbenchmarks** — :class:`~repro.core.history.HistoryWindow` flush
-  strategies (incremental merge vs wholesale resort, the ``_flush``
-  crossover) and per-method refit cost at a paper-scale history size.
+  The streaming-sketch methods (``p2-quantile``, ``tdigest-quantile``)
+  are included here even though the headline bank stays at 9 methods for
+  cross-commit comparability.
+* **Microbenchmarks** — written to a *separate* ``BENCH_refit.json``
+  artifact: per-method refit cost in both exact modes at a paper-scale
+  history, and the :class:`~repro.core.history.HistoryWindow` flush
+  crossover (incremental merge vs wholesale resort, measured through the
+  real ``_flush`` by pinning each path).
 
 ``--smoke`` shrinks the traces and repetitions to CI scale and *asserts*
-the dense-bank speedup: batched must beat reference by at least
-``BMBP_BENCH_MIN_CORE_SPEEDUP`` (default 2.0; set the variable when a
-loaded CI worker makes the ratio flake).
+two floors: the dense-bank engine speedup (``BMBP_BENCH_MIN_CORE_SPEEDUP``,
+default 2.0) and the sparse-regime incremental-vs-recompute refit speedup
+(``BMBP_BENCH_MIN_SPARSE_SPEEDUP``, default 1.5).  Set the variables when
+a loaded CI worker makes a ratio flake.  Smoke mode also brackets the
+flush crossover: the merge path must win for small batches and the resort
+path for window-sized ones, so a regression in either path moves a
+measured number rather than silently invalidating the crossover constant.
 """
 
 from __future__ import annotations
@@ -34,12 +49,23 @@ from typing import Any, Callable, Dict, List, Optional, Union
 
 import numpy as np
 
-__all__ = ["CORE_BENCH_SCHEMA", "MIN_CORE_SPEEDUP", "run_core_bench"]
+__all__ = [
+    "CORE_BENCH_SCHEMA",
+    "REFIT_BENCH_SCHEMA",
+    "MIN_CORE_SPEEDUP",
+    "MIN_SPARSE_SPEEDUP",
+    "run_core_bench",
+]
 
 CORE_BENCH_SCHEMA = "bmbp-bench-core/1"
+REFIT_BENCH_SCHEMA = "bmbp-bench-refit/1"
 
 #: Smoke-mode floor for the dense-trace 9-method bank speedup.
 MIN_CORE_SPEEDUP = float(os.environ.get("BMBP_BENCH_MIN_CORE_SPEEDUP", 2.0))
+
+#: Smoke-mode floor for the sparse-trace incremental-vs-recompute refit
+#: speedup (the incremental refit engine's A/B).
+MIN_SPARSE_SPEEDUP = float(os.environ.get("BMBP_BENCH_MIN_SPARSE_SPEEDUP", 1.5))
 
 #: History size for the refit microbenchmark (the modern baselines' default
 #: ``max_history`` window).
@@ -60,10 +86,10 @@ def _make_trace(kind: str, n: int, interarrival: float, seed: int):
     return Trace.from_arrays(submits, waits, name=f"bench-{kind}-{n}")
 
 
-def _bank() -> Dict[str, Any]:
-    from repro.verify.conformance import _BASELINE_FACTORIES
+def _bank(refit_mode: str = "incremental") -> Dict[str, Any]:
+    from repro.verify.conformance import make_bank
 
-    return {name: factory() for name, factory in _BASELINE_FACTORIES.items()}
+    return make_bank(refit_mode)
 
 
 def _best_of(fn: Callable[[], None], reps: int) -> float:
@@ -105,12 +131,35 @@ def _bench_bank(traces, reps: int) -> Dict[str, Any]:
     return out
 
 
-def _bench_per_method(trace, reps: int) -> Dict[str, Any]:
-    from repro.verify.conformance import _BASELINE_FACTORIES
+def _bench_refit_ab(trace, reps: int) -> Dict[str, Any]:
+    """Incremental-vs-recompute bank replay on the refit-bound trace.
 
+    Both arms run the batched engine, so the only difference is the refit
+    strategy — the direct measurement of the incremental refit engine.
+    """
+    n = len(trace)
+    out: Dict[str, Any] = {"n_jobs": n}
+    seconds: Dict[str, float] = {}
+    for mode in ("incremental", "recompute"):
+        seconds[mode] = _time_replay(
+            trace, lambda: _bank(refit_mode=mode), "batched", reps
+        )
+        out[f"{mode}_best_s"] = round(seconds[mode], 6)
+        out[f"{mode}_jobs_per_s"] = round(n / seconds[mode], 1)
+    out["speedup"] = round(seconds["recompute"] / seconds["incremental"], 3)
+    return out
+
+
+def _method_matrix_factories() -> Dict[str, Callable[[], Any]]:
+    from repro.verify.conformance import _BASELINE_FACTORIES, _SKETCH_FACTORIES
+
+    return {**_BASELINE_FACTORIES, **_SKETCH_FACTORIES}
+
+
+def _bench_per_method(trace, reps: int) -> Dict[str, Any]:
     n = len(trace)
     out: Dict[str, Any] = {}
-    for name, factory in _BASELINE_FACTORIES.items():
+    for name, factory in _method_matrix_factories().items():
         row: Dict[str, Any] = {}
         for engine in ("batched", "reference"):
             seconds = _time_replay(trace, lambda: {name: factory()}, engine, reps)
@@ -122,45 +171,87 @@ def _bench_per_method(trace, reps: int) -> Dict[str, Any]:
 
 
 def _bench_history_flush(sorted_size: int, reps: int) -> List[Dict[str, Any]]:
-    """Incremental-merge vs wholesale-resort cost around the ``_flush``
-    crossover (batch ≈ sorted_size / 4)."""
+    """Merge vs resort cost of the *real* ``HistoryWindow._flush``.
+
+    Each arm builds a window with ``sorted_size`` already-merged values,
+    extends it with a batch, and times the flush with the crossover
+    constant pinned so the chosen path is forced: a denominator of 1 keeps
+    every batch below the threshold (incremental merge — scalar gap
+    shifts or one ``np.insert`` pass), a huge denominator forces the
+    wholesale ``np.sort``.  Batch fractions bracket the production
+    crossover (``1 / _MERGE_CROSSOVER_DENOM`` of the sorted size), so the
+    artifact shows which side of each measured point the constant sits on.
+    """
+    from repro.core import history as history_mod
+
     rng = np.random.default_rng(7)
-    base = np.sort(rng.lognormal(5.0, 2.0, sorted_size))
+    base = rng.lognormal(5.0, 2.0, sorted_size)
     rows: List[Dict[str, Any]] = []
-    for fraction in (0.01, 0.1, 0.25, 0.5, 1.0):
+    denom = history_mod._MERGE_CROSSOVER_DENOM
+    fractions = sorted({1.0 / 64, 1.0 / (4 * denom), 1.0 / denom,
+                        4.0 / denom, 0.5, 1.0})
+
+    def flush_seconds(batch: np.ndarray, pinned_denom: int) -> float:
+        original = history_mod._MERGE_CROSSOVER_DENOM
+        best = float("inf")
+        try:
+            history_mod._MERGE_CROSSOVER_DENOM = pinned_denom
+            for _ in range(max(reps, 3)):
+                window = history_mod.HistoryWindow()
+                window.extend(base)
+                window.sorted_values()  # settle: base is merged
+                t0 = time.perf_counter()
+                window.extend(batch)
+                window.sorted_values()
+                best = min(best, time.perf_counter() - t0)
+        finally:
+            history_mod._MERGE_CROSSOVER_DENOM = original
+        return best
+
+    for fraction in fractions:
         batch = rng.lognormal(5.0, 2.0, max(1, int(sorted_size * fraction)))
-        window = np.concatenate([base, batch])
-
-        def merge() -> None:
-            b = np.sort(batch)
-            positions = np.searchsorted(base, b)
-            np.insert(base, positions, b)
-
-        def resort() -> None:
-            np.sort(window)
-
         rows.append({
             "sorted_size": sorted_size,
             "batch_size": int(batch.size),
-            "merge_us": round(_best_of(merge, reps) * 1e6, 2),
-            "resort_us": round(_best_of(resort, reps) * 1e6, 2),
+            "batch_fraction": round(float(batch.size) / sorted_size, 4),
+            "merge_us": round(flush_seconds(batch, 1) * 1e6, 2),
+            "resort_us": round(flush_seconds(batch, 2 ** 30) * 1e6, 2),
         })
     return rows
 
 
 def _bench_refit(reps: int) -> Dict[str, Any]:
-    from repro.verify.conformance import _BASELINE_FACTORIES
+    """Per-method refit cost, incremental vs recompute, at paper scale.
 
+    One benchmark iteration is ``observe`` one new wait + ``refit`` — the
+    sparse-regime epoch cycle — so the incremental arm pays its real
+    bookkeeping (sorted-view insert, log append, running sums), not just a
+    memoized re-read.
+    """
     rng = np.random.default_rng(13)
     waits = rng.lognormal(5.0, 2.0, _REFIT_HISTORY)
+    fresh = iter(rng.lognormal(5.0, 2.0, 1_000_000).tolist())
     out: Dict[str, Any] = {}
-    for name, factory in _BASELINE_FACTORIES.items():
-        predictor = factory()
-        predictor.preload_history(waits)
-        predictor.refit()  # warm (first fit pays one-time setup)
-        out[name] = {
-            "refit_us": round(_best_of(predictor.refit, max(reps, 3)) * 1e6, 2)
-        }
+    for name, factory in _method_matrix_factories().items():
+        row: Dict[str, Any] = {}
+        for mode in ("incremental", "recompute"):
+            if name.startswith(("p2", "tdigest")):
+                if mode == "recompute":
+                    continue
+                predictor = factory()
+            else:
+                predictor = factory(refit_mode=mode)
+            predictor.preload_history(waits)
+            predictor.refit()  # warm (first fit pays one-time setup)
+
+            def cycle() -> None:
+                predictor.observe(next(fresh))
+                predictor.refit()
+
+            row[f"{mode}_us"] = round(_best_of(cycle, max(reps * 25, 50)) * 1e6, 2)
+        if "recompute_us" in row and row["incremental_us"] > 0:
+            row["speedup"] = round(row["recompute_us"] / row["incremental_us"], 3)
+        out[name] = row
     return out
 
 
@@ -171,19 +262,31 @@ def run_core_bench(
     sparse_jobs: Optional[int] = None,
     seed: int = 11,
     artifact: Union[str, Path, None] = "BENCH_core.json",
+    refit_artifact: Union[str, Path, None] = "BENCH_refit.json",
     skip_per_method: bool = False,
 ) -> Dict[str, Any]:
     """Run the kernel benchmark; write and return the artifact document.
 
-    In smoke mode, raises ``AssertionError`` if the dense-trace bank
-    speedup falls below :data:`MIN_CORE_SPEEDUP`.
+    The bank/per-method layers land in ``artifact`` (BENCH_core.json) and
+    the refit A/B + microbenchmarks in ``refit_artifact``
+    (BENCH_refit.json); the returned document embeds the latter under
+    ``"refit_bench"``.  In smoke mode, raises ``AssertionError`` if the
+    dense-trace bank speedup falls below :data:`MIN_CORE_SPEEDUP`, the
+    sparse-trace refit A/B falls below :data:`MIN_SPARSE_SPEEDUP`, or the
+    flush crossover brackets invert.
     """
     if reps is None:
         reps = 2 if smoke else 5
     if dense_jobs is None:
         dense_jobs = 8_000 if smoke else 50_000
     if sparse_jobs is None:
-        sparse_jobs = 2_000 if smoke else 20_000
+        # The sparse smoke trace needs enough jobs for the predictors'
+        # windows to actually fill (max_history = 4000 for the heavy
+        # methods): below that both refit modes run on small windows and
+        # the incremental-vs-recompute ratio the smoke floor asserts has
+        # not reached its steady state (~1.45x at 2000 jobs vs ~1.9x at
+        # 4000, against the 1.5x floor).
+        sparse_jobs = 4_000 if smoke else 20_000
 
     traces = [
         ("dense-iid", _make_trace("iid", dense_jobs, 3.0, seed)),
@@ -196,46 +299,88 @@ def run_core_bench(
     _time_replay(traces[0][1], _bank, "reference", 1)
 
     bank = _bench_bank(traces, reps)
+    refit_ab = _bench_refit_ab(traces[2][1], reps)
     dense_speedups = [
         row["speedup"] for label, row in bank.items() if label.startswith("dense")
     ]
+    config = {
+        "reps": reps,
+        "dense_jobs": dense_jobs,
+        "sparse_jobs": sparse_jobs,
+        "seed": seed,
+        "methods": sorted(_bank()),
+        "sketch_methods": sorted(
+            set(_method_matrix_factories()) - set(_bank())
+        ),
+    }
     document: Dict[str, Any] = {
         "schema": CORE_BENCH_SCHEMA,
         "created_unix": round(time.time(), 1),
         "cpu_count": os.cpu_count(),
         "smoke": smoke,
-        "config": {
-            "reps": reps,
-            "dense_jobs": dense_jobs,
-            "sparse_jobs": sparse_jobs,
-            "seed": seed,
-            "methods": sorted(_bank()),
-        },
+        "config": config,
         "bank_replay": bank,
         "summary": {
             "dense_bank_speedup_min": min(dense_speedups),
             "dense_bank_speedup_max": max(dense_speedups),
             "sparse_bank_speedup": bank["sparse-ar9"]["speedup"],
+            "sparse_refit_speedup": refit_ab["speedup"],
         },
     }
     if not skip_per_method:
         document["per_method"] = _bench_per_method(
             _make_trace("iid", max(dense_jobs // 2, 1_000), 3.0, seed + 3), reps
         )
-    document["microbench"] = {
-        "history_flush": _bench_history_flush(
-            2_000 if smoke else 20_000, max(reps, 3)
-        ),
-        "refit": _bench_refit(reps),
+    # Always at full scale: the merge-vs-resort crossover is what the
+    # smoke assertions guard, and it only exists at realistic window
+    # sizes — on a small window a wholesale resort of nearly-sorted data
+    # is so cheap that the vectorized merge never wins, so a small-scale
+    # bracket would assert a fiction.  The microbenchmark costs
+    # milliseconds either way.
+    flush_rows = _bench_history_flush(20_000, max(reps, 3))
+    refit_document: Dict[str, Any] = {
+        "schema": REFIT_BENCH_SCHEMA,
+        "created_unix": document["created_unix"],
+        "cpu_count": os.cpu_count(),
+        "smoke": smoke,
+        "config": config,
+        "sparse_refit_ab": refit_ab,
+        "per_method_refit": _bench_refit(reps),
+        "history_flush": flush_rows,
     }
+    document["refit_bench"] = refit_document
     if artifact is not None:
         path = Path(artifact)
-        path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+        core_only = {k: v for k, v in document.items() if k != "refit_bench"}
+        path.write_text(json.dumps(core_only, indent=2, sort_keys=True) + "\n")
+    if refit_artifact is not None:
+        Path(refit_artifact).write_text(
+            json.dumps(refit_document, indent=2, sort_keys=True) + "\n"
+        )
     if smoke:
         floor = MIN_CORE_SPEEDUP
         worst = min(dense_speedups)
         assert worst >= floor, (
             f"batched engine speedup {worst:.2f}x on a dense trace is below "
             f"the {floor:.2f}x floor (override with BMBP_BENCH_MIN_CORE_SPEEDUP)"
+        )
+        sparse_floor = MIN_SPARSE_SPEEDUP
+        assert refit_ab["speedup"] >= sparse_floor, (
+            f"incremental refit speedup {refit_ab['speedup']:.2f}x on the "
+            f"sparse trace is below the {sparse_floor:.2f}x floor "
+            f"(override with BMBP_BENCH_MIN_SPARSE_SPEEDUP)"
+        )
+        smallest, largest = flush_rows[0], flush_rows[-1]
+        assert smallest["merge_us"] <= smallest["resort_us"], (
+            f"flush merge path lost at batch {smallest['batch_size']} / "
+            f"sorted {smallest['sorted_size']} "
+            f"({smallest['merge_us']} vs {smallest['resort_us']} us): "
+            "the incremental merge regressed below the crossover"
+        )
+        assert largest["resort_us"] <= largest["merge_us"], (
+            f"flush resort path lost at batch {largest['batch_size']} / "
+            f"sorted {largest['sorted_size']} "
+            f"({largest['resort_us']} vs {largest['merge_us']} us): "
+            "the crossover constant no longer matches measurement"
         )
     return document

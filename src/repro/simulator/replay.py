@@ -60,6 +60,7 @@ from repro.core.predictor import (
     QuantilePredictor,
     observe_is_batch_aware,
 )
+from repro.core.refit import EpochBatch
 from repro.simulator.results import JobRecord, ReplayResult
 from repro.workloads.trace import Trace
 
@@ -350,6 +351,8 @@ def _replay_batched(
     has_trim = [pr.trim and pr.detector is not None for pr in preds]
     aware = [observe_is_batch_aware(pr) for pr in preds]
     waits_l = waits.tolist()
+    order_l = order.tolist()
+    start_sorted_l = start_sorted.tolist()
     seg_lo_l = seg_lo.tolist()
     seg_hi_l = seg_hi.tolist()
     seg_boundary_l = seg_boundary.tolist()
@@ -396,22 +399,28 @@ def _replay_batched(
         # note above), so unless the horizon's last start *is* the boundary
         # the suffix count is provably zero and skipped.
         a_end = horizon_bound_l[seg]
-        if a_end > p and start_sorted[a_end - 1] == boundary:
+        if a_end > p and start_sorted_l[a_end - 1] == boundary:
             a_end -= int(np.count_nonzero(order[p:a_end] >= lo))
         if a_end > p:
             if a_end - p <= _SMALL_BATCH:
                 # Scalar feed: exact for every predictor (it *is* the
                 # reference semantics), change points included.
-                for j in order[p:a_end].tolist():
+                for j in order_l[p:a_end]:
                     w = waits_l[j]
                     for k in range(n_names):
-                        q = qarrs[k][j]
+                        # ``.item`` hands the predictors a python float —
+                        # the NaN check here and every comparison downstream
+                        # skips numpy-scalar dispatch.
+                        q = qarrs[k].item(j)
                         observes[k](w, None if q != q else q)
             else:
                 batch = order[p:a_end]
                 w = waits[batch]
+                # One shared sorted/log/summary view of the epoch's drain
+                # batch feeds the whole bank (see repro.core.refit).
+                shared = EpochBatch(w)
                 for k in range(n_names):
-                    preds[k].observe_batch(w, qarrs[k][batch])
+                    preds[k].observe_batch(w, qarrs[k][batch], shared=shared)
             p = a_end
 
         # 2. Refit + series record, once per boundary.
@@ -454,14 +463,14 @@ def _replay_batched(
         # last submit.  The suffix rule leaves (at most) a zero-wait final
         # job for the next segment's boundary drain.
         d_end = horizon_last_l[seg]
-        if d_end > p and start_sorted[d_end - 1] == t_last_l[seg]:
+        if d_end > p and start_sorted_l[d_end - 1] == t_last_l[seg]:
             d_end -= int(np.count_nonzero(order[p:d_end] >= hi - 1))
         if d_end <= p:
             seg += 1
             continue
         drained: Optional[np.ndarray] = None
         if d_end - p <= _SMALL_BATCH:
-            d_list = order[p:d_end].tolist()
+            d_list = order_l[p:d_end]
             sequential: List[str] = []
             for k in range(n_names):
                 qa = qarrs[k]
@@ -482,7 +491,7 @@ def _replay_batched(
                         upper = is_upper[k]
                         fire = False
                         for j in d_list:
-                            q = qa[j]
+                            q = qa.item(j)
                             if q != q:
                                 continue
                             if (waits_l[j] > q) if upper else (waits_l[j] < q):
@@ -503,7 +512,7 @@ def _replay_batched(
                             continue
                 obs = observes[k]
                 for j in d_list:
-                    q = qa[j]
+                    q = qa.item(j)
                     obs(waits_l[j], None if q != q else q)
             if sequential:
                 _replay_segment_sequential(
@@ -513,6 +522,7 @@ def _replay_batched(
         else:
             drained = order[p:d_end]
             w = waits[drained]
+            shared = EpochBatch(w)
             sequential = []
             for k in range(n_names):
                 predictor = preds[k]
@@ -522,14 +532,14 @@ def _replay_batched(
                     # (the common case) cost exactly one hit/miss scan.
                     _feed_scored_with_fires(
                         predictor, qarrs[k], drained, w, p, t, waits,
-                        order, start_sorted, lo, hi,
+                        order, start_sorted, lo, hi, shared=shared,
                     )
                     continue
                 predicted = qarrs[k][drained]
                 if has_trim[k] and not np.all(np.isnan(predicted)):
                     sequential.append(names[k])
                     continue
-                predictor.observe_batch(w, predicted)
+                predictor.observe_batch(w, predicted, shared=shared)
             if sequential:
                 _replay_segment_sequential(
                     predictors, sequential, quotes, t, waits, order,
@@ -594,6 +604,7 @@ def _feed_scored_with_fires(
     lo: int,
     hi: int,
     h_vec: Optional[np.ndarray] = None,
+    shared: Optional[EpochBatch] = None,
 ) -> None:
     """Feed one predictor's segment drains exactly, splitting at fires.
 
@@ -627,7 +638,9 @@ def _feed_scored_with_fires(
             miss = w_tail[scored] > predicted[scored]
         else:
             miss = w_tail[scored] < predicted[scored]
-        g = predictor.feed_scored(w_tail, scored, miss)
+        g = predictor.feed_scored(
+            w_tail, scored, miss, shared=shared if pos == 0 else None
+        )
         if g is None:
             return
         fire_at = p0 + pos + g  # absolute position of the firing drain

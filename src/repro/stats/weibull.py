@@ -54,10 +54,23 @@ class WeibullDistribution:
         return self.scale * rng.weibull(self.shape, size=n)
 
 
+#: Warm-start Newton acceptance: stop when the proposed step falls below
+#: this fraction of the current shape.  The Newton step approximates the
+#: current iterate's own error, so the accepted shape carries a relative
+#: error of about this much — three-plus orders of magnitude below the
+#: fit's statistical error at any realistic window (~n^-1/2), and both
+#: refit modes run the identical path so A/B agreement is unaffected.
+#: Accepting here (instead of iterating the step down to 1e-9) saves one
+#: full profile evaluation per warm refit — a third of the fit's cost at
+#: the replay engine's epoch cadence.
+_NEWTON_STEP_TOL = 1e-5
+
+
 def fit_weibull(
     values: Sequence[float],
     shift: float = 1.0,
     guess: Optional[float] = None,
+    logs: Optional[np.ndarray] = None,
 ) -> WeibullDistribution:
     """Maximum-likelihood Weibull fit (zero waits handled via ``shift``).
 
@@ -69,16 +82,29 @@ def fit_weibull(
     safeguarded Newton iteration (the profile equation has an analytic
     derivative costing one extra vector reduction per step).  Refitting
     after a handful of new observations — the replay engine's epoch cadence
-    — converges in two or three steps; if Newton wanders out of the valid
-    shape range or stalls, we fall back to the cold bracketed solve.
+    — converges in a couple of steps; the accepted iterate reuses its own
+    profile evaluation for the scale, so no extra pass over the window is
+    paid.  If Newton wanders out of the valid shape range or stalls, we
+    fall back to the cold bracketed solve.
+
+    ``logs``, when given, must be ``np.log(values + shift)`` precomputed —
+    the fit's sufficient statistics are all reductions over these logs, so
+    a caller that maintains them incrementally (the Weibull predictor's
+    log cache) skips the full ``np.log`` pass that otherwise dominates a
+    warm refit.  The caller vouches for the array; it is used read-only.
     """
-    arr = np.asarray(values, dtype=float) + shift
-    if arr.size < 2:
+    if logs is None:
+        arr = np.asarray(values, dtype=float) + shift
+        if arr.size < 2:
+            raise ValueError("Weibull fit needs at least two observations")
+        if np.any(arr <= 0.0):
+            raise ValueError("all values must exceed -shift for a Weibull fit")
+        logs = np.log(arr)
+    elif logs.size < 2:
         raise ValueError("Weibull fit needs at least two observations")
-    if np.any(arr <= 0.0):
-        raise ValueError("all values must exceed -shift for a Weibull fit")
-    logs = np.log(arr)
-    log_mean = logs.mean()
+    # Same pairwise reduction as ``logs.mean()`` without the method's
+    # dispatch overhead (this runs once per refit, every epoch).
+    log_mean = float(np.add.reduce(logs)) / logs.size
     powered = np.empty_like(logs)
 
     def profile(k: float) -> float:
@@ -90,7 +116,6 @@ def fit_weibull(
         return float(np.dot(powered, logs) / powered.sum() - 1.0 / k - log_mean)
 
     lo, hi = 1e-3, 1.0
-    shape = None
     if guess is not None and lo < guess < 512.0:
         logs2 = logs * logs
         k = float(guess)
@@ -107,19 +132,21 @@ def fit_weibull(
             k_next = k - g / gp
             if not lo < k_next < 512.0:
                 break
-            if abs(k_next - k) <= 1e-9 * k:
-                shape = k_next
-                break
+            if abs(k_next - k) <= _NEWTON_STEP_TOL * k:
+                # Accept the evaluated iterate and derive the scale from
+                # the sufficient statistic already in hand — the final
+                # full-window pass the cold path needs is skipped.
+                scale = (s0 / logs.size) ** (1.0 / k)
+                return WeibullDistribution(shape=k, scale=scale)
             k = k_next
-    if shape is None:
-        while profile(hi) < 0.0 and hi < 512.0:
-            hi *= 2.0
-        if profile(lo) > 0.0:
-            shape = lo
-        elif profile(hi) < 0.0:
-            shape = hi
-        else:
-            shape = float(optimize.brentq(profile, lo, hi, xtol=1e-9))
+    while profile(hi) < 0.0 and hi < 512.0:
+        hi *= 2.0
+    if profile(lo) > 0.0:
+        shape = lo
+    elif profile(hi) < 0.0:
+        shape = hi
+    else:
+        shape = float(optimize.brentq(profile, lo, hi, xtol=1e-9))
     np.multiply(logs, shape, out=powered)
     np.exp(powered, out=powered)
     scale = float(powered.mean() ** (1.0 / shape))

@@ -248,7 +248,7 @@ class TestOrderStatisticFastPath:
         window.append(4.0)
         self._check_all_ranks(window)
 
-    def test_larger_pending_batch_uses_union_select(self):
+    def test_larger_pending_batch_uses_vectorized_merge(self):
         rng = np.random.default_rng(17)
         window = HistoryWindow(rng.lognormal(2.0, 1.0, 200).tolist())
         window.sorted_values()
@@ -256,13 +256,18 @@ class TestOrderStatisticFastPath:
             window.append(float(value))
         self._check_all_ranks(window)
 
-    def test_selection_does_not_force_a_flush(self):
+    def test_selection_folds_pending_so_repeat_queries_are_reads(self):
+        # A rank query brings the maintained view up to date (the refit
+        # cadence leaves at most a couple of pending appends, so the fold
+        # is a scalar insert) — the next query on an unchanged window must
+        # be a direct read with nothing left pending.
         window = HistoryWindow([3.0, 1.0, 2.0])
         window.sorted_values()
         window.append(0.5)
-        before = window._merged_end
         assert window.order_statistic(1) == 0.5
-        assert window._merged_end == before  # no merge happened
+        assert window._merged_end == window._end  # pending was folded
+        assert not window._evicted
+        assert window.order_statistic(4) == 3.0
 
     def test_flush_crossover_both_paths_agree(self):
         # Small pending batch -> incremental merge; large -> wholesale

@@ -111,6 +111,87 @@ class TestAgainstListModel:
         assert window.sorted_values().tolist() == sorted(values)
 
 
+def _check_ranks(window, model):
+    """Every interesting rank agrees with ``sorted(model)[rank - 1]`` —
+    bit-identically, which is the refit engine's exactness contract."""
+    n = len(model)
+    if n == 0:
+        return
+    reference = sorted(model)
+    ranks = {1, n, (n + 1) // 2, max(1, -(-n * 95 // 100))}
+    for rank in ranks:
+        assert window.order_statistic(rank) == reference[rank - 1]
+
+
+class TestOrderStatisticMaintenance:
+    """The incremental refit engine's exactness tier: order statistics and
+    rank subscriptions served from the maintained view are bit-identical
+    to a naive re-sort, at every step of any mutation sequence."""
+
+    @given(ops=OPS, max_size=st.one_of(st.none(), st.integers(1, 7)))
+    @settings(max_examples=150, deadline=None)
+    def test_order_statistics_match_naive_select_at_every_step(self, ops, max_size):
+        """Selection through the query-time fold paths (scalar inserts,
+        vectorized merges, staged evictions, post-trim resort) never
+        diverges from ``sorted(history)[k]``."""
+        window = HistoryWindow(max_size=max_size)
+        model = []
+        for op, arg in ops:
+            apply_to_window(window, op, arg)
+            apply_to_model(model, max_size, op, arg)
+            _check_ranks(window, model)
+        assert window.sorted_values().tolist() == sorted(model)
+
+    @given(ops=OPS, max_size=st.one_of(st.none(), st.integers(1, 7)))
+    @settings(max_examples=100, deadline=None)
+    def test_rank_subscriptions_answer_from_the_shared_view(self, ops, max_size):
+        """A subscribed ``ceil(0.95 n)`` rank (the point-quantile shape) and
+        a size-capped rank (the BMBP shape, None below a minimum size)
+        both track the naive answer through appends, evictions, and
+        change-point-style trims."""
+        window = HistoryWindow(max_size=max_size)
+        window.subscribe_rank("q95", lambda n: max(1, -(-n * 95 // 100)))
+        window.subscribe_rank("gated", lambda n: n if n >= 3 else None)
+        model = []
+        for op, arg in ops:
+            apply_to_window(window, op, arg)
+            apply_to_model(model, max_size, op, arg)
+            n = len(model)
+            reference = sorted(model)
+            expected_q95 = None if n == 0 else reference[max(1, -(-n * 95 // 100)) - 1]
+            assert window.rank_value("q95") == expected_q95
+            expected_gated = None if n < 3 else reference[-1]
+            assert window.rank_value("gated") == expected_gated
+        assert set(window.subscriptions()) == {"q95", "gated"}
+
+    @given(
+        batches=st.lists(st.lists(VALUES, min_size=1, max_size=40), max_size=8),
+        trims=st.lists(st.integers(0, 50), max_size=8),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_presorted_hint_never_changes_the_result(self, batches, trims):
+        """Extending with the shared-sort hint (``presorted=np.sort(batch)``,
+        the replay engine's epoch pass) is observably identical to
+        extending without it, including when trims invalidate the hint
+        mid-sequence."""
+        hinted = HistoryWindow()
+        plain = HistoryWindow()
+        model = []
+        for i, batch in enumerate(batches):
+            arr = np.asarray(batch, dtype=float)
+            hinted.extend(arr, presorted=np.sort(arr))
+            plain.extend(arr)
+            model.extend(float(v) for v in batch)
+            if i < len(trims):
+                hinted.trim_to_recent(trims[i])
+                plain.trim_to_recent(trims[i])
+                if trims[i] < len(model):
+                    del model[: len(model) - trims[i]]
+            assert hinted.sorted_values().tolist() == sorted(model)
+            assert plain.sorted_values().tolist() == sorted(model)
+            _check_ranks(hinted, model)
+
+
 class TestEvictionAtScale:
     def test_bounded_window_over_many_compactions(self):
         """1000 appends into max_size=16: dozens of in-place compactions,

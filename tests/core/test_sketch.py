@@ -1,0 +1,234 @@
+"""Unit tests for the streaming quantile sketches (``core/sketch.py``).
+
+The sketches are approximate by contract (conformance measures their
+operational error — see ``verify/conformance.py``), so these tests pin the
+*deterministic* guarantees instead: exactness at tiny counts, batch/scalar
+state equivalence (the batched replay engine relies on it), bounded
+memory, retargeting, and the predictor wiring (``refit_mode`` selection,
+capability gating, rebuild-on-trim).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines import MeanWaitPredictor, PointQuantilePredictor
+from repro.core.bmbp import BMBPPredictor
+from repro.core.sketch import P2Quantile, TDigest, make_sketch
+
+
+class TestP2Quantile:
+    def test_exact_below_six_observations(self):
+        sketch = P2Quantile(0.5)
+        values = [5.0, 1.0, 3.0]
+        for v in values:
+            sketch.update(v)
+        # ceil(0.5 * 3) = 2nd smallest
+        assert sketch.quantile() == 3.0
+        assert len(sketch) == 3
+
+    def test_empty_returns_none(self):
+        assert P2Quantile(0.9).quantile() is None
+
+    def test_converges_on_uniform_stream(self):
+        rng = np.random.default_rng(1)
+        sketch = P2Quantile(0.95)
+        sketch.update_batch(rng.uniform(0.0, 1.0, 50_000))
+        assert sketch.quantile() == pytest.approx(0.95, abs=0.01)
+
+    def test_median_of_standard_normal(self):
+        rng = np.random.default_rng(2)
+        sketch = P2Quantile(0.5)
+        sketch.update_batch(rng.standard_normal(50_000))
+        assert sketch.quantile() == pytest.approx(0.0, abs=0.02)
+
+    def test_batch_equals_sequential(self):
+        rng = np.random.default_rng(3)
+        values = rng.lognormal(4.0, 1.0, 2_000)
+        batched = P2Quantile(0.95)
+        batched.update_batch(values)
+        sequential = P2Quantile(0.95)
+        for v in values:
+            sequential.update(v)
+        assert batched.quantile() == sequential.quantile()
+        assert batched._q == sequential._q
+        assert batched._n == sequential._n
+
+    def test_retargeting_drifts_to_new_quantile(self):
+        rng = np.random.default_rng(4)
+        sketch = P2Quantile(0.5)
+        sketch.update_batch(rng.uniform(0.0, 1.0, 10_000))
+        sketch.set_target(0.9)
+        sketch.update_batch(rng.uniform(0.0, 1.0, 50_000))
+        assert sketch.quantile() == pytest.approx(0.9, abs=0.02)
+
+    def test_query_off_target_interpolates(self):
+        rng = np.random.default_rng(5)
+        sketch = P2Quantile(0.5)
+        sketch.update_batch(rng.uniform(0.0, 1.0, 20_000))
+        # A one-off query at a different p answers from the current markers
+        # (a coarse piecewise guess) and retargets for later updates.
+        est = sketch.quantile(0.75)
+        assert 0.5 < est < 1.0
+        assert sketch.p == 0.75
+
+    def test_reset(self):
+        sketch = P2Quantile(0.9)
+        sketch.update_batch(np.arange(100.0))
+        sketch.reset()
+        assert len(sketch) == 0
+        assert sketch.quantile() is None
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            P2Quantile(0.0)
+        with pytest.raises(ValueError):
+            P2Quantile(0.9).set_target(1.0)
+
+
+class TestTDigest:
+    def test_empty_returns_none(self):
+        assert TDigest().quantile(0.5) is None
+
+    def test_small_counts_are_tight(self):
+        # Below the merge buffer nothing has been compressed away; the
+        # digest must land within the sample's neighboring order stats.
+        values = np.array([1.0, 2.0, 3.0, 4.0, 100.0])
+        digest = TDigest()
+        digest.update_batch(values)
+        assert digest.quantile(0.5) == pytest.approx(3.0, abs=1.0)
+        assert 4.0 <= digest.quantile(0.99) <= 100.0
+
+    def test_converges_on_uniform_stream(self):
+        rng = np.random.default_rng(6)
+        digest = TDigest()
+        digest.update_batch(rng.uniform(0.0, 1.0, 100_000))
+        for q in (0.05, 0.5, 0.95, 0.99):
+            assert digest.quantile(q) == pytest.approx(q, abs=0.01)
+
+    def test_tail_quantiles_on_lognormal(self):
+        rng = np.random.default_rng(7)
+        values = rng.lognormal(4.0, 1.0, 100_000)
+        digest = TDigest()
+        digest.update_batch(values)
+        exact = float(np.quantile(values, 0.95))
+        assert digest.quantile(0.95) == pytest.approx(exact, rel=0.05)
+
+    def test_batch_equals_sequential_bit_for_bit(self):
+        # The replay engine's contract: update_batch leaves exactly the
+        # state a per-item loop would, including identical merge points.
+        rng = np.random.default_rng(8)
+        values = rng.lognormal(4.0, 1.0, 3_000)
+        batched = TDigest()
+        batched.update_batch(values)
+        sequential = TDigest()
+        for v in values:
+            sequential.update(v)
+        assert np.array_equal(batched._means, sequential._means)
+        assert np.array_equal(batched._weights, sequential._weights)
+        assert batched._buf == sequential._buf
+        assert batched.quantile(0.95) == sequential.quantile(0.95)
+
+    def test_memory_stays_bounded(self):
+        rng = np.random.default_rng(9)
+        digest = TDigest()
+        digest.update_batch(rng.standard_normal(200_000))
+        digest.quantile(0.5)  # force a final compress
+        # O(delta) centroids regardless of stream length.
+        assert digest._means.size < 3 * digest.delta
+
+    def test_extremes_are_clamped_to_observed_range(self):
+        rng = np.random.default_rng(10)
+        values = rng.uniform(10.0, 20.0, 10_000)
+        digest = TDigest()
+        digest.update_batch(values)
+        assert digest.quantile(0.001) >= 10.0
+        assert digest.quantile(0.999) <= 20.0
+
+    def test_reset(self):
+        digest = TDigest()
+        digest.update_batch(np.arange(1000.0))
+        digest.reset()
+        assert len(digest) == 0
+        assert digest.quantile(0.5) is None
+
+    def test_rejects_bad_probability(self):
+        digest = TDigest()
+        digest.update(1.0)
+        with pytest.raises(ValueError):
+            digest.quantile(0.0)
+        with pytest.raises(ValueError):
+            digest.quantile(1.0)
+        with pytest.raises(ValueError):
+            TDigest(delta=5)
+
+
+class TestMakeSketch:
+    def test_kinds(self):
+        assert isinstance(make_sketch("p2", 0.95), P2Quantile)
+        assert isinstance(make_sketch("tdigest", 0.95), TDigest)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="sketch"):
+            make_sketch("histogram", 0.95)
+
+
+class TestPredictorWiring:
+    def test_sketch_modes_rename_the_method(self):
+        assert PointQuantilePredictor(refit_mode="p2").name == "p2-quantile"
+        assert PointQuantilePredictor(refit_mode="tdigest").name == "tdigest-quantile"
+        assert PointQuantilePredictor().name == "point-quantile"
+
+    def test_non_capable_predictor_rejects_sketch_modes(self):
+        with pytest.raises(ValueError, match="sketch"):
+            MeanWaitPredictor(refit_mode="p2")
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="refit_mode"):
+            PointQuantilePredictor(refit_mode="lazy")
+
+    @pytest.mark.parametrize("mode", ["p2", "tdigest"])
+    def test_sketch_backed_point_quantile_tracks_exact(self, mode):
+        rng = np.random.default_rng(11)
+        waits = rng.lognormal(4.0, 1.0, 2_000)
+        sketched = PointQuantilePredictor(0.95, 0.95, refit_mode=mode)
+        sketched.preload_history(waits)
+        sketched.refit()
+        rank = max(1, math.ceil(waits.size * 0.95))
+        exact = float(np.sort(waits)[rank - 1])
+        assert sketched.predict() == pytest.approx(exact, rel=0.25)
+
+    @pytest.mark.parametrize("mode", ["p2", "tdigest"])
+    def test_bmbp_sketch_backend_quotes_above_the_point_estimate(self, mode):
+        # BMBP's rank carries the binomial confidence margin, so even the
+        # sketch-served bound should typically sit above the plain
+        # quantile estimate on clean data.
+        rng = np.random.default_rng(12)
+        waits = rng.lognormal(4.0, 1.0, 500)
+        bound = BMBPPredictor(0.95, 0.95, refit_mode=mode)
+        bound.preload_history(waits)
+        bound.refit()
+        point = PointQuantilePredictor(0.95, 0.95, refit_mode=mode)
+        point.preload_history(waits)
+        point.refit()
+        assert bound.predict() is not None
+        assert bound.predict() >= point.predict() * 0.95
+
+    def test_sketch_rebuilds_after_change_point_trim(self):
+        predictor = PointQuantilePredictor(
+            0.95, 0.95, trim=True, trim_length=10, refit_mode="tdigest"
+        )
+        rng = np.random.default_rng(13)
+        for w in rng.lognormal(2.0, 0.3, 100):
+            predictor.observe(float(w))
+        predictor.refit()
+        # Three consecutive misses against an absurdly low quote: fires.
+        for w in (500.0, 600.0, 700.0):
+            predictor.observe(w, predicted=1.0)
+        assert len(predictor.history) == 10
+        # The sketch was rebuilt from the retained window: its answer must
+        # reflect only the trimmed history (which ends in the huge waits).
+        assert predictor.predict() > 100.0

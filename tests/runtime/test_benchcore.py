@@ -2,7 +2,7 @@
 
 Runs at a tiny scale (hundreds of jobs, one repetition) so it fits the
 tier-1 budget: the point is that the benchmark machinery works end to end
-and the artifact is well formed, not the speedup numbers themselves —
+and both artifacts are well formed, not the speedup numbers themselves —
 those are asserted by the ``--smoke`` CI job at a realistic scale.
 """
 
@@ -10,21 +10,28 @@ from __future__ import annotations
 
 import json
 
-from repro.runtime.benchcore import CORE_BENCH_SCHEMA, run_core_bench
+from repro.runtime.benchcore import (
+    CORE_BENCH_SCHEMA,
+    REFIT_BENCH_SCHEMA,
+    run_core_bench,
+)
 
 
-def test_tiny_bench_writes_wellformed_artifact(tmp_path):
-    path = tmp_path / "BENCH_core.json"
+def test_tiny_bench_writes_wellformed_artifacts(tmp_path):
+    core_path = tmp_path / "BENCH_core.json"
+    refit_path = tmp_path / "BENCH_refit.json"
     report = run_core_bench(
-        smoke=False,  # no speedup floor at this unrealistically tiny scale
+        smoke=False,  # no speedup floors at this unrealistically tiny scale
         reps=1,
         dense_jobs=600,
         sparse_jobs=100,
-        artifact=path,
+        artifact=core_path,
+        refit_artifact=refit_path,
         skip_per_method=True,
     )
-    on_disk = json.loads(path.read_text())
+    on_disk = json.loads(core_path.read_text())
     assert on_disk["schema"] == CORE_BENCH_SCHEMA
+    assert "refit_bench" not in on_disk  # split into its own artifact
     assert set(on_disk["bank_replay"]) == {"dense-iid", "dense-ar5", "sparse-ar9"}
     for row in on_disk["bank_replay"].values():
         assert set(row["engines"]) == {"batched", "reference"}
@@ -32,23 +39,42 @@ def test_tiny_bench_writes_wellformed_artifact(tmp_path):
         assert row["speedup"] > 0
     assert on_disk["summary"]["dense_bank_speedup_min"] <= \
         on_disk["summary"]["dense_bank_speedup_max"]
-    flush = on_disk["microbench"]["history_flush"]
-    assert len(flush) == 5 and all(r["merge_us"] >= 0 for r in flush)
-    refit = on_disk["microbench"]["refit"]
-    assert "bmbp" in refit and refit["bmbp"]["refit_us"] > 0
+    assert on_disk["summary"]["sparse_refit_speedup"] > 0
+
+    refit_disk = json.loads(refit_path.read_text())
+    assert refit_disk["schema"] == REFIT_BENCH_SCHEMA
+    ab = refit_disk["sparse_refit_ab"]
+    assert ab["incremental_jobs_per_s"] > 0
+    assert ab["recompute_jobs_per_s"] > 0
+    flush = refit_disk["history_flush"]
+    assert len(flush) >= 4 and all(r["merge_us"] >= 0 for r in flush)
+    # Fractions must bracket the production crossover on both sides.
+    fractions = [r["batch_fraction"] for r in flush]
+    assert fractions == sorted(fractions)
+    per_refit = refit_disk["per_method_refit"]
+    assert per_refit["bmbp"]["incremental_us"] > 0
+    assert per_refit["bmbp"]["recompute_us"] > 0
+    # Sketch methods benchmark their (single) streaming mode only.
+    assert "incremental_us" in per_refit["p2-quantile"]
+    assert "recompute_us" not in per_refit["p2-quantile"]
     assert report["config"]["reps"] == 1
 
 
-def test_per_method_matrix_covers_the_bank(tmp_path):
+def test_per_method_matrix_covers_bank_and_sketches(tmp_path):
     report = run_core_bench(
         smoke=False,
         reps=1,
         dense_jobs=600,
         sparse_jobs=100,
         artifact=None,
+        refit_artifact=None,
     )
     per_method = report["per_method"]
-    assert set(per_method) == set(report["config"]["methods"])
+    expected = set(report["config"]["methods"]) | set(
+        report["config"]["sketch_methods"]
+    )
+    assert set(per_method) == expected
+    assert {"p2-quantile", "tdigest-quantile"} <= set(per_method)
     for row in per_method.values():
         assert row["batched_jobs_per_s"] > 0
         assert row["reference_jobs_per_s"] > 0

@@ -111,6 +111,140 @@ class TestEngineIdentityProperty:
         _assert_identical(trace, ReplayConfig(epoch=0.0, record_series=True))
 
 
+def _mode_bank(refit_mode):
+    """Every predictor whose two refit modes compute the *same* answer.
+
+    The short trim length and sliding window force the maintained sorted
+    views through evictions and change-point trims, not just appends.
+    Weibull (streamed sufficient statistics with a tolerance-gated
+    acceptance) and bootstrap (two-order-statistic draw vs materialized
+    resamples) run genuinely different algorithms per mode, so they are
+    covered by the statistical-equivalence tests below instead.
+    """
+    return {
+        "bmbp-trim": BMBPPredictor(trim=True, trim_length=4, refit_mode=refit_mode),
+        "bmbp-window": BMBPPredictor(
+            trim=False, max_history=16, refit_mode=refit_mode
+        ),
+        "point": PointQuantilePredictor(refit_mode=refit_mode),
+        "mean-wait": MeanWaitPredictor(refit_mode=refit_mode),
+    }
+
+
+#: Methods whose incremental refit is *bit-identical* to recompute (the
+#: order-statistic exactness tier); the rest agree to float roundoff.
+_EXACT_MODE_METHODS = {"bmbp-trim", "bmbp-window", "point"}
+
+
+class TestRefitModeIdentity:
+    """``refit_mode="incremental"`` (maintained views, rank subscriptions,
+    log caches, running sums) against ``"recompute"`` (the legacy
+    sort-per-refit paths): same bounds, same outcomes, same change points.
+    Order-statistic methods must match bit for bit."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        jobs=JOBS,
+        epoch=st.sampled_from([50.0, 300.0]),
+        engine=st.sampled_from(["batched", "reference"]),
+    )
+    def test_incremental_matches_recompute(self, jobs, epoch, engine):
+        trace = _make_trace([g for g, _ in jobs], [w for _, w in jobs])
+        config = ReplayConfig(epoch=epoch, record_series=True)
+        incremental = replay(trace, _mode_bank("incremental"), config, engine=engine)
+        recompute = replay(trace, _mode_bank("recompute"), config, engine=engine)
+        assert set(incremental) == set(recompute)
+        for name in incremental:
+            a, b = incremental[name], recompute[name]
+            assert a.n_evaluated == b.n_evaluated, name
+            assert a.n_correct == b.n_correct, name
+            assert a.n_skipped == b.n_skipped, name
+            assert a.change_points == b.change_points, name
+            sa = np.asarray(a.series_values, dtype=float)
+            sb = np.asarray(b.series_values, dtype=float)
+            assert np.array_equal(np.isnan(sa), np.isnan(sb)), name
+            ok = ~np.isnan(sb)
+            if name in _EXACT_MODE_METHODS:
+                assert np.array_equal(sa[ok], sb[ok]), name
+            else:
+                np.testing.assert_allclose(sa[ok], sb[ok], rtol=1e-9, err_msg=name)
+
+    def test_modes_identical_through_fire_heavy_replay(self):
+        # The fire-splitting path re-quotes mid-segment right after a trim:
+        # the maintained views must survive trim → rebuild → refit cycles
+        # bit-identically, which random small traces rarely stress.
+        rng = np.random.default_rng(3)
+        calm = rng.lognormal(2.0, 0.3, 120)
+        burst = rng.lognormal(4.5, 0.2, 40)
+        waits = np.concatenate([calm, burst, calm[:40]])
+        trace = _make_trace(np.full(waits.size, 30.0), waits)
+        config = ReplayConfig(record_series=True)
+        incremental = replay(trace, _mode_bank("incremental"), config)
+        recompute = replay(trace, _mode_bank("recompute"), config)
+        assert incremental["bmbp-trim"].change_points > 0
+        for name in _EXACT_MODE_METHODS:
+            sa = np.asarray(incremental[name].series_values, dtype=float)
+            sb = np.asarray(recompute[name].series_values, dtype=float)
+            assert np.array_equal(np.isnan(sa), np.isnan(sb)), name
+            ok = ~np.isnan(sb)
+            assert np.array_equal(sa[ok], sb[ok]), name
+
+
+class TestModeEquivalenceStatistical:
+    """Weibull and bootstrap run different *algorithms* per refit mode;
+    their contract is statistical agreement, not value identity."""
+
+    def test_weibull_streamed_fit_tracks_the_full_fit(self):
+        # The streamed sufficient statistics accept the standing shape only
+        # while the implied Newton step stays under 2e-3 of it, so every
+        # quoted bound must sit within a small relative band of the
+        # recompute (full-fit-every-refit) bound over a long replay.
+        from repro.baselines import WeibullPredictor
+
+        rng = np.random.default_rng(11)
+        waits = rng.lognormal(3.0, 0.8, 3000)
+        trace = _make_trace(np.full(waits.size, 400.0), waits)
+        config = ReplayConfig(record_series=True)
+        out = {}
+        for mode in ("incremental", "recompute"):
+            bank = {"weibull": WeibullPredictor(max_history=500, refit_mode=mode)}
+            out[mode] = replay(trace, bank, config, engine="batched")["weibull"]
+        sa = np.asarray(out["incremental"].series_values, dtype=float)
+        sb = np.asarray(out["recompute"].series_values, dtype=float)
+        assert np.array_equal(np.isnan(sa), np.isnan(sb))
+        ok = ~np.isnan(sb)
+        assert ok.sum() > 1000  # the stream actually ran, at scale
+        rel = np.abs(sa[ok] - sb[ok]) / sb[ok]
+        assert rel.max() < 1e-2
+        assert rel.mean() < 2e-3
+
+    def test_bootstrap_two_draw_matches_materialized_distribution(self):
+        # Same frozen window, many refits per mode: the two-order-statistic
+        # draw must reproduce the materialized bootstrap's bound
+        # *distribution* (same mean and spread), not its realizations.
+        from repro.baselines import BootstrapQuantilePredictor
+
+        rng = np.random.default_rng(29)
+        window = rng.lognormal(3.0, 1.0, 600)
+        samples = {}
+        for mode, seed in (("incremental", 1), ("recompute", 2)):
+            predictor = BootstrapQuantilePredictor(
+                trim=False, seed=seed, refit_mode=mode
+            )
+            for wait in window:
+                predictor.observe(float(wait))
+            draws = []
+            for _ in range(800):
+                draws.append(predictor._compute_bound())
+            samples[mode] = np.asarray(draws, dtype=float)
+        a, b = samples["incremental"], samples["recompute"]
+        assert abs(a.mean() - b.mean()) / b.mean() < 0.02
+        assert abs(a.std() - b.std()) / b.mean() < 0.02
+        for q in (0.1, 0.5, 0.9):
+            qa, qb = np.quantile(a, q), np.quantile(b, q)
+            assert abs(qa - qb) / qb < 0.03, q
+
+
 class TestEngineIdentityDeterministic:
     def test_fire_splitting_mid_segment(self):
         # A calm prefix, then a burst of huge waits arriving within one

@@ -132,6 +132,7 @@ class TestChecks:
             "lognormal-iid-coverage",
             "harness-detects-undercoverage",
             "baseline-sweep",
+            "sketch-quantile-accuracy",
         ]
 
     def test_wilson_z_matches_normal_quantile(self):
