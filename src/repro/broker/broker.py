@@ -140,10 +140,15 @@ class RoutingBroker:
             backend = self.backends[name]
             spec = backend.spec
             queues = ",".join(sorted(spec.queues))
-            lines.append(
-                f"{name}: {spec.host}:{spec.port} queues=[{queues}] "
+            line = (
+                f"{name}: {backend.endpoint} queues=[{queues}] "
                 f"breaker={backend.breaker.state}"
             )
+            if backend.failed_over:
+                line += " (failed over from " + f"{spec.host}:{spec.port})"
+            elif spec.standby is not None:
+                line += f" standby={spec.standby}"
+            lines.append(line)
         return "\n".join(lines)
 
     def sites_payload(self) -> List[dict]:
@@ -156,6 +161,9 @@ class RoutingBroker:
                 "name": name,
                 "host": spec.host,
                 "port": spec.port,
+                "standby": spec.standby,
+                "endpoint": backend.endpoint,
+                "failed_over": backend.failed_over,
                 "queues": {
                     queue: {
                         "max_procs": limit.max_procs,

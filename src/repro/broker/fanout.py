@@ -9,7 +9,13 @@ these layers, outermost first:
    background revalidation refreshes it (:class:`~repro.broker.cache.ForecastCache`).
 2. **Circuit breaker** — an open breaker short-circuits straight to the
    stale cache; a half-open breaker admits one probe
-   (:class:`~repro.broker.breaker.CircuitBreaker`).
+   (:class:`~repro.broker.breaker.CircuitBreaker`).  When the site has a
+   configured **standby** (its warm replication follower, see
+   :mod:`repro.fleet`), an open breaker instead triggers *failover*: the
+   standby is promoted, the pool is rewired to it, and live bounds
+   resume — bit-identical to the dead primary's, because promotion
+   replays its journal tail before answering.  Quotes carry
+   ``failover``/``endpoint`` provenance ever after.
 3. **Retry loop** — bounded attempts, all inside one per-request deadline.
 4. **Hedging** — if the primary attempt is still in flight after the
    backend's observed p95 latency (or the configured ``hedge_after``), a
@@ -74,6 +80,11 @@ class SiteQuote:
     latency_ms: Optional[float] = None
     hedged: bool = False
     error: Optional[str] = None
+    #: True once this site's answers come from a promoted standby; the
+    #: serving endpoint travels with every quote so a ranked response
+    #: always says *which* process produced the bound.
+    failover: bool = False
+    endpoint: Optional[str] = None
 
     def provenance(self) -> Dict[str, Any]:
         """JSON-ready provenance record for the route response."""
@@ -91,6 +102,8 @@ class SiteQuote:
             else round(self.latency_ms, 3),
             "hedged": self.hedged,
             "error": self.error,
+            "failover": self.failover,
+            "endpoint": self.endpoint,
         }
 
 
@@ -201,9 +214,19 @@ class Backend:
                                    connect_timeout=request_timeout)
         self.breaker = breaker if breaker is not None else CircuitBreaker()
         self.cache = cache if cache is not None else ForecastCache()
+        #: Failover state: which process currently serves this site.
+        self.active_host = spec.host
+        self.active_port = spec.port
+        self.failed_over = False
+        self._failover_in_flight = False
         self._latencies: Deque[float] = deque(maxlen=64)
         self._revalidating: Set[Tuple[str, Optional[int]]] = set()
         self._tasks: Set[asyncio.Task] = set()
+
+    @property
+    def endpoint(self) -> str:
+        """``host:port`` of the process currently serving this site."""
+        return f"{self.active_host}:{self.active_port}"
 
     # ------------------------------------------------------------- transport
 
@@ -365,7 +388,11 @@ class Backend:
                 breaker=self.breaker.state,
             ))
         if not self.breaker.allow_request():
-            return self._degraded(key, queue, procs, error="breaker-open")
+            # An open breaker with a configured standby is the failover
+            # trigger: promote the follower and serve live bounds from it
+            # instead of going stale until an operator notices.
+            if not await self._try_failover():
+                return self._degraded(key, queue, procs, error="breaker-open")
         deadline_at = time.monotonic() + (
             deadline if deadline is not None else self.default_deadline()
         )
@@ -394,6 +421,79 @@ class Backend:
             ))
         return self._degraded(key, queue, procs, error=str(last_error))
 
+    # -------------------------------------------------------------- failover
+
+    async def _try_failover(self) -> bool:
+        """Promote the standby and rewire the pool to it.  Returns True
+        when this backend now points at a serving primary.
+
+        Loss-free by construction: the follower journals every replicated
+        entry under the primary's sequence numbers, and promotion replays
+        the dead primary's journal tail from disk before answering — so a
+        bound quoted after failover reflects every event the dead primary
+        ever acknowledged.  Idempotent (promoting a primary is a no-op on
+        the daemon side), and single-flight so a burst of routes over an
+        open breaker triggers one promotion, not one per request.
+        """
+        if self.spec.standby_port is None or self.failed_over:
+            return False
+        if self._failover_in_flight:
+            return False
+        self._failover_in_flight = True
+        try:
+            host = self.spec.standby_host or self.spec.host
+            port = self.spec.standby_port
+            result = await asyncio.wait_for(
+                self._promote(host, port),
+                timeout=max(1.0, self.request_timeout * 4),
+            )
+        except asyncio.CancelledError:
+            raise
+        except Exception:  # noqa: BLE001 - standby also down: stay degraded
+            return False
+        finally:
+            self._failover_in_flight = False
+        if not (result.get("promoted") or result.get("role") == "primary"):
+            return False
+        old_pool = self.pool
+        self.pool = ConnectionPool(
+            host, port, size=old_pool.size,
+            connect_timeout=old_pool.connect_timeout,
+        )
+        self.active_host, self.active_port = host, port
+        self.failed_over = True
+        # The promoted primary is healthy by direct evidence; close the
+        # breaker so traffic flows immediately.
+        self.breaker.record_success()
+        self.metrics.record_failover(self.spec.name)
+        task = asyncio.get_running_loop().create_task(old_pool.close())
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+        return True
+
+    async def _promote(self, host: str, port: int) -> Dict[str, Any]:
+        """One direct (un-pooled) ``promote`` round-trip to the standby."""
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            writer.write(json.dumps(
+                {"op": "promote", "id": "broker-failover"},
+                separators=(",", ":"),
+            ).encode() + b"\n")
+            await writer.drain()
+            raw = await reader.readline()
+            if not raw:
+                raise BackendError("standby closed the connection")
+            response = json.loads(raw)
+            if not response.get("ok"):
+                error = response.get("error") or {}
+                raise BackendError(
+                    f"[{error.get('code', 'internal')}] {error.get('message', '')}"
+                )
+            result = response.get("result")
+            return result if isinstance(result, dict) else {}
+        finally:
+            writer.close()
+
     def _degraded(
         self, key: Tuple[str, Optional[int]], queue: str,
         procs: Optional[int], error: str,
@@ -415,6 +515,8 @@ class Backend:
         return self._finish_quote(quote)
 
     def _finish_quote(self, quote: SiteQuote) -> SiteQuote:
+        quote.failover = self.failed_over
+        quote.endpoint = self.endpoint
         self.metrics.record_quote_source(quote.source)
         self.metrics.record_breaker(
             self.spec.name, self.breaker.state, self.breaker.transitions

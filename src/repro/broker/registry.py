@@ -10,15 +10,21 @@ queue.
 
 Specs come from two places:
 
-* ``--site name=host:port[:queue,queue...]`` CLI arguments (limits
-  unconstrained; queues default to ``normal``), parsed by
-  :func:`parse_site_arg`;
+* ``--site name=host:port[:queue,queue...][@standby_host:standby_port]``
+  CLI arguments (limits unconstrained; queues default to ``normal``),
+  parsed by :func:`parse_site_arg`;
 * a JSON registry file (limits included), loaded by
   :func:`load_sites_file`::
 
       {"sites": [{"name": "sdsc", "host": "127.0.0.1", "port": 7077,
+                  "standby": {"host": "127.0.0.1", "port": 7078},
                   "queues": {"normal": {"max_procs": 128,
                                         "max_runtime": 86400}}}]}
+
+A ``standby`` names the site's warm replication follower (see
+:mod:`repro.fleet`).  When the site's circuit breaker opens, the broker
+promotes the standby and rewires the backend to it instead of serving
+stale cache entries until an operator intervenes.
 """
 
 from __future__ import annotations
@@ -26,7 +32,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Union
+from typing import Dict, List, Optional, Union
 
 from repro.scheduler.constraints import QueueLimit
 
@@ -46,6 +52,9 @@ class SiteSpec:
     queues: Dict[str, QueueLimit] = field(
         default_factory=lambda: {DEFAULT_QUEUE: QueueLimit()}
     )
+    #: Warm follower to promote when this site's breaker opens (optional).
+    standby_host: Optional[str] = None
+    standby_port: Optional[int] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -54,13 +63,36 @@ class SiteSpec:
             raise ValueError(f"site {self.name!r}: bad port {self.port}")
         if not self.queues:
             raise ValueError(f"site {self.name!r} declares no queues")
+        if self.standby_port is not None and not (0 < self.standby_port < 65536):
+            raise ValueError(
+                f"site {self.name!r}: bad standby port {self.standby_port}"
+            )
+
+    @property
+    def standby(self) -> Optional[str]:
+        """``host:port`` of the standby, or None."""
+        if self.standby_port is None:
+            return None
+        return f"{self.standby_host or self.host}:{self.standby_port}"
 
 
 def parse_site_arg(spec: str) -> SiteSpec:
-    """Parse ``name=host:port[:queue,queue...]`` into a :class:`SiteSpec`."""
+    """Parse ``name=host:port[:queues][@standby_host:standby_port]``."""
     name, sep, rest = spec.partition("=")
     if not sep or not name:
         raise ValueError(f"bad site spec {spec!r} (want name=host:port[:queues])")
+    rest, _at, standby_text = rest.partition("@")
+    standby_host: Optional[str] = None
+    standby_port: Optional[int] = None
+    if standby_text:
+        sb_host, sb_sep, sb_port_text = standby_text.rpartition(":")
+        try:
+            standby_port = int(sb_port_text if sb_sep else standby_text)
+        except ValueError:
+            raise ValueError(
+                f"bad site spec {spec!r}: standby {standby_text!r}"
+            ) from None
+        standby_host = sb_host or None
     parts = rest.split(":")
     if len(parts) < 2:
         raise ValueError(f"bad site spec {spec!r} (want name=host:port[:queues])")
@@ -77,6 +109,8 @@ def parse_site_arg(spec: str) -> SiteSpec:
         host=host or "127.0.0.1",
         port=port,
         queues={queue: QueueLimit() for queue in queue_names},
+        standby_host=standby_host,
+        standby_port=standby_port,
     )
 
 
@@ -94,12 +128,17 @@ def load_sites_file(path: Union[str, Path]) -> List[SiteSpec]:
                 max_procs=limits.get("max_procs"),
                 max_runtime=limits.get("max_runtime"),
             )
+        standby = entry.get("standby") or {}
         specs.append(
             SiteSpec(
                 name=entry["name"],
                 host=entry.get("host", "127.0.0.1"),
                 port=int(entry["port"]),
                 queues=queues or {DEFAULT_QUEUE: QueueLimit()},
+                standby_host=standby.get("host"),
+                standby_port=(
+                    int(standby["port"]) if "port" in standby else None
+                ),
             )
         )
     names = [spec.name for spec in specs]

@@ -141,6 +141,7 @@ def build_parser() -> argparse.ArgumentParser:
 SERVER_COMMANDS = {
     "serve": "run the live forecast daemon",
     "tail": "feed a daemon from an SWF trace file",
+    "fleet": "run a sharded, replicated fleet of forecast daemons",
     "bench-serve": "load-test a daemon and write BENCH_serve.json",
     "verify": "run the self-verification suite and write VERIFY.json",
     "broker": "run the multi-site routing broker daemon",
@@ -197,6 +198,38 @@ def build_serve_parser() -> argparse.ArgumentParser:
         "--no-bins", action="store_true",
         help="disable per-processor-bin predictor banks",
     )
+    fleet = parser.add_argument_group("fleet membership")
+    fleet.add_argument(
+        "--shard-id", type=int, default=None, metavar="I",
+        help="serve only queues hashing to shard I (requires --shard-count)",
+    )
+    fleet.add_argument(
+        "--shard-count", type=int, default=None, metavar="N",
+        help="total shards in the fleet this daemon belongs to",
+    )
+    fleet.add_argument(
+        "--follow", default=None, metavar="HOST:PORT",
+        help="run as a warm follower replicating from this primary "
+        "(mutations are rejected with not-primary until promoted)",
+    )
+    fleet.add_argument(
+        "--follow-dir", default=None, metavar="DIR",
+        help="the primary's state directory; read at promotion to replay "
+        "journal entries the replication stream had not delivered",
+    )
+    fleet.add_argument(
+        "--no-group-commit", action="store_true",
+        help="journal+flush each event individually instead of batching "
+        "pipelined bursts into one flush",
+    )
+    fleet.add_argument(
+        "--max-batch", type=int, default=128, metavar="N",
+        help="group-commit burst size cap (default %(default)s)",
+    )
+    fleet.add_argument(
+        "--segment-bytes", type=int, default=None, metavar="BYTES",
+        help="journal segment roll size (default 4 MiB)",
+    )
     return parser
 
 
@@ -205,6 +238,15 @@ def _serve_main(argv: List[str]) -> int:
     from repro.service import ForecasterConfig
 
     args = build_serve_parser().parse_args(argv)
+    if (args.shard_id is None) != (args.shard_count is None):
+        print(
+            "bmbp serve: --shard-id and --shard-count go together",
+            file=sys.stderr,
+        )
+        return 2
+    extra = {}
+    if args.segment_bytes is not None:
+        extra["segment_bytes"] = args.segment_bytes
     config = ServerConfig(
         host=args.host,
         port=args.port,
@@ -214,6 +256,12 @@ def _serve_main(argv: List[str]) -> int:
         fsync=args.fsync,
         drain_timeout=args.drain_timeout,
         refit_interval=args.refit_interval,
+        shard_id=args.shard_id,
+        shard_count=args.shard_count,
+        follow=args.follow,
+        follow_dir=args.follow_dir,
+        group_commit=not args.no_group_commit,
+        max_batch=args.max_batch,
         forecaster=ForecasterConfig(
             quantile=args.quantile,
             confidence=args.confidence,
@@ -221,6 +269,7 @@ def _serve_main(argv: List[str]) -> int:
             training_jobs=args.training_jobs,
             by_bin=not args.no_bins,
         ),
+        **extra,
     )
     return serve(config)
 
@@ -286,6 +335,32 @@ def build_bench_serve_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument(
+        "--processes", type=int, default=1, metavar="N",
+        help="load-generator processes (default %(default)s; one asyncio "
+        "loop saturates a core and under-drives a fleet)",
+    )
+    parser.add_argument(
+        "--sharded", action="store_true",
+        help="also benchmark an N-shard fleet and write a two-section "
+        "artifact (single + sharded aggregate ingest)",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=4, metavar="N",
+        help="fleet width for --sharded (default %(default)s)",
+    )
+    parser.add_argument(
+        "--replicate", action="store_true",
+        help="attach a warm follower per shard during --sharded (measures "
+        "ingest with the replication stream attached)",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="shrunk workload for CI (fewer jobs, fewer shards); with "
+        "--sharded, asserts the aggregate-ingest floor "
+        "(BMBP_BENCH_MIN_SHARDED_SPEEDUP, default 4x) on boxes with at "
+        "least one core per benchmark process",
+    )
+    parser.add_argument(
         "--json", default="BENCH_serve.json", metavar="PATH",
         help="throughput/latency artifact path (default %(default)s)",
     )
@@ -296,9 +371,41 @@ def _bench_serve_main(argv: List[str]) -> int:
     from repro.server import run_bench
 
     args = build_bench_serve_parser().parse_args(argv)
+    if args.sharded:
+        from repro.fleet.bench import run_sharded_bench
+
+        report = run_sharded_bench(
+            shards=args.shards, jobs=args.jobs, connections=args.connections,
+            window=args.window, seed=args.seed, replicate=args.replicate,
+            artifact=args.json, smoke=args.smoke,
+        )
+        single = report["single"]
+        sharded = report["sharded"]
+        line = (
+            f"single: {single['events_per_sec']:.0f} ev/s | "
+            f"sharded x{sharded['shards']}: "
+            f"{sharded['events_per_sec']:.0f} ev/s aggregate "
+            f"({sharded['speedup_vs_single']:.2f}x in-run"
+        )
+        if "speedup_vs_committed_baseline" in sharded:
+            line += (
+                f", {sharded['speedup_vs_committed_baseline']:.2f}x vs "
+                f"committed baseline"
+            )
+        print(line + f") on {report['cpu_count']} cpu(s)")
+        floor = report.get("floor")
+        if floor is not None and not floor["enforced"]:
+            print(
+                f"[bmbp] ingest floor skipped: needs >= "
+                f"{floor['required_cores']} cores for an honest ratio, "
+                f"this box has {report['cpu_count']}",
+                file=sys.stderr,
+            )
+        print(f"[bmbp] serve benchmark written to {args.json}", file=sys.stderr)
+        return 0
     report = run_bench(
         jobs=args.jobs, connections=args.connections, window=args.window,
-        seed=args.seed, artifact=args.json,
+        seed=args.seed, processes=args.processes, artifact=args.json,
     )
     latency = report["latency_ms"]
     print(
@@ -309,6 +416,112 @@ def _bench_serve_main(argv: List[str]) -> int:
         f"({report['request_errors']} errors)"
     )
     print(f"[bmbp] serve benchmark written to {args.json}", file=sys.stderr)
+    return 0
+
+
+def build_fleet_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="bmbp fleet", description=SERVER_COMMANDS["fleet"]
+    )
+    parser.add_argument(
+        "--dir", required=True, metavar="DIR",
+        help="fleet directory (manifest + per-shard state directories)",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=4, metavar="N",
+        help="shard count (default %(default)s)",
+    )
+    parser.add_argument(
+        "--no-replicate", action="store_true",
+        help="run primaries only (no warm followers)",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--status", action="store_true",
+        help="print the fleet topology (ports, roles) of --dir and exit",
+    )
+    parser.add_argument(
+        "--router", action="store_true",
+        help="also run a single-endpoint router proxy in front of the fleet",
+    )
+    parser.add_argument(
+        "--router-port", type=int, default=0, metavar="PORT",
+        help="router listen port (default 0 = ephemeral, printed on start)",
+    )
+    parser.add_argument("--quantile", type=float, default=0.95)
+    parser.add_argument("--confidence", type=float, default=0.95)
+    parser.add_argument("--epoch", type=float, default=300.0)
+    parser.add_argument("--training-jobs", type=int, default=100)
+    return parser
+
+
+def _fleet_main(argv: List[str]) -> int:
+    import json as json_module
+    import signal as signal_module
+
+    from repro.fleet import FleetManager, FleetTopology
+
+    args = build_fleet_parser().parse_args(argv)
+    if args.status:
+        topology = FleetTopology.load(args.dir)
+        print(json_module.dumps(topology.describe(), indent=2))
+        return 0
+    extra_args = [
+        "--quantile", str(args.quantile),
+        "--confidence", str(args.confidence),
+        "--epoch", str(args.epoch),
+        "--training-jobs", str(args.training_jobs),
+    ]
+    manager = FleetManager(
+        args.dir, shard_count=args.shards, replicate=not args.no_replicate,
+        host=args.host, extra_args=extra_args,
+    )
+    manager.start()
+    for shard_id, port in manager.endpoints().items():
+        follower = manager.followers.get(shard_id)
+        print(
+            f"shard {shard_id}: primary {args.host}:{port}"
+            + (f", follower {args.host}:{follower.port}" if follower else "")
+        )
+
+    stop = {"flag": False}
+
+    def _signal_handler(signum, frame):
+        stop["flag"] = True
+
+    for sig in (signal_module.SIGTERM, signal_module.SIGINT):
+        signal_module.signal(sig, _signal_handler)
+
+    if args.router:
+        import asyncio
+
+        from repro.fleet.router import FleetRouter
+
+        async def _run_router() -> None:
+            router = FleetRouter(
+                manager.endpoints(), shard_count=args.shards,
+                host=args.host, listen_host=args.host,
+                listen_port=args.router_port,
+            )
+            await router.start()
+            print(f"router: {args.host}:{router.port}", flush=True)
+            try:
+                while not stop["flag"]:
+                    await asyncio.sleep(0.25)
+            finally:
+                await router.stop()
+
+        try:
+            asyncio.run(_run_router())
+        finally:
+            manager.stop()
+        return 0
+    print("fleet up; Ctrl-C to stop", flush=True)
+    try:
+        while not stop["flag"]:
+            time.sleep(0.25)
+    finally:
+        manager.stop()
     return 0
 
 
@@ -671,6 +884,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         dispatch = {
             "serve": _serve_main,
             "tail": _tail_main,
+            "fleet": _fleet_main,
             "bench-serve": _bench_serve_main,
             "verify": _verify_main,
             "broker": _broker_main,

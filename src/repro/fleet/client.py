@@ -1,0 +1,173 @@
+"""Shard-aware synchronous client for a forecast fleet.
+
+Routes every queue-addressed operation (``submit``, ``forecast``,
+``outlook``) to the owning shard via the wire-contract hash, remembers
+which shard each submitted job landed on so ``start``/``cancel`` go
+straight back there, and falls back to fanning out across all shards for
+job operations it has no memory of (a restarted client, a job submitted
+by someone else).  ``wrong-shard`` answers are treated as a routing bug
+and surfaced, not retried — the hash is deterministic, so they indicate
+a topology mismatch between client and fleet.
+
+Failover: when a shard's primary stops answering, the client calls its
+``refresh`` hook (wired to :meth:`FleetManager.endpoints` or a topology
+re-read) to pick up the post-promotion port and retries once.  Combined
+with the daemon's at-least-once semantics (a retried submit's
+``conflict`` is success) a promotion in the middle of a stream is
+invisible to the caller except as latency.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Union
+
+from repro.server.client import ForecastClient, ServerError, TransportError
+from repro.server.protocol import shard_of
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for the hint only
+    from repro.fleet.topology import FleetTopology
+
+__all__ = ["FleetClient"]
+
+
+class FleetClient:
+    """One client per shard, routed by the shared queue hash."""
+
+    def __init__(
+        self,
+        endpoints: Union[Dict[int, int], "FleetTopology"],
+        shard_count: Optional[int] = None,
+        host: str = "127.0.0.1",
+        refresh: Optional[Callable[[], Dict[int, int]]] = None,
+        retries: int = 3,
+        backoff: float = 0.05,
+        timeout: float = 10.0,
+    ):
+        if hasattr(endpoints, "endpoints"):  # a FleetTopology
+            topo = endpoints
+            shard_count = shard_count or topo.shard_count
+            host = topo.host
+            if refresh is None:
+                refresh = topo.endpoints  # re-reads port files post-promotion
+            endpoints = topo.endpoints()
+        self.host = host
+        self.shard_count = shard_count or len(endpoints)
+        self.refresh = refresh
+        self._retries = retries
+        self._backoff = backoff
+        self._timeout = timeout
+        self._endpoints = dict(endpoints)
+        self._clients: Dict[int, ForecastClient] = {}
+        self._job_shard: Dict[str, int] = {}
+
+    # ------------------------------------------------------------- plumbing
+
+    def _client(self, shard_id: int) -> ForecastClient:
+        client = self._clients.get(shard_id)
+        if client is None or client.port != self._endpoints[shard_id]:
+            if client is not None:
+                client.close()
+            client = ForecastClient(
+                self.host, self._endpoints[shard_id],
+                timeout=self._timeout, retries=self._retries,
+                backoff=self._backoff,
+            )
+            self._clients[shard_id] = client
+        return client
+
+    def _refresh_endpoints(self) -> bool:
+        if self.refresh is None:
+            return False
+        self._endpoints = dict(self.refresh())
+        return True
+
+    def _call(self, shard_id: int, method: str, *args, **kwargs) -> Any:
+        """One shard-directed call, with a single failover retry."""
+        try:
+            return getattr(self._client(shard_id), method)(*args, **kwargs)
+        except TransportError:
+            if not self._refresh_endpoints():
+                raise
+            return getattr(self._client(shard_id), method)(*args, **kwargs)
+
+    def owner(self, queue: str) -> int:
+        return shard_of(queue, self.shard_count)
+
+    # ------------------------------------------------------------ mutations
+
+    def submit(self, job: str, queue: str, procs: int = 1,
+               now: Optional[float] = None) -> Optional[float]:
+        shard_id = self.owner(queue)
+        bound = self._call(shard_id, "submit", job, queue, procs, now=now)
+        self._job_shard[job] = shard_id
+        return bound
+
+    def start(self, job: str, now: Optional[float] = None) -> float:
+        shard_id = self._job_shard.get(job)
+        if shard_id is not None:
+            wait = self._call(shard_id, "start", job, now=now)
+            self._job_shard.pop(job, None)
+            return wait
+        return self._fan_out_job("start", job, now=now)
+
+    def cancel(self, job: str) -> bool:
+        shard_id = self._job_shard.pop(job, None)
+        if shard_id is not None:
+            return self._call(shard_id, "cancel", job)
+        return self._fan_out_job("cancel", job)
+
+    def _fan_out_job(self, method: str, job: str, **kwargs) -> Any:
+        """A job op with no routing memory: try every shard; the owner
+        answers, the rest say unknown-job (or cancelled: false)."""
+        last_error: Optional[Exception] = None
+        for shard_id in sorted(self._endpoints):
+            try:
+                result = self._call(shard_id, method, job, **kwargs)
+            except ServerError as exc:
+                if exc.code in ("unknown-job", "bad-event"):
+                    last_error = exc
+                    continue
+                raise
+            if method == "cancel" and result is False:
+                continue
+            return result
+        if method == "cancel":
+            return False
+        raise last_error if last_error is not None else KeyError(job)
+
+    # -------------------------------------------------------------- queries
+
+    def forecast(self, queue: str, procs: Optional[int] = None) -> Optional[float]:
+        return self._call(self.owner(queue), "forecast", queue, procs)
+
+    def outlook(self, queue: str) -> Dict[str, Any]:
+        return self._call(self.owner(queue), "outlook", queue)
+
+    def queues(self) -> Dict[str, Any]:
+        """Union of every shard's queues; pending sums across the fleet."""
+        names: list = []
+        pending = 0
+        for shard_id in sorted(self._endpoints):
+            result = self._call(shard_id, "queues")
+            names.extend(result.get("queues", []))
+            pending += result.get("pending", 0) or 0
+        return {"queues": sorted(set(names)), "pending": pending}
+
+    def healthz(self) -> Dict[int, Dict[str, Any]]:
+        return {
+            shard_id: self._call(shard_id, "healthz")
+            for shard_id in sorted(self._endpoints)
+        }
+
+    # ---------------------------------------------------------------- misc
+
+    def close(self) -> None:
+        for client in self._clients.values():
+            client.close()
+        self._clients.clear()
+
+    def __enter__(self) -> "FleetClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,239 @@
+"""Single-endpoint proxy in front of a fleet, for shard-oblivious clients.
+
+The preferred path is :class:`repro.fleet.FleetClient` — client-side
+routing costs one CRC32 and no extra hop.  But existing tooling (the SWF
+tailer, curl, the plain :class:`ForecastClient`) speaks to *one*
+host:port, so the router accepts the same NDJSON protocol, peeks at each
+request just enough to pick the owning shard (``queue`` field; job ops
+use the router's job→shard memory, falling back to fan-out), forwards it
+upstream, and relays the answer.  Aggregate ops (``queues``,
+``healthz``) fan out and merge.
+
+One upstream connection per shard, serialized with a lock: the router is
+a convenience endpoint, not the performance path, and a single ordered
+connection per shard preserves each client's submit→start ordering
+without bookkeeping.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, Optional, Tuple
+
+from repro.server import protocol
+from repro.server.protocol import shard_of
+
+__all__ = ["FleetRouter"]
+
+
+class _Upstream:
+    """One serialized NDJSON connection to a shard primary."""
+
+    def __init__(self, host: str, port: int):
+        self.host = host
+        self.port = port
+        self.reader: Optional[asyncio.StreamReader] = None
+        self.writer: Optional[asyncio.StreamWriter] = None
+        self.lock = asyncio.Lock()
+
+    async def call(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        async with self.lock:
+            for attempt in range(2):
+                try:
+                    if self.writer is None:
+                        self.reader, self.writer = await asyncio.open_connection(
+                            self.host, self.port, limit=protocol.MAX_LINE_BYTES
+                        )
+                    self.writer.write(protocol.encode(request))
+                    await self.writer.drain()
+                    raw = await self.reader.readline()
+                    if not raw:
+                        raise ConnectionResetError("upstream closed")
+                    return json.loads(raw)
+                except (ConnectionError, OSError):
+                    await self.close_locked()
+                    if attempt:
+                        raise
+            raise ConnectionError("unreachable")
+
+    async def close_locked(self) -> None:
+        if self.writer is not None:
+            try:
+                self.writer.close()
+            except Exception:  # noqa: BLE001
+                pass
+        self.reader = self.writer = None
+
+    async def close(self) -> None:
+        async with self.lock:
+            await self.close_locked()
+
+
+class FleetRouter:
+    """Asyncio NDJSON proxy routing by the fleet's queue hash."""
+
+    def __init__(
+        self,
+        endpoints: Dict[int, int],
+        shard_count: Optional[int] = None,
+        host: str = "127.0.0.1",
+        listen_host: str = "127.0.0.1",
+        listen_port: int = 0,
+    ):
+        self.shard_count = shard_count or len(endpoints)
+        self.listen_host = listen_host
+        self.listen_port = listen_port
+        self._upstreams = {
+            shard_id: _Upstream(host, port)
+            for shard_id, port in endpoints.items()
+        }
+        self._job_shard: Dict[str, int] = {}
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    # ------------------------------------------------------------- lifecycle
+
+    @property
+    def port(self) -> int:
+        assert self._server is not None, "router not started"
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._serve, host=self.listen_host, port=self.listen_port,
+            limit=protocol.MAX_LINE_BYTES,
+        )
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for upstream in self._upstreams.values():
+            await upstream.close()
+
+    def set_endpoint(self, shard_id: int, port: int,
+                     host: str = "127.0.0.1") -> None:
+        """Rewire a shard (post-promotion); the old connection is dropped
+        lazily on its next failed call."""
+        self._upstreams[shard_id] = _Upstream(host, port)
+
+    # --------------------------------------------------------------- serving
+
+    async def _serve(self, reader: asyncio.StreamReader,
+                     writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                response = await self._route_line(line)
+                writer.write(protocol.encode(response))
+                await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError, OSError):
+            pass
+        finally:
+            try:
+                writer.close()
+            except Exception:  # noqa: BLE001
+                pass
+
+    async def _route_line(self, line: bytes) -> Dict[str, Any]:
+        try:
+            request = json.loads(line)
+            if not isinstance(request, dict):
+                raise ValueError("request is not an object")
+        except ValueError as exc:
+            return protocol.error_response(None, "bad-request", str(exc))
+        request_id = request.get("id")
+        op = request.get("op")
+        try:
+            if op in ("queues", "healthz"):
+                return await self._fan_out_merge(request)
+            shard_id, forwarded = self._pick_shard(request)
+            if shard_id is None:
+                return await self._fan_out_job(request)
+            response = await self._upstreams[shard_id].call(forwarded)
+            self._remember(op, request, shard_id, response)
+            return response
+        except (ConnectionError, OSError) as exc:
+            return protocol.error_response(
+                request_id, "unavailable", f"shard upstream failed: {exc}"
+            )
+
+    def _pick_shard(
+        self, request: Dict[str, Any]
+    ) -> Tuple[Optional[int], Dict[str, Any]]:
+        queue = request.get("queue")
+        if isinstance(queue, str):
+            return shard_of(queue, self.shard_count), request
+        job = request.get("job")
+        if isinstance(job, str) and job in self._job_shard:
+            return self._job_shard[job], request
+        if isinstance(job, str):
+            return None, request  # unknown job: fan out
+        return 0, request  # shard-agnostic op (describe, metrics, ...)
+
+    def _remember(self, op: Any, request: Dict[str, Any], shard_id: int,
+                  response: Dict[str, Any]) -> None:
+        job = request.get("job")
+        if not isinstance(job, str) or not response.get("ok"):
+            return
+        if op == "submit":
+            self._job_shard[job] = shard_id
+        elif op in ("start", "cancel"):
+            self._job_shard.pop(job, None)
+
+    async def _fan_out_job(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Job op with no memory: the owner acks, the rest say unknown."""
+        last: Optional[Dict[str, Any]] = None
+        for shard_id in sorted(self._upstreams):
+            response = await self._upstreams[shard_id].call(request)
+            if response.get("ok"):
+                result = response.get("result") or {}
+                if request.get("op") == "cancel" and not result.get("cancelled"):
+                    last = response
+                    continue
+                self._remember(request.get("op"), request, shard_id, response)
+                return response
+            last = response
+        return last if last is not None else protocol.error_response(
+            request.get("id"), "unavailable", "no shards configured"
+        )
+
+    async def _fan_out_merge(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        op = request.get("op")
+        responses = await asyncio.gather(*(
+            self._upstreams[shard_id].call(request)
+            for shard_id in sorted(self._upstreams)
+        ), return_exceptions=True)
+        ok = [
+            r for r in responses
+            if isinstance(r, dict) and r.get("ok")
+        ]
+        if not ok:
+            return protocol.error_response(
+                request.get("id"), "unavailable", "no shard answered"
+            )
+        if op == "queues":
+            names: list = []
+            pending = 0
+            for response in ok:
+                result = response["result"]
+                names.extend(result.get("queues", []))
+                pending += result.get("pending", 0) or 0
+            return protocol.ok_response(
+                request.get("id"),
+                {"queues": sorted(set(names)), "pending": pending},
+            )
+        # healthz: fleet is ok only if every shard answered ok.
+        status = "ok" if len(ok) == len(self._upstreams) else "degraded"
+        return protocol.ok_response(request.get("id"), {
+            "status": status,
+            "shards": {
+                str(i): (r["result"] if isinstance(r, dict) and r.get("ok")
+                         else {"status": "down"})
+                for i, r in zip(sorted(self._upstreams), responses)
+            },
+        })

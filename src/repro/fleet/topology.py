@@ -1,0 +1,142 @@
+"""Fleet layout: which shard owns which queue, and where shards live.
+
+The queue→shard mapping is :func:`repro.server.protocol.shard_of` — a
+fixed CRC32, part of the wire contract, re-exported here so fleet code
+has one obvious import.  The on-disk layout under a fleet directory is::
+
+    fleet.json                  # manifest: schema, shard_count, host
+    shard-0/primary/            # shard 0 primary's state dir
+    shard-0/follower/           # shard 0 follower's state dir
+    shard-1/primary/
+    ...
+
+Each role directory is a normal daemon state directory (checkpoint +
+journal segments + ``server.port``), so every existing recovery and
+inspection tool works unchanged on a fleet member.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.server.client import read_port_file
+from repro.server.protocol import shard_of
+
+__all__ = ["FLEET_MANIFEST", "FLEET_SCHEMA", "FleetTopology", "shard_of"]
+
+FLEET_MANIFEST = "fleet.json"
+FLEET_SCHEMA = "bmbp-fleet/1"
+
+
+class FleetTopology:
+    """The static shape of a fleet: directories, manifest, queue mapping."""
+
+    def __init__(
+        self,
+        fleet_dir: Union[str, Path],
+        shard_count: int,
+        host: str = "127.0.0.1",
+        replicate: bool = True,
+    ):
+        if shard_count < 1:
+            raise ValueError(f"shard_count must be >= 1, got {shard_count}")
+        self.fleet_dir = Path(fleet_dir)
+        self.shard_count = shard_count
+        self.host = host
+        self.replicate = replicate
+
+    # --------------------------------------------------------------- layout
+
+    def shard_dir(self, shard_id: int, role: str = "primary") -> Path:
+        return self.fleet_dir / f"shard-{shard_id}" / role
+
+    def ensure_dirs(self) -> None:
+        for shard_id in range(self.shard_count):
+            self.shard_dir(shard_id, "primary").mkdir(parents=True, exist_ok=True)
+            if self.replicate:
+                self.shard_dir(shard_id, "follower").mkdir(
+                    parents=True, exist_ok=True
+                )
+
+    def write_manifest(self) -> Path:
+        self.fleet_dir.mkdir(parents=True, exist_ok=True)
+        path = self.fleet_dir / FLEET_MANIFEST
+        path.write_text(json.dumps({
+            "schema": FLEET_SCHEMA,
+            "shard_count": self.shard_count,
+            "host": self.host,
+            "replicate": self.replicate,
+            "created_unix": time.time(),
+        }, indent=2) + "\n")
+        return path
+
+    @classmethod
+    def load(cls, fleet_dir: Union[str, Path]) -> "FleetTopology":
+        path = Path(fleet_dir) / FLEET_MANIFEST
+        manifest = json.loads(path.read_text())
+        if manifest.get("schema") != FLEET_SCHEMA:
+            raise ValueError(
+                f"{path} has schema {manifest.get('schema')!r}, "
+                f"expected {FLEET_SCHEMA!r}"
+            )
+        return cls(
+            fleet_dir,
+            int(manifest["shard_count"]),
+            host=manifest.get("host", "127.0.0.1"),
+            replicate=bool(manifest.get("replicate", True)),
+        )
+
+    # -------------------------------------------------------------- mapping
+
+    def owner(self, queue: str) -> int:
+        """The shard that owns ``queue``."""
+        return shard_of(queue, self.shard_count)
+
+    def queues_for(self, shard_id: int, count: int = 1,
+                   prefix: str = "q") -> List[str]:
+        """``count`` queue names owned by ``shard_id`` (for tests/benchmarks:
+        deterministic names found by scanning the hash space)."""
+        names: List[str] = []
+        i = 0
+        while len(names) < count:
+            name = f"{prefix}{i}"
+            if self.owner(name) == shard_id:
+                names.append(name)
+            i += 1
+        return names
+
+    # ------------------------------------------------------------ discovery
+
+    def port_of(self, shard_id: int, role: str = "primary",
+                timeout: float = 10.0) -> int:
+        """The bound port of a running shard member (polls its port file)."""
+        return read_port_file(self.shard_dir(shard_id, role), timeout=timeout)
+
+    def endpoints(self, role: str = "primary",
+                  timeout: float = 10.0) -> Dict[int, int]:
+        """shard_id -> bound port for every member of ``role``."""
+        return {
+            shard_id: self.port_of(shard_id, role, timeout=timeout)
+            for shard_id in range(self.shard_count)
+        }
+
+    def describe(self) -> Dict[str, object]:
+        ports: Dict[str, Dict[str, Optional[int]]] = {}
+        for shard_id in range(self.shard_count):
+            entry: Dict[str, Optional[int]] = {}
+            for role in ("primary", "follower") if self.replicate else ("primary",):
+                try:
+                    entry[role] = self.port_of(shard_id, role, timeout=0.1)
+                except Exception:  # noqa: BLE001 - not running is a valid state
+                    entry[role] = None
+            ports[str(shard_id)] = entry
+        return {
+            "schema": FLEET_SCHEMA,
+            "fleet_dir": str(self.fleet_dir),
+            "shard_count": self.shard_count,
+            "replicate": self.replicate,
+            "ports": ports,
+        }

@@ -245,6 +245,14 @@ class ForecastClient:
     def checkpoint(self) -> int:
         return self._request("checkpoint")["seq"]
 
+    def shards(self) -> Dict[str, Any]:
+        """The daemon's shard assignment and replication role."""
+        return self._request("shards")
+
+    def promote(self) -> Dict[str, Any]:
+        """Promote a follower to primary (idempotent on a primary)."""
+        return self._request("promote")
+
     def wait_until_up(self, timeout: float = 10.0) -> Dict[str, Any]:
         """Poll ``healthz`` until the daemon answers (for process spawns)."""
         deadline = time.monotonic() + timeout

@@ -111,13 +111,27 @@ async def _drive_connection(
     return errors
 
 
+def _latency_summary(lat_ms: np.ndarray) -> Dict[str, Optional[float]]:
+    lat = np.sort(np.asarray(lat_ms, dtype=float))
+    return {
+        "p50": float(np.quantile(lat, 0.50)) if lat.size else None,
+        "p90": float(np.quantile(lat, 0.90)) if lat.size else None,
+        "p99": float(np.quantile(lat, 0.99)) if lat.size else None,
+        "mean": float(lat.mean()) if lat.size else None,
+        "max": float(lat.max()) if lat.size else None,
+    }
+
+
 async def _run_load_async(
     host: str, port: int, jobs: int, connections: int, window: int,
-    seed: int, queue: str,
+    seed: int, queues: List[str], conn_offset: int = 0,
 ) -> Dict[str, Any]:
     shards = [
-        _build_events(max(1, jobs // connections), seed, queue, shard)
-        for shard in range(connections)
+        _build_events(
+            max(1, jobs // connections), seed,
+            queues[i % len(queues)], conn_offset + i,
+        )
+        for i in range(connections)
     ]
     latencies: List[float] = []
     started = time.perf_counter()
@@ -132,7 +146,7 @@ async def _run_load_async(
     events = sum(
         1 for shard in shards for event in shard if event["op"] != "forecast"
     )
-    lat = np.sort(np.asarray(latencies, dtype=float)) * 1e3  # ms
+    lat_ms = (np.asarray(latencies, dtype=float) * 1e3).tolist()
     return {
         "connections": connections,
         "pipeline_window": window,
@@ -143,14 +157,19 @@ async def _run_load_async(
         "seconds": elapsed,
         "requests_per_sec": requests / elapsed,
         "events_per_sec": events / elapsed,
-        "latency_ms": {
-            "p50": float(np.quantile(lat, 0.50)) if lat.size else None,
-            "p90": float(np.quantile(lat, 0.90)) if lat.size else None,
-            "p99": float(np.quantile(lat, 0.99)) if lat.size else None,
-            "mean": float(lat.mean()) if lat.size else None,
-            "max": float(lat.max()) if lat.size else None,
-        },
+        "latency_ms": _latency_summary(np.asarray(lat_ms)),
+        "_latencies_ms": lat_ms,  # raw; popped/merged by the callers below
     }
+
+
+def _load_worker(
+    host: str, port: int, jobs: int, connections: int, window: int,
+    seed: int, queues: List[str], conn_offset: int,
+) -> Dict[str, Any]:
+    """One load-generator process (module-level so it pickles)."""
+    return asyncio.run(_run_load_async(
+        host, port, jobs, connections, window, seed, queues, conn_offset
+    ))
 
 
 def run_load(
@@ -161,11 +180,72 @@ def run_load(
     window: int = 64,
     seed: int = 7,
     queue: str = "normal",
+    queues: Optional[List[str]] = None,
+    processes: int = 1,
 ) -> Dict[str, Any]:
-    """Drive an already-running daemon; returns the throughput/latency report."""
-    return asyncio.run(
-        _run_load_async(host, port, jobs, connections, window, seed, queue)
-    )
+    """Drive an already-running daemon; returns the throughput/latency report.
+
+    ``processes > 1`` fans the connections out across that many *load
+    generator* processes — a single asyncio loop saturates one core and
+    under-drives a multi-shard fleet, making the server look slower than
+    it is.  ``queues`` spreads connections round-robin across several
+    queue names (each connection stays on one queue so its event stream
+    remains self-consistent).
+    """
+    queue_names = list(queues) if queues else [queue]
+    if processes <= 1:
+        report = asyncio.run(_run_load_async(
+            host, port, jobs, connections, window, seed, queue_names
+        ))
+        report.pop("_latencies_ms", None)
+        report["processes"] = 1
+        return report
+    processes = min(processes, connections)
+    per = [connections // processes] * processes
+    for i in range(connections % processes):
+        per[i] += 1
+    jobs_per = max(1, jobs // connections)
+    offsets = []
+    offset = 0
+    for count in per:
+        offsets.append(offset)
+        offset += count
+    work = [
+        (host, port, jobs_per * per[i], per[i], window, seed,
+         queue_names, offsets[i])
+        for i in range(processes)
+    ]
+    import multiprocessing
+
+    started = time.perf_counter()
+    with multiprocessing.Pool(processes=processes) as pool:
+        reports = pool.starmap(_load_worker, work)
+    elapsed = time.perf_counter() - started
+    return merge_load_reports(reports, elapsed, processes)
+
+
+def merge_load_reports(
+    reports: List[Dict[str, Any]], elapsed: float, processes: int
+) -> Dict[str, Any]:
+    """Aggregate per-process load reports into one (wall-clock rates)."""
+    lat_ms = np.concatenate([
+        np.asarray(r.pop("_latencies_ms", []), dtype=float) for r in reports
+    ]) if reports else np.asarray([], dtype=float)
+    requests = sum(r["requests"] for r in reports)
+    events = sum(r["events"] for r in reports)
+    return {
+        "connections": sum(r["connections"] for r in reports),
+        "processes": processes,
+        "pipeline_window": reports[0]["pipeline_window"] if reports else None,
+        "requests": requests,
+        "events": events,
+        "reads": requests - events,
+        "request_errors": sum(r["request_errors"] for r in reports),
+        "seconds": elapsed,
+        "requests_per_sec": requests / elapsed,
+        "events_per_sec": events / elapsed,
+        "latency_ms": _latency_summary(lat_ms),
+    }
 
 
 # ------------------------------------------------------------ orchestration
@@ -216,6 +296,7 @@ def run_bench(
     connections: int = 8,
     window: int = 64,
     seed: int = 7,
+    processes: int = 1,
     artifact: Optional[Union[str, Path]] = None,
     state_dir: Optional[Union[str, Path]] = None,
 ) -> Dict[str, Any]:
@@ -230,7 +311,7 @@ def run_bench(
             client.wait_until_up()
             report = run_load(
                 "127.0.0.1", port, jobs=jobs, connections=connections,
-                window=window, seed=seed,
+                window=window, seed=seed, processes=processes,
             )
             report["server_metrics"] = client.metrics()
         process.terminate()
@@ -244,7 +325,8 @@ def run_bench(
     report["schema"] = BENCH_SERVE_SCHEMA
     report["created_unix"] = time.time()
     report["config"] = {
-        "jobs": jobs, "connections": connections, "window": window, "seed": seed,
+        "jobs": jobs, "connections": connections, "window": window,
+        "seed": seed, "processes": processes,
     }
     if artifact is not None:
         write_bench_artifact(artifact, report)

@@ -87,11 +87,24 @@ def _ms(seconds: Optional[float]) -> Optional[float]:
 
 
 class ServerMetrics:
-    """All daemon counters and gauges, plus renderers for both endpoints."""
+    """All daemon counters and gauges, plus renderers for both endpoints.
 
-    def __init__(self) -> None:
+    When the daemon runs as a fleet member, every Prometheus line carries
+    ``shard_id`` and ``role`` labels (``role`` flips ``follower`` →
+    ``primary`` on promotion, so dashboards track the shard, not the
+    process), and the replication gauges — most importantly
+    ``bmbp_replication_lag_seconds``, the follower's age behind its
+    primary — are exported and surfaced in ``healthz``.
+    """
+
+    def __init__(self, shard_id: Optional[int] = None,
+                 shard_count: Optional[int] = None,
+                 role: str = "primary") -> None:
         self.started_unix = time.time()
         self.started_monotonic = time.monotonic()
+        self.shard_id = shard_id
+        self.shard_count = shard_count
+        self.role = role
         self.requests: Dict[str, int] = {}
         self.errors: Dict[str, int] = {}
         self.latency: Dict[str, LatencyHistogram] = {}
@@ -100,10 +113,32 @@ class ServerMetrics:
         self.http_requests = 0
         self.events_journaled = 0
         self.checkpoints = 0
+        self.segments_compacted = 0
         self.last_checkpoint_unix: Optional[float] = None
         self.replayed_on_boot = 0
         self.loop_lag_last = 0.0
         self.loop_lag_max = 0.0
+        # Replication: as a primary, entries/snapshots shipped and follower
+        # count; as a follower, entries applied and lag behind the primary.
+        self.replication_followers = 0
+        self.replication_entries_sent = 0
+        self.replication_snapshots_sent = 0
+        self.replication_entries_applied = 0
+        self.replication_last_applied_unix: Optional[float] = None
+        self.replication_lag_seconds = 0.0
+        self.promotions = 0
+
+    # ------------------------------------------------------------ labels
+
+    def _labels(self, extra: str = "") -> str:
+        """Label block for one exposition line (shard labels + ``extra``)."""
+        parts = []
+        if self.shard_id is not None:
+            parts.append(f'shard_id="{self.shard_id}"')
+            parts.append(f'role="{self.role}"')
+        if extra:
+            parts.append(extra)
+        return "{" + ",".join(parts) + "}" if parts else ""
 
     # ------------------------------------------------------------ recording
 
@@ -132,7 +167,7 @@ class ServerMetrics:
                 outlook = forecaster.outlook(queue)
                 for bin_name, entry in outlook["bins"].items():
                     banks[f"{queue}[{bin_name}]"] = entry["n_history"]
-        return {
+        snap = {
             "uptime_s": time.monotonic() - self.started_monotonic,
             "connections": {
                 "open": self.connections_open,
@@ -151,62 +186,102 @@ class ServerMetrics:
             "durability": {
                 "events_journaled": self.events_journaled,
                 "checkpoints": self.checkpoints,
+                "segments_compacted": self.segments_compacted,
                 "last_checkpoint_unix": self.last_checkpoint_unix,
                 "replayed_on_boot": self.replayed_on_boot,
             },
             "pending_jobs": pending,
             "predictor_banks": banks,
         }
+        if self.shard_id is not None:
+            snap["shard"] = {
+                "shard_id": self.shard_id,
+                "shard_count": self.shard_count,
+                "role": self.role,
+            }
+        snap["replication"] = {
+            "role": self.role,
+            "followers_connected": self.replication_followers,
+            "entries_sent": self.replication_entries_sent,
+            "snapshots_sent": self.replication_snapshots_sent,
+            "entries_applied": self.replication_entries_applied,
+            "lag_seconds": self.replication_lag_seconds,
+            "promotions": self.promotions,
+        }
+        return snap
 
     def render_text(self, forecaster=None) -> str:
         """Prometheus-style text exposition (for ``GET /metrics``)."""
         snap = self.snapshot(forecaster)
+        lbl = self._labels
         lines = [
             "# TYPE bmbp_uptime_seconds gauge",
-            f"bmbp_uptime_seconds {snap['uptime_s']:.3f}",
+            f"bmbp_uptime_seconds{lbl()} {snap['uptime_s']:.3f}",
             "# TYPE bmbp_connections_open gauge",
-            f"bmbp_connections_open {self.connections_open}",
+            f"bmbp_connections_open{lbl()} {self.connections_open}",
             "# TYPE bmbp_connections_total counter",
-            f"bmbp_connections_total {self.connections_total}",
+            f"bmbp_connections_total{lbl()} {self.connections_total}",
             "# TYPE bmbp_http_requests_total counter",
-            f"bmbp_http_requests_total {self.http_requests}",
+            f"bmbp_http_requests_total{lbl()} {self.http_requests}",
             "# TYPE bmbp_requests_total counter",
         ]
         for op, count in snap["requests"].items():
-            lines.append(f'bmbp_requests_total{{op="{op}"}} {count}')
+            lines.append("bmbp_requests_total%s %d" % (lbl('op="%s"' % op), count))
         lines.append("# TYPE bmbp_errors_total counter")
         for code, count in snap["errors"].items():
-            lines.append(f'bmbp_errors_total{{code="{code}"}} {count}')
+            lines.append(
+                "bmbp_errors_total%s %d" % (lbl('code="%s"' % code), count)
+            )
         lines.append("# TYPE bmbp_request_latency_seconds summary")
         for op, hist in sorted(self.latency.items()):
+            op_label = 'op="%s"' % op
             for q in (0.5, 0.9, 0.99):
                 value = hist.quantile(q)
                 if value is not None:
                     lines.append(
-                        f'bmbp_request_latency_seconds{{op="{op}",'
-                        f'quantile="{q}"}} {value:.6f}'
+                        "bmbp_request_latency_seconds%s %.6f"
+                        % (lbl('%s,quantile="%s"' % (op_label, q)), value)
                     )
             lines.append(
-                f'bmbp_request_latency_seconds_count{{op="{op}"}} {hist.count}'
+                "bmbp_request_latency_seconds_count%s %d"
+                % (lbl(op_label), hist.count)
             )
             lines.append(
-                f'bmbp_request_latency_seconds_sum{{op="{op}"}} {hist.total:.6f}'
+                "bmbp_request_latency_seconds_sum%s %.6f"
+                % (lbl(op_label), hist.total)
             )
         lines += [
             "# TYPE bmbp_event_loop_lag_seconds gauge",
-            f"bmbp_event_loop_lag_seconds {self.loop_lag_last:.6f}",
-            f"bmbp_event_loop_lag_seconds_max {self.loop_lag_max:.6f}",
+            f"bmbp_event_loop_lag_seconds{lbl()} {self.loop_lag_last:.6f}",
+            f"bmbp_event_loop_lag_seconds_max{lbl()} {self.loop_lag_max:.6f}",
             "# TYPE bmbp_events_journaled_total counter",
-            f"bmbp_events_journaled_total {self.events_journaled}",
+            f"bmbp_events_journaled_total{lbl()} {self.events_journaled}",
             "# TYPE bmbp_checkpoints_total counter",
-            f"bmbp_checkpoints_total {self.checkpoints}",
+            f"bmbp_checkpoints_total{lbl()} {self.checkpoints}",
+            "# TYPE bmbp_journal_segments_compacted_total counter",
+            f"bmbp_journal_segments_compacted_total{lbl()} "
+            f"{self.segments_compacted}",
             "# TYPE bmbp_journal_replayed_on_boot gauge",
-            f"bmbp_journal_replayed_on_boot {self.replayed_on_boot}",
+            f"bmbp_journal_replayed_on_boot{lbl()} {self.replayed_on_boot}",
+            "# TYPE bmbp_replication_followers_connected gauge",
+            f"bmbp_replication_followers_connected{lbl()} "
+            f"{self.replication_followers}",
+            "# TYPE bmbp_replication_entries_sent_total counter",
+            f"bmbp_replication_entries_sent_total{lbl()} "
+            f"{self.replication_entries_sent}",
+            "# TYPE bmbp_replication_entries_applied_total counter",
+            f"bmbp_replication_entries_applied_total{lbl()} "
+            f"{self.replication_entries_applied}",
+            "# TYPE bmbp_replication_lag_seconds gauge",
+            f"bmbp_replication_lag_seconds{lbl()} "
+            f"{self.replication_lag_seconds:.6f}",
+            "# TYPE bmbp_promotions_total counter",
+            f"bmbp_promotions_total{lbl()} {self.promotions}",
         ]
         if snap["pending_jobs"] is not None:
             lines += [
                 "# TYPE bmbp_pending_jobs gauge",
-                f"bmbp_pending_jobs {snap['pending_jobs']}",
+                f"bmbp_pending_jobs{lbl()} {snap['pending_jobs']}",
             ]
         if snap["predictor_banks"]:
             lines.append("# TYPE bmbp_predictor_history_size gauge")
@@ -214,8 +289,8 @@ class ServerMetrics:
                 queue, _, bin_part = label.partition("[")
                 bin_name = bin_part.rstrip("]")
                 lines.append(
-                    f'bmbp_predictor_history_size{{queue="{queue}",'
-                    f'bin="{bin_name}"}} {size}'
+                    "bmbp_predictor_history_size%s %d"
+                    % (lbl('queue="%s",bin="%s"' % (queue, bin_name)), size)
                 )
         return "\n".join(lines) + "\n"
 
@@ -246,6 +321,7 @@ class BrokerMetrics:
         self.backend_latency: Dict[str, LatencyHistogram] = {}
         self.breaker_transitions: Dict[str, Dict[str, int]] = {}
         self.breaker_states: Dict[str, str] = {}
+        self.failovers: Dict[str, int] = {}
 
     # ------------------------------------------------------------ recording
 
@@ -278,6 +354,10 @@ class BrokerMetrics:
         self.breaker_states[site] = state
         self.breaker_transitions[site] = dict(transitions)
 
+    def record_failover(self, site: str) -> None:
+        """One breaker-triggered promotion of a site's standby."""
+        self.failovers[site] = self.failovers.get(site, 0) + 1
+
     # ------------------------------------------------------------ rendering
 
     def snapshot(self) -> dict:
@@ -296,6 +376,7 @@ class BrokerMetrics:
                     else None,
                     "breaker_state": self.breaker_states.get(site),
                     "breaker_transitions": self.breaker_transitions.get(site, {}),
+                    "failovers": self.failovers.get(site, 0),
                 }
                 for site, count in sorted(self.backend_requests.items())
             },
@@ -364,4 +445,7 @@ class BrokerMetrics:
                     f'bmbp_broker_breaker_transitions_total{{site="{site}",'
                     f'transition="{transition}"}} {count}'
                 )
+        lines.append("# TYPE bmbp_broker_failovers_total counter")
+        for site, count in sorted(self.failovers.items()):
+            lines.append(f'bmbp_broker_failovers_total{{site="{site}"}} {count}')
         return "\n".join(lines) + "\n"

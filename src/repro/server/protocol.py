@@ -46,6 +46,7 @@ without dropping the connection.
 from __future__ import annotations
 
 import json
+import zlib
 from typing import Any, Dict, Optional, Tuple
 from urllib.parse import parse_qsl, urlsplit
 
@@ -66,6 +67,7 @@ __all__ = [
     "parse_http_request_line",
     "parse_request",
     "render_http_response",
+    "shard_of",
 ]
 
 #: Hard cap on one request line; longer lines are a protocol error (and the
@@ -73,9 +75,23 @@ __all__ = [
 MAX_LINE_BYTES = 1 << 20
 
 MUTATION_OPS = frozenset({"submit", "start", "cancel"})
-QUERY_OPS = frozenset({"forecast", "outlook", "queues", "describe", "healthz", "metrics"})
-ADMIN_OPS = frozenset({"refit", "checkpoint"})
+QUERY_OPS = frozenset(
+    {"forecast", "outlook", "queues", "describe", "healthz", "metrics", "shards"}
+)
+ADMIN_OPS = frozenset({"refit", "checkpoint", "sync", "promote"})
 OPS = MUTATION_OPS | QUERY_OPS | ADMIN_OPS
+
+
+def shard_of(queue: str, shard_count: int) -> int:
+    """The shard that owns ``queue`` in a ``shard_count``-way fleet.
+
+    Part of the wire contract: every router, shard-aware client, and shard
+    worker must agree on the mapping, so it is a fixed CRC32 (never
+    Python's salted ``hash``) and lives in the protocol module.
+    """
+    if shard_count < 1:
+        raise ValueError(f"shard_count must be at least 1, got {shard_count}")
+    return zlib.crc32(queue.encode("utf-8")) % shard_count
 
 #: The routing broker daemon speaks the same framing with its own op set
 #: (``route``/``sites`` plus the shared read ops); see repro/broker/daemon.py.
@@ -89,6 +105,8 @@ BROKER_OPS = frozenset({"route", "sites", "describe", "healthz", "metrics"})
 #:   unknown-job    start/cancel for a job the server has never seen
 #:   bad-event      event is semantically impossible (start before submit)
 #:   shutting-down  server is draining; no new mutations accepted
+#:   wrong-shard    the queue belongs to another shard of the fleet
+#:   not-primary    mutation sent to a follower replica (promote it first)
 #:   internal       unexpected server-side failure (bug; connection survives)
 
 
@@ -169,6 +187,11 @@ def parse_request(line: bytes, ops: frozenset = OPS) -> Dict[str, Any]:
         request["queue"] = _field(raw, "queue", str)
     elif op == "refit":
         request["now"] = _field(raw, "now", float, required=False)
+    elif op == "sync":
+        from_seq = _field(raw, "from_seq", int, required=False)
+        if from_seq is not None and from_seq < 0:
+            raise ProtocolError("bad-request", "'from_seq' must be >= 0")
+        request["from_seq"] = from_seq if from_seq is not None else 0
     elif op == "route":
         procs = _field(raw, "procs", int, required=False)
         if procs is not None and procs < 1:
@@ -183,7 +206,8 @@ def parse_request(line: bytes, ops: frozenset = OPS) -> Dict[str, Any]:
         if deadline is not None and deadline <= 0:
             raise ProtocolError("bad-request", "'deadline' must be positive")
         request["deadline"] = deadline
-    # queues/sites/describe/healthz/metrics/checkpoint take no fields.
+    # queues/sites/shards/describe/healthz/metrics/checkpoint/promote take
+    # no fields.
     return request
 
 
@@ -210,6 +234,7 @@ _HTTP_ROUTES = {
     "/outlook": "outlook",
     "/queues": "queues",
     "/describe": "describe",
+    "/shards": "shards",
 }
 
 #: The broker daemon's HTTP surface (same framing, its own route table).

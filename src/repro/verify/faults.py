@@ -41,6 +41,11 @@ engine.worker       ``die`` (``os._exit`` — only inside a pool worker
 cache.put           ``corrupt`` (scribble over the entry file just written)
 broker.request      ``drop`` (abort the in-flight backend connection
                     mid-fan-out, as if the remote daemon crashed)
+replication.apply   ``halt`` (a follower stops consuming its replication
+                    stream — lag grows; promotion must catch up from the
+                    primary's on-disk journal instead)
+journal.compact     ``crash`` (crash between checkpoint rename and segment
+                    deletion: redundant segments must be skipped on replay)
 ==================  ==========================================================
 
 Injected crashes exit with :data:`CRASH_EXIT_CODE` so a scenario can prove
@@ -645,6 +650,153 @@ def scenario_broker_backend_crash(tmp: Path) -> Dict[str, Any]:
     }
 
 
+def _fleet_for_scenario(
+    tmp: Path, name: str, follower_env: Optional[Dict[str, str]] = None
+):
+    """A 1-shard replicated fleet running the deterministic scenario config."""
+    from repro.fleet.manager import FleetManager
+
+    return FleetManager(
+        tmp / name,
+        shard_count=1,
+        replicate=True,
+        extra_args=_DAEMON_ARGS,
+        checkpoint_interval=3600.0,
+        env=_daemon_env(None),
+        follower_env=follower_env,
+    )
+
+
+def _fleet_client(manager, shard_id: int = 0, role: str = "primary"):
+    """Client for a live fleet member (post-promotion aware: uses the
+    manager's member table, not the on-disk port files, which still name
+    the dead primary after a failover)."""
+    from repro.server.client import ForecastClient
+
+    members = manager.primaries if role == "primary" else manager.followers
+    client = ForecastClient(
+        manager.topology.host, members[shard_id].port, retries=3, backoff=0.05
+    )
+    client.wait_until_up()
+    return client
+
+
+def scenario_shard_crash_promote(
+    tmp: Path, reference: Dict[str, Any]
+) -> Dict[str, Any]:
+    """SIGKILL a shard primary mid-stream, promote its warm follower, finish
+    the stream on the promoted replica: the final bounds must be
+    bit-identical to the uninterrupted single-daemon reference (no acked
+    event lost anywhere in the failover), and the promoted primary must
+    accept writes."""
+    from repro.server.client import ServerError
+
+    manager = _fleet_for_scenario(tmp, "shard-crash-promote")
+    half = _STREAM_JOBS // 2
+    try:
+        manager.start()
+        client = _fleet_client(manager, role="primary")
+        for i in range(half):
+            job, submit_at, start_at = _event(i)
+            client.submit(job, "normal", 4, now=submit_at)
+            client.start(job, now=start_at)
+        client.close()
+        kill_exit = manager.kill(0, "primary")  # SIGKILL: no drain, no checkpoint
+        promoted = manager.promote(0)
+        assert promoted["promoted"], f"promotion refused: {promoted}"
+        assert promoted["seq"] == half * 2, (
+            f"promoted replica at seq {promoted['seq']}, primary acked "
+            f"{half * 2} events — an acknowledged event was lost"
+        )
+        client = _fleet_client(manager, role="primary")
+        assert client.healthz()["role"] == "primary"
+        for i in range(half, _STREAM_JOBS):
+            job, submit_at, start_at = _event(i)
+            try:
+                client.submit(job, "normal", 4, now=submit_at)
+            except ServerError as exc:
+                if exc.code != "conflict":
+                    raise
+            client.start(job, now=start_at)
+        snapshot = _snapshot(client)
+        client.close()
+    finally:
+        manager.stop()
+    outcome = {
+        "snapshot": snapshot,
+        "kill_exit": kill_exit,
+        "promoted_seq": promoted["seq"],
+        "caught_up_from_journal": promoted["caught_up"],
+    }
+    assert kill_exit == -9, f"expected SIGKILL exit -9, got {kill_exit}"
+    _assert_matches_reference(outcome, reference, "shard-crash-promote")
+    return outcome
+
+
+def scenario_follower_lag_promote(
+    tmp: Path, reference: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Halt a follower's replication stream mid-run so it lags far behind,
+    then kill the primary and promote anyway: lag must be *observable*
+    (healthz ``replication_lag_seconds`` grows), promotion must catch up
+    the missing entries from the primary's on-disk journal (``caught_up``
+    > 0), and the promoted bounds must still be bit-identical — a lagging
+    follower loses nothing, because acked means journaled."""
+    manager = _fleet_for_scenario(
+        tmp, "follower-lag-promote",
+        # The 5th replication message lands mid-training: everything after
+        # it reaches the follower only via the promotion disk catch-up.
+        follower_env=_daemon_env("replication.apply:halt@5"),
+    )
+    try:
+        manager.start()
+        client = _fleet_client(manager, role="primary")
+        for i in range(_STREAM_JOBS):
+            job, submit_at, start_at = _event(i)
+            client.submit(job, "normal", 4, now=submit_at)
+            client.start(job, now=start_at)
+        primary_seq = client.healthz()["seq"]
+        client.close()
+        # A healthy follower's staleness never exceeds ~1.3s (heartbeat
+        # interval + poll slack); past 2s only a stalled stream explains it.
+        time.sleep(2.5)
+        follower = _fleet_client(manager, role="follower")
+        health = follower.healthz()
+        follower.close()
+        assert health["role"] == "follower"
+        lag = health["replication_lag_seconds"]
+        assert lag > 2.0, (
+            f"halted follower reports lag {lag:.3f}s; expected it to grow"
+        )
+        assert health["seq"] < primary_seq, (
+            "follower kept up despite the halt fault; the scenario tests nothing"
+        )
+        kill_exit = manager.kill(0, "primary")
+        promoted = manager.promote(0)
+        assert promoted["promoted"]
+        assert promoted["caught_up"] > 0, (
+            "promotion read nothing from the dead primary's journal, but the "
+            "follower was behind — where did the entries come from?"
+        )
+        assert promoted["seq"] == primary_seq, (
+            f"promoted seq {promoted['seq']} != primary's acked seq "
+            f"{primary_seq}: an acknowledged event was lost"
+        )
+        client = _fleet_client(manager, role="primary")
+        snapshot = _snapshot(client)
+        client.close()
+    finally:
+        manager.stop()
+    outcome = {
+        "snapshot": snapshot,
+        "kill_exit": kill_exit,
+        "observed_lag_seconds": round(lag, 3),
+        "caught_up_from_journal": promoted["caught_up"],
+    }
+    _assert_matches_reference(outcome, reference, "follower-lag-promote")
+    return outcome
+
+
 #: Scenario registry: name -> (driver, needs_reference).
 SCENARIOS: Dict[str, Tuple[Callable, bool]] = {
     "torn-journal": (scenario_torn_journal, True),
@@ -655,6 +807,8 @@ SCENARIOS: Dict[str, Tuple[Callable, bool]] = {
     "worker-death": (scenario_worker_death, False),
     "cache-corruption": (scenario_cache_corruption, False),
     "broker-backend-crash": (scenario_broker_backend_crash, False),
+    "shard-crash-promote": (scenario_shard_crash_promote, True),
+    "follower-lag-promote": (scenario_follower_lag_promote, True),
 }
 
 

@@ -106,13 +106,22 @@ class FakeSite:
                     }
                 else:
                     request = json.loads(line)
-                    payload = {
-                        "ok": True,
-                        "result": {
-                            "queue": request.get("queue", "normal"),
-                            "bound": self.bound,
-                        },
-                    }
+                    if request.get("op") == "promote":
+                        # Answer like a warm follower: promotion succeeds.
+                        self.promotions = getattr(self, "promotions", 0) + 1
+                        payload = {
+                            "ok": True,
+                            "result": {"promoted": True, "role": "primary",
+                                       "seq": 0, "caught_up": 0},
+                        }
+                    else:
+                        payload = {
+                            "ok": True,
+                            "result": {
+                                "queue": request.get("queue", "normal"),
+                                "bound": self.bound,
+                            },
+                        }
                 writer.write(json.dumps(payload).encode() + b"\n")
                 await writer.drain()
         except (asyncio.CancelledError, ConnectionError, OSError):

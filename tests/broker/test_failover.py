@@ -1,0 +1,164 @@
+"""Breaker→promote failover: an open breaker with a configured standby
+rewires the backend to a promoted follower instead of serving stale cache
+entries until an operator intervenes."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.broker import Backend, CircuitBreaker, ForecastCache, SiteSpec
+from repro.broker.registry import load_sites_file, parse_site_arg
+from tests.broker.conftest import FakeSite
+
+
+def failover_backend(primary, standby, **kwargs):
+    spec = SiteSpec(
+        name=primary.name, host="127.0.0.1", port=primary.port,
+        standby_host="127.0.0.1",
+        standby_port=standby.port if standby is not None else None,
+    )
+    kwargs.setdefault("request_timeout", 0.2)
+    kwargs.setdefault("retries", 0)
+    kwargs.setdefault("cache", ForecastCache(ttl=0.0))
+    kwargs.setdefault(
+        "breaker", CircuitBreaker(failure_threshold=2, reset_timeout=30.0)
+    )
+    return Backend(spec, **kwargs)
+
+
+async def open_breaker(backend):
+    """Drive failures until the breaker opens (primary must be down)."""
+    for _ in range(backend.breaker.failure_threshold):
+        quote = await backend.forecast("normal", 4)
+        assert quote.source in ("stale", "none")
+    assert backend.breaker.state == "open"
+
+
+def test_open_breaker_promotes_standby_and_serves_live():
+    async def scenario():
+        async with FakeSite(name="site-a", bound=777.0) as standby:
+            async with FakeSite(name="site-a", bound=777.0) as primary:
+                backend = failover_backend(primary, standby)
+                first = await backend.forecast("normal", 4)
+                assert first.source == "live" and first.failover is False
+                assert first.endpoint == f"127.0.0.1:{primary.port}"
+                await primary.stop()
+                await open_breaker(backend)
+
+                quote = await backend.forecast("normal", 4)
+                await backend.close()
+                return backend, quote, getattr(standby, "promotions", 0)
+
+    backend, quote, promotions = asyncio.run(scenario())
+    assert promotions == 1
+    assert quote.source == "live"
+    assert quote.bound == 777.0
+    assert quote.failover is True
+    assert quote.endpoint == f"{backend.active_host}:{backend.active_port}"
+    assert backend.failed_over is True
+    assert backend.breaker.state == "closed"
+    assert backend.metrics.failovers == {"site-a": 1}
+    assert quote.provenance()["failover"] is True
+
+
+def test_failover_is_single_flight():
+    async def scenario():
+        async with FakeSite(name="site-b") as standby:
+            async with FakeSite(name="site-b") as primary:
+                backend = failover_backend(primary, standby)
+                await primary.stop()
+                await open_breaker(backend)
+                # A burst of routes over the open breaker: exactly one
+                # promotion; losers degrade, the next round is all live.
+                burst = await asyncio.gather(
+                    *(backend.forecast("normal", 4) for _ in range(5))
+                )
+                settled = await asyncio.gather(
+                    *(backend.forecast("normal", 4) for _ in range(3))
+                )
+                await backend.close()
+                return burst, settled, getattr(standby, "promotions", 0)
+
+    burst, settled, promotions = asyncio.run(scenario())
+    assert promotions == 1
+    assert any(q.source == "live" for q in burst)
+    assert all(q.source == "live" and q.failover for q in settled)
+
+
+def test_no_standby_still_degrades_to_stale_cache():
+    async def scenario():
+        async with FakeSite(name="site-c", bound=42.0) as primary:
+            backend = failover_backend(primary, None, cache=ForecastCache(ttl=0.0))
+            live = await backend.forecast("normal", 4)
+            await primary.stop()
+            await open_breaker(backend)
+            quote = await backend.forecast("normal", 4)
+            await backend.close()
+            return live, quote
+
+    live, quote = asyncio.run(scenario())
+    assert live.bound == 42.0
+    assert quote.source == "stale" and quote.stale
+    assert quote.bound == 42.0  # last-known bound, the pre-failover behavior
+    assert quote.failover is False
+
+
+def test_dead_standby_degrades_but_allows_retry():
+    async def scenario():
+        async with FakeSite(name="site-d") as standby:
+            dead_port = standby.port  # bound once, then torn down
+        async with FakeSite(name="site-d") as primary:
+            spec = SiteSpec(
+                name="site-d", host="127.0.0.1", port=primary.port,
+                standby_host="127.0.0.1", standby_port=dead_port,
+            )
+            backend = Backend(
+                spec, request_timeout=0.2, retries=0,
+                cache=ForecastCache(ttl=0.0),
+                breaker=CircuitBreaker(failure_threshold=2, reset_timeout=30.0),
+            )
+            await primary.stop()
+            await open_breaker(backend)
+            quote = await backend.forecast("normal", 4)
+            await backend.close()
+            return backend, quote
+
+    backend, quote = asyncio.run(scenario())
+    assert quote.source in ("stale", "none")
+    assert backend.failed_over is False
+    assert backend._failover_in_flight is False  # a later route may retry
+
+
+class TestStandbyRegistry:
+    def test_parse_site_arg_with_standby(self):
+        spec = parse_site_arg("sdsc=127.0.0.1:7077:normal,debug@127.0.0.1:7078")
+        assert spec.port == 7077
+        assert sorted(spec.queues) == ["debug", "normal"]
+        assert spec.standby == "127.0.0.1:7078"
+
+    def test_parse_site_arg_standby_port_only(self):
+        spec = parse_site_arg("sdsc=127.0.0.1:7077@7078")
+        assert spec.standby_host is None
+        assert spec.standby == "127.0.0.1:7078"  # falls back to site host
+
+    def test_parse_site_arg_without_standby_unchanged(self):
+        spec = parse_site_arg("sdsc=127.0.0.1:7077")
+        assert spec.standby is None
+        assert spec.standby_port is None
+
+    def test_parse_site_arg_bad_standby(self):
+        with pytest.raises(ValueError):
+            parse_site_arg("sdsc=127.0.0.1:7077@nonsense")
+
+    def test_sites_file_standby_roundtrip(self, tmp_path):
+        path = tmp_path / "sites.json"
+        path.write_text(
+            '{"sites": [{"name": "a", "port": 7077,'
+            ' "standby": {"host": "10.0.0.2", "port": 7078}},'
+            ' {"name": "b", "port": 7079}]}'
+        )
+        specs = load_sites_file(path)
+        assert specs[0].standby == "10.0.0.2:7078"
+        assert specs[1].standby is None

@@ -1,0 +1,47 @@
+"""Fixtures for the fleet test suite.
+
+The integration fixtures spawn real ``repro serve`` subprocesses (one per
+shard member), so the session fixture mirrors ``tests/server``: make sure
+the children can import ``repro`` however pytest itself was launched.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+import repro
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _subprocess_can_import_repro():
+    src = str(Path(repro.__file__).resolve().parent.parent)
+    existing = os.environ.get("PYTHONPATH", "")
+    if src not in existing.split(os.pathsep):
+        os.environ["PYTHONPATH"] = (
+            src + (os.pathsep + existing if existing else "")
+        )
+
+
+#: Fast-training daemon flags shared by every fleet integration test
+#: (epoch 0 refits on every submission: quotes are a pure function of
+#: history, which is what makes bit-identity assertions possible).
+FAST_ARGS = ["--training-jobs", "5", "--epoch", "0"]
+
+
+@pytest.fixture
+def fleet(tmp_path):
+    """A running 2-shard replicated fleet; yields its FleetManager."""
+    from repro.fleet import FleetManager
+
+    with FleetManager(
+        tmp_path / "fleet",
+        shard_count=2,
+        replicate=True,
+        extra_args=FAST_ARGS,
+        checkpoint_interval=3600.0,
+    ) as manager:
+        manager.start()
+        yield manager

@@ -1,0 +1,96 @@
+"""Fleet integration smoke tests (default pytest tier).
+
+Real subprocess fleets, kept deliberately small and fast: a 2-shard
+replicated fleet per test, ~a dozen jobs per stream.  The exhaustive
+failover proofs (bit-identical bounds under SIGKILL, lagging-follower
+promotion) live in ``bmbp verify`` fault scenarios; what runs on every
+``pytest`` is routing, role enforcement, and the kill-one → promote →
+keep-serving path.
+"""
+
+import pytest
+
+from repro.fleet import FleetClient
+from repro.server.client import ForecastClient, ServerError
+
+
+def feed(client, queue, lo, hi):
+    for i in range(lo, hi):
+        now = i * 400.0
+        client.submit(f"{queue}-j{i}", queue, 4, now=now)
+        client.start(f"{queue}-j{i}", now=now + 100.0 + (i % 7) * 37.0)
+
+
+def test_routing_roles_and_shard_enforcement(fleet):
+    topo = fleet.topology
+    q0 = topo.queues_for(0, count=1)[0]
+    q1 = topo.queues_for(1, count=1)[0]
+
+    with FleetClient(fleet.endpoints(), host=topo.host) as client:
+        feed(client, q0, 0, 70)
+        feed(client, q1, 0, 70)
+        assert client.forecast(q0, procs=4) is not None
+        assert client.forecast(q1, procs=4) is not None
+        merged = client.queues()
+        assert q0 in merged["queues"] and q1 in merged["queues"]
+        assert merged["pending"] == 0
+
+        health = client.healthz()
+        assert health[0]["shard_id"] == 0 and health[1]["shard_id"] == 1
+        assert all(h["role"] == "primary" for h in health.values())
+
+        # A client with no routing memory finds the owner by fan-out.
+        with FleetClient(fleet.endpoints(), host=topo.host) as amnesiac:
+            amnesiac.submit("fan-1", q1, 2, now=9000.0)
+        with FleetClient(fleet.endpoints(), host=topo.host) as other:
+            assert other.cancel("fan-1") is True
+            assert other.cancel("fan-1") is False  # already gone everywhere
+
+    # Misrouted queue ops are a contract violation, not silently served.
+    with ForecastClient(topo.host, fleet.endpoints()[0]) as direct:
+        with pytest.raises(ServerError) as err:
+            direct.submit("bad", q1, 1, now=0.0)
+        assert err.value.code == "wrong-shard"
+
+    # Followers serve reads but refuse writes.
+    follower_port = topo.port_of(0, "follower")
+    with ForecastClient(topo.host, follower_port) as follower:
+        assert follower.healthz()["role"] == "follower"
+        with pytest.raises(ServerError) as err:
+            follower.submit("nope", q0, 1, now=0.0)
+        assert err.value.code == "not-primary"
+
+
+def test_kill_one_promote_and_keep_serving(fleet):
+    topo = fleet.topology
+    q0 = topo.queues_for(0, count=1)[0]
+    q1 = topo.queues_for(1, count=1)[0]
+
+    client = FleetClient(
+        fleet.endpoints(), host=topo.host, refresh=fleet.endpoints
+    )
+    try:
+        feed(client, q0, 0, 70)
+        feed(client, q1, 0, 70)
+        bound_before = client.forecast(q0, procs=4)
+        assert bound_before is not None
+
+        assert fleet.kill(0, "primary") == -9  # SIGKILL: no drain
+        promoted = fleet.promote(0)
+        assert promoted["promoted"] is True
+
+        # Same client object: the transport error triggers its refresh
+        # hook, which lands on the promoted port — and the promoted
+        # replica quotes the exact pre-kill bound (loss-free failover).
+        assert client.forecast(q0, procs=4) == bound_before
+        assert client.healthz()[0]["role"] == "primary"
+
+        # The fleet still takes writes on both shards.
+        client.submit("after-0", q0, 4, now=90000.0)
+        client.submit("after-1", q1, 4, now=90000.0)
+        assert client.queues()["pending"] == 2
+
+        # The untouched shard never noticed.
+        assert client.forecast(q1, procs=4) is not None
+    finally:
+        client.close()

@@ -1,0 +1,61 @@
+"""Unit tests for the fleet layout and queue→shard mapping (no processes)."""
+
+import pytest
+
+from repro.fleet import FleetTopology, shard_of
+
+
+class TestShardOf:
+    def test_stable_across_calls(self):
+        # The mapping is part of the wire contract: a fixed CRC32, not
+        # Python's salted hash().  These exact values must never change.
+        assert shard_of("normal", 1) == 0
+        for queue in ("normal", "batch", "debug", "wide"):
+            assert shard_of(queue, 4) == shard_of(queue, 4)
+
+    def test_covers_all_shards(self):
+        n = 4
+        owners = {shard_of(f"q{i}", n) for i in range(200)}
+        assert owners == set(range(n))
+
+    def test_respects_shard_count(self):
+        for n in (1, 2, 3, 8):
+            for i in range(50):
+                assert 0 <= shard_of(f"q{i}", n) < n
+
+
+class TestTopology:
+    def test_layout_and_manifest_roundtrip(self, tmp_path):
+        topo = FleetTopology(tmp_path / "fleet", 3, replicate=True)
+        topo.ensure_dirs()
+        topo.write_manifest()
+        assert (tmp_path / "fleet" / "shard-2" / "follower").is_dir()
+
+        loaded = FleetTopology.load(tmp_path / "fleet")
+        assert loaded.shard_count == 3
+        assert loaded.replicate is True
+        assert loaded.host == topo.host
+
+    def test_load_rejects_foreign_manifest(self, tmp_path):
+        (tmp_path / "fleet.json").write_text('{"schema": "something-else"}')
+        with pytest.raises(ValueError):
+            FleetTopology.load(tmp_path)
+
+    def test_no_follower_dirs_when_unreplicated(self, tmp_path):
+        topo = FleetTopology(tmp_path, 2, replicate=False)
+        topo.ensure_dirs()
+        assert (tmp_path / "shard-1" / "primary").is_dir()
+        assert not (tmp_path / "shard-1" / "follower").exists()
+
+    def test_queues_for_yields_owned_names(self, tmp_path):
+        topo = FleetTopology(tmp_path, 4)
+        for shard_id in range(4):
+            names = topo.queues_for(shard_id, count=3)
+            assert len(names) == 3
+            assert len(set(names)) == 3
+            for name in names:
+                assert topo.owner(name) == shard_id
+
+    def test_shard_count_validated(self, tmp_path):
+        with pytest.raises(ValueError):
+            FleetTopology(tmp_path, 0)
