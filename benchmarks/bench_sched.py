@@ -1,0 +1,70 @@
+"""Scheduling benchmark: bound-aware policies vs the clairvoyant oracle.
+
+Replays the committed scenario set under the full policy table — three
+non-predictive baselines, the three bound-aware predictive policies, and
+the perfect-estimate EASY oracle — and asserts the acceptance shape of
+``bmbp bench-sched``: every predictive policy's aggregate mean oracle
+regret is strictly below the best non-predictive baseline's, and the
+admission-hold policy actually held jobs (a gate won by never engaging
+the feedback loop would be vacuous).  Writes the ``BENCH_sched.json``
+artifact at the repository root.
+
+Marked ``slow`` like the other paper-scale benchmarks; run with
+``pytest benchmarks/bench_sched.py -m slow``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.scheduler.evaluate import BENCH_SCHED_SCHEMA, run_sched_bench
+
+ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_sched.json"
+
+#: Gate multiplier on the best baseline's regret; mirrors the CI knob so a
+#: slow box can be loosened the same way (BMBP_BENCH_MAX_SCHED_REGRET_RATIO).
+MAX_REGRET_RATIO = float(os.environ.get("BMBP_BENCH_MAX_SCHED_REGRET_RATIO", 1.0))
+
+
+def test_predictive_policies_beat_every_baseline(benchmark):
+    report = benchmark.pedantic(
+        run_sched_bench,
+        kwargs={
+            "max_regret_ratio": MAX_REGRET_RATIO,
+            "artifact": ARTIFACT,
+        },
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+
+    assert report["schema"] == BENCH_SCHED_SCHEMA
+
+    gate = report["gate"]
+    assert gate["passed"], {
+        "best_baseline": gate["best_baseline"],
+        "threshold_s": gate["threshold_s"],
+        "aggregate": {
+            name: round(stats["mean_regret_s"], 1)
+            for name, stats in report["aggregate"].items()
+        },
+    }
+
+    # The closed loop must actually close: holds engaged somewhere, and
+    # every scenario scored the whole policy table.
+    total_holds = 0
+    for entry in report["scenarios"]:
+        assert len(entry["policies"]) == 6
+        total_holds += entry["policies"]["predictive-hold"]["holds"]
+    assert total_holds > 0
+
+    # Predictive policies defend the class contracts they can see: the
+    # aggregate violation rate is no worse than the best baseline's.
+    best = gate["best_baseline"]
+    baseline_violations = report["aggregate"][best]["violation_rate"]
+    for name, stats in report["aggregate"].items():
+        if name.startswith("predictive-"):
+            assert stats["violation_rate"] <= baseline_violations + 1e-12
+
+    assert ARTIFACT.is_file()

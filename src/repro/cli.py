@@ -19,6 +19,7 @@ Usage::
     python -m repro route --procs 8 --walltime 3600     # ask the broker
     python -m repro bench-route --sites 3               # routing-regret bench
     python -m repro bench-core --smoke                  # replay-kernel bench
+    python -m repro bench-sched --smoke                 # scheduling-regret bench
 
 Replays fan out over ``--jobs`` worker processes (default: ``BMBP_JOBS``
 or 1) and their results persist in a versioned on-disk cache, so a warm
@@ -91,7 +92,8 @@ def build_parser() -> argparse.ArgumentParser:
             "bench-serve (load-test it), verify (the self-verification "
             "suite), broker (the multi-site routing broker), route "
             "(one routing decision), bench-route (the routing-regret "
-            "benchmark), bench-core (the replay-kernel benchmark)."
+            "benchmark), bench-core (the replay-kernel benchmark), "
+            "bench-sched (the closed-loop scheduling benchmark)."
         ),
     )
     parser.add_argument(
@@ -148,6 +150,7 @@ SERVER_COMMANDS = {
     "route": "ask where to submit a job (broker daemon or --site specs)",
     "bench-route": "replay K sites, score routing regret, write BENCH_route.json",
     "bench-core": "benchmark the replay kernel and write BENCH_core.json",
+    "bench-sched": "score bound-aware policies vs an oracle, write BENCH_sched.json",
 }
 
 
@@ -877,6 +880,70 @@ def _bench_core_main(argv: List[str]) -> int:
     return 0
 
 
+def build_bench_sched_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="bmbp bench-sched", description=SERVER_COMMANDS["bench-sched"]
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI variant: only the smoke-marked scenarios, and a failed "
+        "regret gate (every predictive policy strictly below "
+        "BMBP_BENCH_MAX_SCHED_REGRET_RATIO times the best non-predictive "
+        "baseline, default 1.0) exits nonzero",
+    )
+    parser.add_argument(
+        "--max-regret-ratio", type=float, default=None, metavar="R",
+        help="override the gate ratio (default: "
+        "$BMBP_BENCH_MAX_SCHED_REGRET_RATIO or 1.0)",
+    )
+    parser.add_argument(
+        "--json", default="BENCH_sched.json", metavar="PATH",
+        help="policy-table artifact path (default %(default)s)",
+    )
+    return parser
+
+
+def _bench_sched_main(argv: List[str]) -> int:
+    import os
+
+    from repro.scheduler.evaluate import run_sched_bench
+
+    args = build_bench_sched_parser().parse_args(argv)
+    ratio = args.max_regret_ratio
+    if ratio is None:
+        ratio = float(os.environ.get("BMBP_BENCH_MAX_SCHED_REGRET_RATIO", "1.0"))
+    report = run_sched_bench(
+        smoke=args.smoke, max_regret_ratio=ratio, artifact=args.json
+    )
+    for entry in report["scenarios"]:
+        parts = [
+            f"{policy}={stats['mean_regret_s']:.0f}s"
+            for policy, stats in entry["policies"].items()
+        ]
+        print(f"{entry['name']}: {' '.join(parts)}")
+    gate = report["gate"]
+    aggregate = report["aggregate"]
+    print(
+        f"aggregate regret vs best baseline ({gate['best_baseline']}: "
+        f"{gate['best_baseline_regret_s']:.0f}s, threshold "
+        f"{gate['threshold_s']:.0f}s): "
+        + " ".join(
+            f"{policy}={aggregate[policy]['mean_regret_s']:.0f}s"
+            f"[{'ok' if ok else 'FAIL'}]"
+            for policy, ok in gate["predictive"].items()
+        )
+    )
+    print(f"[bmbp] scheduling benchmark written to {args.json}", file=sys.stderr)
+    if args.smoke and not gate["passed"]:
+        print(
+            "bench-sched: FAILED — a predictive policy's regret is not "
+            "strictly below the best baseline",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -891,6 +958,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             "route": _route_main,
             "bench-route": _bench_route_main,
             "bench-core": _bench_core_main,
+            "bench-sched": _bench_sched_main,
         }
         return dispatch[argv[0]](list(argv[1:]))
     args = build_parser().parse_args(argv)

@@ -10,10 +10,17 @@ BMBP can be evaluated on *organically generated* wait times — waits that
 emerge from queue contention rather than from any parametric family — as a
 cross-check that the predictor's coverage does not depend on the synthetic
 trace generator's assumptions.
+
+:mod:`repro.scheduler.predictive` closes the loop in the other direction:
+policies that consult a live BMBP forecaster (fed by this engine's own
+emitted waits) to hold admission, rank queues, and order backfill, scored
+against a clairvoyant oracle by :mod:`repro.scheduler.evaluate` — the
+``bmbp bench-sched`` product.
 """
 
 from repro.scheduler.constraints import QueueConstraints, QueueLimit, enforce, route
 from repro.scheduler.engine import SchedulerEngine, maintenance_jobs, simulate
+from repro.scheduler.evaluate import SchedScenario, run_sched_bench
 from repro.scheduler.job import SchedJob
 from repro.scheduler.machine import Machine
 from repro.scheduler.policies import (
@@ -23,17 +30,31 @@ from repro.scheduler.policies import (
     PriorityPolicy,
     SchedulingPolicy,
 )
+from repro.scheduler.predictive import (
+    AdmissionHoldPolicy,
+    BoundRankedQueuePolicy,
+    ClassBudget,
+    ForecastFeed,
+    PredictiveBackfillPolicy,
+)
 from repro.scheduler.workload import ClusterWorkloadConfig, generate_jobs
 
 __all__ = [
+    "AdmissionHoldPolicy",
+    "BoundRankedQueuePolicy",
+    "ClassBudget",
     "ClusterWorkloadConfig",
     "EasyBackfillPolicy",
     "FcfsPolicy",
+    "ForecastFeed",
     "Machine",
+    "PredictiveBackfillPolicy",
     "PriorityPolicy",
     "SchedJob",
+    "SchedScenario",
     "SchedulerEngine",
     "SchedulingPolicy",
     "generate_jobs",
+    "run_sched_bench",
     "simulate",
 ]

@@ -4,9 +4,24 @@ Drives a :class:`Machine` under a :class:`SchedulingPolicy` over a stream of
 :class:`SchedJob` arrivals, and emits the resulting waits as an ordinary
 :class:`repro.workloads.Trace` for the predictors to consume.
 
-Scheduling points are job arrivals and job completions (the standard
-event-driven formulation); administrator retune events can be interleaved
-to change priority weights mid-run.
+Scheduling points are job arrivals, job completions, and policy wakeups
+(timed conditions such as an admission-hold release); administrator retune
+events can be interleaved to change priority weights mid-run.
+
+**Tie determinism.**  Golden replays and serial reruns must agree bit for
+bit, so simultaneous events follow a total order:
+
+1. administrator retunes (in schedule order — index breaks time ties),
+2. job completions (ordered by ``(end_time, job_id)`` in the machine's
+   heap),
+3. job arrivals (ordered by ``(arrival, job_id)``),
+4. the scheduling pass.
+
+Completions before arrivals means processors freed at instant *t* are
+visible to a job arriving at *t*; retunes first means an administrator
+action stamped at an event time governs that event's scheduling pass.
+Job IDs must be unique — they are the tie-breakers that make the order
+total — and the engine rejects duplicates up front.
 """
 
 from __future__ import annotations
@@ -37,7 +52,13 @@ class SchedulerEngine:
         self.policy = policy
         self.waiting: List[SchedJob] = []
         self.finished: List[SchedJob] = []
-        self._retunes = sorted(retune_schedule or [], key=lambda item: item[0])
+        # (time, index): the index makes same-instant retunes a total order
+        # (applied in schedule order) instead of relying on sort stability.
+        self._retunes = sorted(
+            enumerate(retune_schedule or []),
+            key=lambda item: (item[1][0], item[0]),
+        )
+        self._retunes = [entry for _, entry in self._retunes]
         if self._retunes and not isinstance(policy, PriorityPolicy):
             raise ValueError("retune_schedule requires a PriorityPolicy")
 
@@ -50,18 +71,26 @@ class SchedulerEngine:
         job has been scheduled.
         """
         arrivals = sorted(jobs, key=lambda job: (job.arrival, job.job_id))
+        self._validate_ids(arrivals)
         retunes = list(self._retunes)
         i = 0
-        now = 0.0
+        now = -float("inf")
         while i < len(arrivals) or self.waiting:
             next_arrival = arrivals[i].arrival if i < len(arrivals) else float("inf")
             next_completion = self.machine.next_completion_time()
-            now = min(next_arrival, next_completion)
+            # A policy wakeup is honoured only when strictly in the future:
+            # the pass at ``now`` has already run, so an equal-time wakeup
+            # could only spin the loop without advancing state.
+            wakeup = self.policy.next_wakeup(now)
+            if wakeup is None or wakeup <= now:
+                wakeup = float("inf")
+            now = min(next_arrival, next_completion, wakeup)
             if now == float("inf"):
                 raise RuntimeError(
                     "deadlock: waiting jobs can never fit this machine"
                 )
-            # Administrator retunes strictly before the scheduling pass.
+            # The total order for simultaneous events (see module docstring):
+            # retunes, then completions, then arrivals, then one pass.
             while retunes and retunes[0][0] <= now:
                 _, weights = retunes.pop(0)
                 self.policy.retune(weights)  # type: ignore[attr-defined]
@@ -69,6 +98,7 @@ class SchedulerEngine:
             while i < len(arrivals) and arrivals[i].arrival <= now:
                 self._validate(arrivals[i])
                 self.waiting.append(arrivals[i])
+                self.policy.job_arrived(arrivals[i], now)
                 i += 1
             self._schedule(now)
         self.finished.extend(self.machine.complete_until(float("inf")))
@@ -81,6 +111,16 @@ class SchedulerEngine:
                 f"{self.machine.total_procs}"
             )
 
+    @staticmethod
+    def _validate_ids(arrivals: Sequence[SchedJob]) -> None:
+        """Job IDs are the event-order tie-breakers; duplicates would make
+        the completion heap and the waiting-queue bookkeeping ambiguous."""
+        seen: set = set()
+        for job in arrivals:
+            if job.job_id in seen:
+                raise ValueError(f"duplicate job_id {job.job_id}")
+            seen.add(job.job_id)
+
     def _schedule(self, now: float) -> None:
         """Invoke the policy until it makes no further progress."""
         while True:
@@ -89,7 +129,17 @@ class SchedulerEngine:
                 return
             for job in to_start:
                 self.machine.start(job, now)
-                self.waiting.remove(job)
+                # Remove by identity, not equality: dataclass __eq__ would
+                # match a distinct job with identical fields.
+                for index, waiting_job in enumerate(self.waiting):
+                    if waiting_job is job:
+                        del self.waiting[index]
+                        break
+                else:
+                    raise ValueError(
+                        f"policy returned job {job.job_id} that is not waiting"
+                    )
+                self.policy.job_started(job, now)
 
 
 #: Queue name used for injected maintenance blocks (filtered from output).

@@ -47,6 +47,30 @@ class SchedulingPolicy(ABC):
         moment it is started, in the returned order.
         """
 
+    # ------------------------------------------------------- engine hooks
+    #
+    # The engine notifies the policy of job lifecycle events; predictive
+    # policies (:mod:`repro.scheduler.predictive`) use these to keep a live
+    # forecaster in sync with the simulation they are driving — the
+    # closed-loop feedback path.  Defaults are no-ops so the classic
+    # policies stay oblivious.
+
+    def job_arrived(self, job: SchedJob, now: float) -> None:
+        """A job just joined the waiting queue."""
+
+    def job_started(self, job: SchedJob, now: float) -> None:
+        """A job the policy selected just began executing."""
+
+    def next_wakeup(self, now: float) -> Optional[float]:
+        """Next time (strictly after ``now``) the policy needs a pass.
+
+        Lets time-conditioned policies (admission hold with a release
+        timeout) schedule a pass when no arrival or completion would
+        otherwise advance the clock.  ``None`` means no timed condition
+        is pending.
+        """
+        return None
+
 
 class FcfsPolicy(SchedulingPolicy):
     """Strict first-come-first-served: the head job blocks everyone."""
@@ -90,7 +114,12 @@ class EasyBackfillPolicy(SchedulingPolicy):
         shadow, spare = self._reservation(head, machine, started, now)
 
         # Backfill: later jobs that fit now and do not delay the head.
-        for job in queue[1:]:
+        # The *feasibility* rule (finish by the shadow time, or fit in the
+        # spare processors) is EASY's reservation guarantee and is fixed;
+        # the *order* in which candidates are offered slots is a policy
+        # knob (FCFS here, bound-derived urgency in the predictive
+        # subclass).
+        for job in self._backfill_order(queue[1:], now):
             if job.procs > free:
                 continue
             finishes_by_shadow = now + job.estimate <= shadow
@@ -101,6 +130,12 @@ class EasyBackfillPolicy(SchedulingPolicy):
                 if not finishes_by_shadow:
                     spare -= job.procs
         return started
+
+    def _backfill_order(
+        self, candidates: List[SchedJob], now: float
+    ) -> List[SchedJob]:
+        """Order in which backfill candidates are considered (FCFS here)."""
+        return candidates
 
     @staticmethod
     def _reservation(
@@ -239,9 +274,16 @@ class PriorityPolicy(SchedulingPolicy):
     def select(
         self, waiting: List[SchedJob], machine: Machine, now: float
     ) -> List[SchedJob]:
+        # job_id completes the sort key into a total order: two jobs with
+        # equal effective priority and equal arrival must rank the same
+        # way on every rerun (the engine's tie-determinism contract).
         ranked = sorted(
             waiting,
-            key=lambda job: (-self.effective_priority(job, now), job.arrival),
+            key=lambda job: (
+                -self.effective_priority(job, now),
+                job.arrival,
+                job.job_id,
+            ),
         )
         started: List[SchedJob] = []
         free = machine.free_procs

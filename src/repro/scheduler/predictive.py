@@ -1,0 +1,333 @@
+"""Bound-aware predictive scheduling policies: BMBP bounds driving actions.
+
+Everything upstream of this module *forecasts* queuing delay; this module
+*acts* on the forecast, closing the loop the ROADMAP names: a live
+:class:`~repro.service.forecaster.QueueForecaster` is fed by the scheduler
+engine's own emitted submit/start events (through the policy hooks on
+:class:`~repro.scheduler.policies.SchedulingPolicy`), and three policies
+consult its current BMBP bounds to decide what to run:
+
+* :class:`PredictiveBackfillPolicy` — EASY whose backfill candidates are
+  offered slots in bound-derived *urgency* order (least predicted slack
+  against the class delay budget first, shorter estimates breaking ties)
+  instead of FCFS order.  The head reservation — EASY's starvation
+  guarantee — is untouched; only the order of the jobs jumping the queue
+  changes.
+* :class:`BoundRankedQueuePolicy` — multi-queue selection ranked by each
+  queue's current bound over its budget instead of the static
+  administrator weights of :class:`~repro.scheduler.policies.PriorityPolicy`;
+  the ranking retunes itself every event from the forecaster, and the
+  top-ranked job keeps an EASY-style reservation so re-ranking can never
+  starve a wide job.
+* :class:`AdmissionHoldPolicy` — admission control: a *deferrable* job
+  arriving while its queue's bound exceeds the class delay budget is held
+  out of the machine's queue until the bound drops back under the budget
+  or the class's ``max_hold`` elapses, whichever comes first.  Urgent
+  classes are never held.  Scheduling of admitted jobs delegates to an
+  inner policy (the bound-ranked queue selector by default, sharing the
+  same forecaster).
+
+The per-class contract is a :class:`ClassBudget`; classes without an entry
+fall back to a configurable default.  All three policies degrade to their
+non-predictive behaviour while the forecaster is still training (no
+quotable bound yet), so a cold start is safe by construction.
+
+Grounding: the end-to-end predictions-based resource-management framework
+of arXiv 2008.08292 (predictions driving admission and queue selection)
+and the tail-quantile-as-decision-signal argument of arXiv 2207.03760 —
+the decision input here is the BMBP (0.95, 0.95) upper bound, not a mean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.scheduler.engine import MAINTENANCE_QUEUE
+from repro.scheduler.job import SchedJob
+from repro.scheduler.machine import Machine
+from repro.scheduler.policies import EasyBackfillPolicy, SchedulingPolicy
+from repro.service.forecaster import ForecasterConfig, QueueForecaster
+
+__all__ = [
+    "AdmissionHoldPolicy",
+    "BoundRankedQueuePolicy",
+    "ClassBudget",
+    "ForecastFeed",
+    "PredictiveBackfillPolicy",
+]
+
+
+@dataclass(frozen=True)
+class ClassBudget:
+    """Delay contract for one job class (queue).
+
+    Attributes
+    ----------
+    budget:
+        Target queuing delay (seconds): the wait this class should stay
+        under.  Violation rate against it is a headline metric of
+        ``bmbp bench-sched``.
+    deferrable:
+        Whether :class:`AdmissionHoldPolicy` may hold this class at
+        admission during predicted congestion.  Urgent classes keep this
+        off and are admitted unconditionally.
+    max_hold:
+        Hard ceiling (seconds) on one job's admission hold; the release
+        fires at ``held_at + max_hold`` even if the bound never recovers.
+    """
+
+    budget: float
+    deferrable: bool = False
+    max_hold: float = 3600.0
+
+    def __post_init__(self) -> None:
+        if self.budget <= 0.0:
+            raise ValueError(f"budget must be positive, got {self.budget}")
+        if self.max_hold <= 0.0 or self.max_hold == float("inf"):
+            raise ValueError(
+                f"max_hold must be positive and finite, got {self.max_hold}"
+            )
+
+
+class ForecastFeed:
+    """Live bridge from the scheduler engine to a :class:`QueueForecaster`.
+
+    One feed per simulation run: the engine's ``job_arrived``/``job_started``
+    hooks flow through here as the forecaster's submit/start protocol, so
+    the bounds the policies consult are computed from the very waits the
+    policies are producing — the closed loop.  Maintenance blocker jobs are
+    not real submissions and are skipped.
+    """
+
+    def __init__(
+        self,
+        training_jobs: int = 40,
+        quantile: float = 0.95,
+        confidence: float = 0.95,
+    ):
+        self.forecaster = QueueForecaster(
+            ForecasterConfig(
+                quantile=quantile,
+                confidence=confidence,
+                epoch=0.0,
+                by_bin=False,
+                training_jobs=training_jobs,
+            )
+        )
+        self.events = 0
+
+    def job_arrived(self, job: SchedJob, now: float) -> None:
+        if job.queue == MAINTENANCE_QUEUE:
+            return
+        self.forecaster.job_submitted(str(job.job_id), job.queue, job.procs, now=now)
+        self.events += 1
+
+    def job_started(self, job: SchedJob, now: float) -> None:
+        if job.queue == MAINTENANCE_QUEUE:
+            return
+        self.forecaster.job_started(str(job.job_id), now=now)
+        self.events += 1
+
+    def bound(self, queue: str) -> Optional[float]:
+        """Current BMBP upper bound for ``queue`` (None while training)."""
+        return self.forecaster.forecast(queue)
+
+
+class BoundAwarePolicy(SchedulingPolicy):
+    """Shared plumbing: a forecast feed plus per-class budgets."""
+
+    def __init__(
+        self,
+        feed: Optional[ForecastFeed] = None,
+        budgets: Optional[Dict[str, ClassBudget]] = None,
+        default_budget: Optional[ClassBudget] = None,
+    ):
+        self.feed = feed if feed is not None else ForecastFeed()
+        self.budgets = dict(budgets or {})
+        self.default_budget = default_budget or ClassBudget(budget=3600.0)
+
+    def budget_for(self, queue: str) -> ClassBudget:
+        return self.budgets.get(queue, self.default_budget)
+
+    def bound(self, queue: str) -> Optional[float]:
+        return self.feed.bound(queue)
+
+    # Engine hooks: keep the forecaster in sync with the simulation.
+
+    def job_arrived(self, job: SchedJob, now: float) -> None:
+        self.feed.job_arrived(job, now)
+
+    def job_started(self, job: SchedJob, now: float) -> None:
+        self.feed.job_started(job, now)
+
+
+class PredictiveBackfillPolicy(BoundAwarePolicy, EasyBackfillPolicy):
+    """EASY backfill with bound-derived urgency ordering of candidates.
+
+    Feasibility (finish by the head's shadow time, or fit in the spare
+    processors) is inherited verbatim from EASY, so the head reservation
+    guarantee is preserved.  What changes is which feasible candidate gets
+    a contested slot.  Each candidate's *normalized slack* is
+
+        (budget - waited - bound) / budget
+
+    — how much of its class budget remains once the predicted additional
+    wait (the BMBP bound) is charged against it.  Candidates predicted to
+    bust their budget (slack ≤ 0) go first, most-negative slack first;
+    the rest follow shortest-estimate-first, the classic packing order
+    that minimizes mean wait when no contract is at risk.  Arrival and
+    job id complete the total order.  While the forecaster is training
+    the bound term is zero, so almost no job looks at risk and the order
+    degrades to plain SJF-among-backfillers.
+    """
+
+    name = "predictive-backfill"
+
+    def _slack_key(self, job: SchedJob, now: float):
+        budget = self.budget_for(job.queue).budget
+        bound = self.bound(job.queue)
+        waited = max(0.0, now - job.arrival)
+        slack = budget - waited - (bound if bound is not None else 0.0)
+        if slack <= 0.0:
+            return (0, slack / budget, job.arrival, job.job_id)
+        return (1, job.estimate, job.arrival, job.job_id)
+
+    def _backfill_order(
+        self, candidates: List[SchedJob], now: float
+    ) -> List[SchedJob]:
+        return sorted(candidates, key=lambda job: self._slack_key(job, now))
+
+
+class BoundRankedQueuePolicy(BoundAwarePolicy, EasyBackfillPolicy):
+    """Urgency-ranked queue selection with an EASY-style head reservation.
+
+    Each waiting job's *urgency* is its predicted violation ratio —
+
+        (waited + bound) / budget
+
+    — where the bound is the queue's current BMBP (0.95, 0.95) forecast:
+    the per-queue bound ranks the classes and the waited term ages every
+    job inside its own contract, so selection weight flows continuously
+    to the class that is predicted to violate.  This is the adaptive
+    replacement for :class:`PriorityPolicy`'s static, administrator-tuned
+    weights.  Within equal urgency shorter estimates go first (the
+    packing order), with arrival and job id completing the total order.
+
+    Selection then runs the EASY machinery over the re-ranked queue: the
+    most urgent job that does not fit gets the shadow-time reservation
+    and everything behind it may only backfill around that reservation.
+    A greedy scan without the reservation starves wide jobs under
+    sustained load (they never see enough free processors); anchoring the
+    top-urgency job is what lets continuous re-ranking coexist with a
+    starvation guard.  Untrained queues quote no bound, so the cold-start
+    order is waited/budget — aged FCFS.
+    """
+
+    name = "predictive-queue"
+
+    def _urgency_key(self, job: SchedJob, now: float):
+        bound = self.bound(job.queue)
+        budget = self.budget_for(job.queue).budget
+        waited = max(0.0, now - job.arrival)
+        urgency = (waited + (bound if bound is not None else 0.0)) / budget
+        return (-urgency, job.estimate, job.arrival, job.job_id)
+
+    def select(
+        self, waiting: List[SchedJob], machine: Machine, now: float
+    ) -> List[SchedJob]:
+        ranked = sorted(waiting, key=lambda job: self._urgency_key(job, now))
+        return EasyBackfillPolicy.select(self, ranked, machine, now)
+
+
+class AdmissionHoldPolicy(BoundAwarePolicy):
+    """Admission hold/release driven by the class bound-versus-budget test.
+
+    At arrival, a deferrable job whose queue's current bound exceeds its
+    class budget is *held*: it stays out of the schedulable queue.  The
+    release condition is re-evaluated at every scheduling point — the job
+    is released the first time the bound drops back to the budget (reason
+    ``"bound"``), becomes unquotable (reason ``"untrained"``, a safety
+    valve, not an expected path once training completes), or when
+    ``max_hold`` elapses (reason ``"timeout"``).  Releases are permanent:
+    a released job is never re-held, so its start can only be delayed by
+    ordinary queue contention afterwards.
+
+    Scheduling of admitted jobs delegates to ``inner`` — by default the
+    bound-ranked queue selector sharing the same forecast feed, so
+    admission control and selection act on one coherent picture of
+    per-class pressure.
+
+    ``hold_log`` records ``{held_at, deadline, released_at, reason}`` per
+    held job id; the invariant suite asserts no held job ever starts
+    before its logged release.  :meth:`next_wakeup` surfaces the earliest
+    pending deadline so the engine schedules a pass for a timeout release
+    even on an otherwise idle machine.
+    """
+
+    name = "predictive-hold"
+
+    def __init__(
+        self,
+        feed: Optional[ForecastFeed] = None,
+        budgets: Optional[Dict[str, ClassBudget]] = None,
+        default_budget: Optional[ClassBudget] = None,
+        inner: Optional[SchedulingPolicy] = None,
+    ):
+        super().__init__(feed=feed, budgets=budgets, default_budget=default_budget)
+        self.inner = inner or BoundRankedQueuePolicy(
+            feed=self.feed, budgets=budgets, default_budget=default_budget
+        )
+        #: job_id -> (deadline, budget) for jobs currently held.
+        self._held: Dict[int, float] = {}
+        #: job_id -> {"held_at", "deadline", "released_at", "reason"}.
+        self.hold_log: Dict[int, Dict[str, Optional[float]]] = {}
+
+    def job_arrived(self, job: SchedJob, now: float) -> None:
+        super().job_arrived(job, now)
+        if job.queue == MAINTENANCE_QUEUE:
+            return
+        contract = self.budget_for(job.queue)
+        if not contract.deferrable:
+            return
+        bound = self.bound(job.queue)
+        if bound is not None and bound > contract.budget:
+            deadline = now + contract.max_hold
+            self._held[job.job_id] = deadline
+            self.hold_log[job.job_id] = {
+                "held_at": now,
+                "deadline": deadline,
+                "released_at": None,
+                "reason": None,
+            }
+
+    def next_wakeup(self, now: float) -> Optional[float]:
+        deadlines = [d for d in self._held.values() if d > now]
+        return min(deadlines) if deadlines else None
+
+    def _release(self, job_id: int, now: float, reason: str) -> None:
+        del self._held[job_id]
+        self.hold_log[job_id]["released_at"] = now
+        self.hold_log[job_id]["reason"] = reason
+
+    def _still_held(self, job: SchedJob, now: float) -> bool:
+        deadline = self._held.get(job.job_id)
+        if deadline is None:
+            return False
+        if now >= deadline:
+            self._release(job.job_id, now, "timeout")
+            return False
+        bound = self.bound(job.queue)
+        if bound is None:
+            self._release(job.job_id, now, "untrained")
+            return False
+        if bound <= self.budget_for(job.queue).budget:
+            self._release(job.job_id, now, "bound")
+            return False
+        return True
+
+    def select(
+        self, waiting: List[SchedJob], machine: Machine, now: float
+    ) -> List[SchedJob]:
+        eligible = [job for job in waiting if not self._still_held(job, now)]
+        return self.inner.select(eligible, machine, now)

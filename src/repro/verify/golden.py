@@ -19,6 +19,15 @@ Fixtures are SWF *files*, not generator calls: the golden inputs live in
 git, so later changes to the synthetic generator cannot silently shift
 what the goldens measure.  Regeneration (after an intentional numerical
 change): ``bmbp verify --update-golden``, then review the JSON diff.
+
+A second golden family pins the *scheduler* side: the per-job start-time
+series of the full predictive stack (:class:`AdmissionHoldPolicy` over a
+bound-ranked EASY queue) on a committed job-set fixture
+(``sched-jobs.json``).  The closed loop makes every start time depend on
+every forecast before it, so this one series transitively pins the
+engine's event ordering, the policies' sort keys, and the forecaster's
+bound arithmetic.  Same rtol, same first-divergence reporting, same
+``--update-golden`` regeneration path.
 """
 
 from __future__ import annotations
@@ -31,19 +40,31 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 from repro.baselines import DowneyLogUniformPredictor, PointQuantilePredictor
 from repro.core.bmbp import BMBPPredictor
 from repro.core.lognormal import LogNormalPredictor
+from repro.scheduler.engine import simulate
+from repro.scheduler.evaluate import default_budgets
+from repro.scheduler.job import SchedJob
+from repro.scheduler.predictive import AdmissionHoldPolicy, ForecastFeed
 from repro.simulator.replay import ReplayConfig, replay_single
 from repro.workloads.swf import load_swf
 
 __all__ = [
+    "GOLDEN_SCHED_SCHEMA",
     "GOLDEN_SCHEMA",
     "compare_golden",
+    "compare_sched_golden",
     "compute_golden",
+    "compute_sched_golden",
     "golden_dir",
     "regenerate_goldens",
     "verify_goldens",
 ]
 
 GOLDEN_SCHEMA = "bmbp-golden-v1"
+GOLDEN_SCHED_SCHEMA = "bmbp-golden-sched-v1"
+
+#: Job-set fixture consumed by the scheduler golden (lives in git next to
+#: the SWF fixtures, for the same reason: the pinned inputs cannot drift).
+SCHED_FIXTURE = "sched-jobs.json"
 
 #: Replay settings pinned into every golden (changing these is a golden
 #: regeneration event by definition).
@@ -96,6 +117,70 @@ def compute_golden(trace_path: Path) -> Dict[str, Any]:
             "series_values": list(result.series_values),
         }
     return record
+
+
+def compute_sched_golden(jobs_path: Path) -> Dict[str, Any]:
+    """Run the predictive stack on the job-set fixture; return the pinnable record.
+
+    The policy is the deepest one — admission hold wrapping the
+    bound-ranked EASY queue — so the pinned start times exercise every
+    predictive code path (feed, bounds, holds, urgency ranking,
+    reservation backfill) in one deterministic run.
+    """
+    spec = json.loads(jobs_path.read_text())
+    jobs = [SchedJob(**j) for j in spec["jobs"]]
+    policy = AdmissionHoldPolicy(
+        feed=ForecastFeed(training_jobs=spec["training_jobs"]),
+        budgets=default_budgets(),
+    )
+    simulate(jobs, spec["machine_procs"], policy, trace_name="golden-sched")
+    ordered = sorted(jobs, key=lambda job: job.job_id)
+    return {
+        "schema": GOLDEN_SCHED_SCHEMA,
+        "trace": jobs_path.name,
+        "trace_sha256": _sha256(jobs_path),
+        "jobs": len(jobs),
+        "machine_procs": spec["machine_procs"],
+        "policy": policy.name,
+        "training_jobs": spec["training_jobs"],
+        "holds": len(policy.hold_log),
+        "job_ids": [job.job_id for job in ordered],
+        "start_times": [job.start_time for job in ordered],
+    }
+
+
+def compare_sched_golden(
+    pinned: Dict[str, Any], recomputed: Dict[str, Any]
+) -> List[str]:
+    """First-divergence messages for a scheduler golden (empty when clean)."""
+    problems: List[str] = []
+    if pinned.get("trace_sha256") != recomputed["trace_sha256"]:
+        problems.append(
+            f"job-set fixture changed on disk (sha256 "
+            f"{recomputed['trace_sha256'][:12]}..., "
+            f"pinned {str(pinned.get('trace_sha256'))[:12]}...)"
+        )
+    for counter in ("jobs", "machine_procs", "policy", "training_jobs", "holds"):
+        if pinned.get(counter) != recomputed[counter]:
+            problems.append(
+                f"sched.{counter}: expected {pinned.get(counter)!r}, "
+                f"got {recomputed[counter]!r}"
+            )
+            return problems
+    want_ids, got_ids = pinned["job_ids"], recomputed["job_ids"]
+    want_st, got_st = pinned["start_times"], recomputed["start_times"]
+    if want_ids != got_ids:
+        problems.append("sched.job_ids: pinned and recomputed id sets differ")
+        return problems
+    for i, (expected, actual) in enumerate(zip(want_st, got_st)):
+        if abs(actual - expected) > _RTOL * max(abs(expected), abs(actual), 1.0):
+            problems.append(
+                f"sched.start_times[job {want_ids[i]}]: expected "
+                f"{expected!r}, got {actual!r} "
+                f"(diff {actual - expected:+.3e}, rtol {_RTOL})"
+            )
+            return problems
+    return problems
 
 
 def _first_divergence(
@@ -179,7 +264,10 @@ def verify_goldens(
     divergences: Dict[str, List[str]] = {}
     for json_path, trace_path in pairs:
         pinned = json.loads(json_path.read_text())
-        problems = compare_golden(pinned, compute_golden(trace_path))
+        if pinned.get("schema") == GOLDEN_SCHED_SCHEMA:
+            problems = compare_sched_golden(pinned, compute_sched_golden(trace_path))
+        else:
+            problems = compare_golden(pinned, compute_golden(trace_path))
         if problems:
             divergences[json_path.name] = problems
     details: Dict[str, Any] = {
@@ -199,5 +287,10 @@ def regenerate_goldens(directory: Optional[Path] = None) -> List[str]:
         record = compute_golden(trace_path)
         out = directory / f"golden-{trace_path.stem.replace('trace-', '')}.json"
         out.write_text(json.dumps(record, indent=1) + "\n")
+        written.append(out.name)
+    sched_fixture = directory / SCHED_FIXTURE
+    if sched_fixture.is_file():
+        out = directory / "golden-sched.json"
+        out.write_text(json.dumps(compute_sched_golden(sched_fixture), indent=1) + "\n")
         written.append(out.name)
     return written

@@ -86,3 +86,81 @@ class TestEngineObject:
         finished = engine.run([job(0), job(1, arrival=10.0)])
         assert len(finished) == 2
         assert all(j.started for j in finished)
+
+
+class TestTieDeterminism:
+    """The total order for simultaneous events (module docstring of
+    :mod:`repro.scheduler.engine`): retunes, completions, arrivals, pass."""
+
+    def test_completion_tied_with_arrival_frees_procs_first(self):
+        # Job 0 occupies the whole machine until t=100; job 1 arrives at
+        # exactly t=100.  Completions are processed before arrivals at
+        # equal times, so job 1 must start immediately with zero wait.
+        jobs = [
+            job(0, arrival=0.0, runtime=100.0, procs=8),
+            job(1, arrival=100.0, runtime=10.0, procs=8),
+        ]
+        trace = simulate(jobs, 8, FcfsPolicy())
+        waits = {j.submit_time: j.wait for j in trace}
+        assert waits[100.0] == 0.0
+
+    def test_simultaneous_arrivals_are_ordered_by_job_id(self):
+        # Three same-instant full-machine jobs: FCFS order must be the
+        # job_id tie-break, regardless of input list order.
+        jobs = [
+            job(2, arrival=0.0, runtime=100.0, procs=8),
+            job(0, arrival=0.0, runtime=100.0, procs=8),
+            job(1, arrival=0.0, runtime=100.0, procs=8),
+        ]
+        simulate(jobs, 8, FcfsPolicy())
+        by_id = {j.job_id: j.start_time for j in jobs}
+        assert by_id == {0: 0.0, 1: 100.0, 2: 200.0}
+
+    def test_retune_stamped_at_event_time_governs_that_pass(self):
+        # Two jobs arrive at t=100 as the machine frees; the retune also
+        # stamped t=100 must be applied before that scheduling pass, so
+        # the flipped weights pick the "low" job first.
+        from repro.scheduler.policies import PriorityPolicy
+
+        blocker = job(0, arrival=0.0, runtime=100.0, procs=8)
+        high = SchedJob(job_id=1, arrival=100.0, runtime=50.0, procs=8,
+                        queue="high")
+        low = SchedJob(job_id=2, arrival=100.0, runtime=50.0, procs=8,
+                       queue="low")
+        policy = PriorityPolicy(weights={"high": 10.0, "low": 0.0})
+        simulate([blocker, high, low], 8, policy,
+                 retune_schedule=[(100.0, {"high": 0.0, "low": 10.0})])
+        assert low.start_time == 100.0
+        assert high.start_time == 150.0
+
+    def test_same_instant_retunes_apply_in_schedule_order(self):
+        from repro.scheduler.policies import PriorityPolicy
+
+        blocker = job(0, arrival=0.0, runtime=100.0, procs=8)
+        a = SchedJob(job_id=1, arrival=100.0, runtime=50.0, procs=8, queue="a")
+        b = SchedJob(job_id=2, arrival=100.0, runtime=50.0, procs=8, queue="b")
+        policy = PriorityPolicy(weights={})
+        # Both retunes stamped t=100: the later entry wins (total order by
+        # schedule index), so queue "b" ends up on top.
+        simulate([blocker, a, b], 8, policy, retune_schedule=[
+            (100.0, {"a": 10.0, "b": 0.0}),
+            (100.0, {"a": 0.0, "b": 10.0}),
+        ])
+        assert b.start_time == 100.0
+        assert a.start_time == 150.0
+
+    def test_duplicate_job_ids_rejected_up_front(self):
+        with pytest.raises(ValueError, match="duplicate job_id"):
+            simulate([job(0), job(0, arrival=1.0)], 8, FcfsPolicy())
+
+    def test_reruns_are_bit_identical_on_a_contended_stream(self):
+        config = ClusterWorkloadConfig(
+            n_jobs=400, machine_procs=32, utilization=0.95, seed=9
+        )
+
+        def run():
+            jobs = generate_jobs(config)
+            simulate(jobs, 32, EasyBackfillPolicy())
+            return [(j.job_id, j.start_time) for j in jobs]
+
+        assert run() == run()

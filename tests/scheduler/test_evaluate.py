@@ -1,0 +1,135 @@
+"""Unit tests for the oracle-regret scheduling bench.
+
+The committed BENCH_sched.json is produced by the full scenario set; these
+tests cover the machinery at miniature sizes — class assignment, scoring
+arithmetic, report structure, the gate's verdict logic, and the artifact
+round trip.
+"""
+
+import json
+
+import pytest
+
+from repro.scheduler import evaluate as ev
+from repro.scheduler.job import SchedJob
+
+
+TINY = ev.SchedScenario(
+    name="tiny", n_jobs=150, machine_procs=16, utilization=0.9,
+    seed=11, training_jobs=10, smoke=True,
+)
+
+
+def _job(job_id, procs, estimate):
+    return SchedJob(job_id=job_id, arrival=0.0, runtime=estimate,
+                    procs=procs, estimate=estimate)
+
+
+class TestAssignClasses:
+    def test_narrow_short_is_interactive(self):
+        (job,) = ev.assign_classes([_job(0, procs=2, estimate=600.0)], 64)
+        assert job.queue == ev.INTERACTIVE
+
+    def test_wide_is_batch(self):
+        (job,) = ev.assign_classes([_job(0, procs=16, estimate=600.0)], 64)
+        assert job.queue == ev.BATCH
+
+    def test_long_is_batch(self):
+        (job,) = ev.assign_classes([_job(0, procs=8, estimate=5 * 3600.0)], 64)
+        assert job.queue == ev.BATCH
+
+    def test_everything_else_is_normal(self):
+        (job,) = ev.assign_classes([_job(0, procs=8, estimate=3600.0)], 64)
+        assert job.queue == ev.NORMAL
+
+    def test_budgets_cover_every_assigned_class(self):
+        budgets = ev.default_budgets()
+        jobs = TINY.workload()
+        assert {job.queue for job in jobs} <= set(budgets)
+        assert budgets[ev.BATCH].deferrable
+        assert not budgets[ev.INTERACTIVE].deferrable
+
+
+class TestScore:
+    def test_hand_computed_row(self):
+        waits = {0: 100.0, 1: 0.0, 2: 2000.0}
+        oracle = {0: 50.0, 1: 0.0, 2: 500.0}
+        queues = {0: ev.INTERACTIVE, 1: ev.NORMAL, 2: ev.INTERACTIVE}
+        row = ev._score(waits, oracle, ev.default_budgets(), queues)
+        assert row["jobs"] == 3
+        assert row["mean_wait_s"] == pytest.approx(700.0)
+        assert row["mean_regret_s"] == pytest.approx((50.0 + 0.0 + 1500.0) / 3)
+        assert row["total_regret_s"] == pytest.approx(1550.0)
+        # Only job 2 (2000s on a 900s interactive budget) violates.
+        assert row["violation_rate"] == pytest.approx(1 / 3)
+
+
+class TestEvaluateScenario:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ev.evaluate_scenario(TINY)
+
+    def test_all_policies_scored(self, result):
+        expected = set(ev.BASELINE_POLICIES) | set(ev.PREDICTIVE_POLICIES)
+        assert set(result["policies"]) == expected
+
+    def test_rows_have_the_headline_metrics(self, result):
+        for row in result["policies"].values():
+            assert {"jobs", "mean_wait_s", "p95_wait_s", "mean_regret_s",
+                    "total_regret_s", "violation_rate"} <= set(row)
+            assert row["jobs"] == TINY.n_jobs
+
+    def test_hold_policy_reports_its_holds(self, result):
+        row = result["policies"]["predictive-hold"]
+        assert "holds" in row and "hold_reasons" in row
+        assert row["holds"] == sum(row["hold_reasons"].values())
+
+    def test_oracle_is_a_lower_bound_for_its_own_policy_family(self, result):
+        # EASY with perfect estimates can only improve on EASY with
+        # inflated estimates, so EASY's regret is non-negative.
+        assert result["policies"]["easy"]["mean_regret_s"] >= 0.0
+
+
+class TestRunSchedBench:
+    def test_rejects_bad_ratio_and_empty_scenarios(self):
+        with pytest.raises(ValueError, match="max_regret_ratio"):
+            ev.run_sched_bench(max_regret_ratio=0.0, artifact=None)
+        no_smoke = ev.SchedScenario(
+            name="x", n_jobs=10, machine_procs=8, utilization=0.5, seed=1
+        )
+        with pytest.raises(ValueError, match="at least one scenario"):
+            ev.run_sched_bench(scenarios=[no_smoke], smoke=True, artifact=None)
+
+    def test_report_structure_and_artifact_round_trip(self, tmp_path):
+        out = tmp_path / "bench.json"
+        report = ev.run_sched_bench(scenarios=[TINY], artifact=out)
+        assert report["schema"] == ev.BENCH_SCHED_SCHEMA
+        assert json.loads(out.read_text()) == report
+        gate = report["gate"]
+        assert gate["best_baseline"] in ev.BASELINE_POLICIES
+        assert set(gate["predictive"]) == set(ev.PREDICTIVE_POLICIES)
+        assert isinstance(gate["passed"], bool)
+
+    def test_aggregate_is_job_weighted(self):
+        report = ev.run_sched_bench(scenarios=[TINY], artifact=None)
+        (entry,) = report["scenarios"]
+        for name, agg in report["aggregate"].items():
+            assert agg["mean_regret_s"] == pytest.approx(
+                entry["policies"][name]["mean_regret_s"]
+            )
+
+    def test_smoke_filters_to_marked_scenarios(self):
+        marked = TINY
+        unmarked = ev.SchedScenario(
+            name="skipped", n_jobs=150, machine_procs=16, utilization=0.9,
+            seed=12, training_jobs=10,
+        )
+        report = ev.run_sched_bench(
+            scenarios=[marked, unmarked], smoke=True, artifact=None
+        )
+        assert report["config"]["scenarios"] == ["tiny"]
+
+    def test_default_scenarios_include_smoke_coverage(self):
+        scenarios = ev.default_scenarios()
+        assert any(s.smoke for s in scenarios)
+        assert len({s.name for s in scenarios}) == len(scenarios)

@@ -1,0 +1,229 @@
+"""Unit tests for the bound-aware predictive policies.
+
+The invariant suite (`test_invariants.py`) proves the policies legal on
+arbitrary workloads; these tests pin their *decisions*: what each policy
+does with a specific bound, budget, and queue state.  A scripted feed
+stands in for the forecaster so every branch is reachable
+deterministically; one closed-loop test at the bottom uses the real
+:class:`ForecastFeed` end to end.
+"""
+
+import pytest
+
+from repro.scheduler.engine import MAINTENANCE_QUEUE, simulate
+from repro.scheduler.job import SchedJob
+from repro.scheduler.predictive import (
+    AdmissionHoldPolicy,
+    BoundRankedQueuePolicy,
+    ClassBudget,
+    ForecastFeed,
+    PredictiveBackfillPolicy,
+)
+
+
+class ScriptedFeed:
+    """Feed double: bounds are set by the test, events are counted."""
+
+    def __init__(self, bounds=None):
+        self.bounds = dict(bounds or {})
+        self.events = 0
+
+    def job_arrived(self, job, now):
+        self.events += 1
+
+    def job_started(self, job, now):
+        self.events += 1
+
+    def bound(self, queue):
+        return self.bounds.get(queue)
+
+
+def _job(job_id, queue="normal", arrival=0.0, procs=1, runtime=100.0,
+         estimate=None):
+    return SchedJob(
+        job_id=job_id, arrival=arrival, runtime=runtime, procs=procs,
+        estimate=estimate if estimate is not None else max(runtime, 1.0),
+        queue=queue,
+    )
+
+
+BUDGETS = {
+    "interactive": ClassBudget(900.0),
+    "normal": ClassBudget(3600.0),
+    "batch": ClassBudget(10800.0, deferrable=True, max_hold=600.0),
+}
+
+
+class TestClassBudget:
+    def test_rejects_nonpositive_budget(self):
+        with pytest.raises(ValueError, match="budget must be positive"):
+            ClassBudget(0.0)
+
+    @pytest.mark.parametrize("max_hold", [0.0, -5.0, float("inf")])
+    def test_rejects_bad_max_hold(self, max_hold):
+        with pytest.raises(ValueError, match="max_hold"):
+            ClassBudget(100.0, max_hold=max_hold)
+
+    def test_defaults_are_not_deferrable(self):
+        assert not ClassBudget(100.0).deferrable
+
+
+class TestForecastFeed:
+    def test_untrained_queue_quotes_no_bound(self):
+        assert ForecastFeed(training_jobs=4).bound("normal") is None
+
+    def test_trains_from_submit_start_pairs(self):
+        # BMBP at (0.95, 0.95) cannot quote until the binomial bound index
+        # exists (~59 samples), regardless of the training_jobs gate.
+        feed = ForecastFeed(training_jobs=4)
+        for i in range(70):
+            job = _job(i)
+            feed.job_arrived(job, now=float(i))
+            feed.job_started(job, now=float(i) + 50.0)
+        bound = feed.bound("normal")
+        assert bound is not None and bound >= 50.0
+        assert feed.events == 140
+
+    def test_maintenance_jobs_are_invisible(self):
+        feed = ForecastFeed(training_jobs=4)
+        blocker = _job(0, queue=MAINTENANCE_QUEUE)
+        feed.job_arrived(blocker, now=0.0)
+        feed.job_started(blocker, now=1.0)
+        assert feed.events == 0
+
+
+class TestPredictiveBackfillOrder:
+    def test_cold_start_degrades_to_shortest_estimate_first(self):
+        policy = PredictiveBackfillPolicy(feed=ScriptedFeed(), budgets=BUDGETS)
+        jobs = [_job(0, estimate=500.0), _job(1, estimate=50.0),
+                _job(2, estimate=5000.0)]
+        assert [j.job_id for j in policy._backfill_order(jobs, now=0.0)] == [1, 0, 2]
+
+    def test_predicted_budget_busters_jump_the_order(self):
+        # interactive's bound (2000s) blows its 900s budget; the long
+        # interactive job outranks a much shorter safe job.
+        feed = ScriptedFeed({"interactive": 2000.0, "normal": 10.0})
+        policy = PredictiveBackfillPolicy(feed=feed, budgets=BUDGETS)
+        at_risk = _job(0, queue="interactive", estimate=5000.0)
+        safe = _job(1, queue="normal", estimate=10.0)
+        assert policy._backfill_order([safe, at_risk], now=0.0) == [at_risk, safe]
+
+    def test_most_negative_slack_goes_first(self):
+        feed = ScriptedFeed({"interactive": 2000.0, "normal": 100000.0})
+        policy = PredictiveBackfillPolicy(feed=feed, budgets=BUDGETS)
+        bad = _job(0, queue="interactive")
+        worse = _job(1, queue="normal")  # slack/budget is far more negative
+        assert policy._backfill_order([bad, worse], now=0.0) == [worse, bad]
+
+
+class TestBoundRankedUrgency:
+    def test_cold_start_is_aged_fcfs(self):
+        policy = BoundRankedQueuePolicy(feed=ScriptedFeed(), budgets=BUDGETS)
+        old = _job(0, arrival=0.0)
+        young = _job(1, arrival=1000.0)
+        assert policy._urgency_key(old, 2000.0) < policy._urgency_key(young, 2000.0)
+
+    def test_bound_pressure_outranks_age(self):
+        # Both jobs just arrived; the queue predicted to violate wins.
+        feed = ScriptedFeed({"interactive": 2000.0, "batch": 2000.0})
+        policy = BoundRankedQueuePolicy(feed=feed, budgets=BUDGETS)
+        pressed = _job(0, queue="interactive")   # 2000/900 > 1
+        relaxed = _job(1, queue="batch")         # 2000/10800 << 1
+        assert policy._urgency_key(pressed, 0.0) < policy._urgency_key(relaxed, 0.0)
+
+    def test_equal_urgency_breaks_by_shorter_estimate(self):
+        policy = BoundRankedQueuePolicy(feed=ScriptedFeed(), budgets=BUDGETS)
+        short = _job(0, estimate=10.0)
+        long = _job(1, estimate=1000.0)
+        assert policy._urgency_key(short, 0.0) < policy._urgency_key(long, 0.0)
+
+
+class TestAdmissionHold:
+    def _policy(self, bounds=None):
+        return AdmissionHoldPolicy(feed=ScriptedFeed(bounds), budgets=BUDGETS)
+
+    def test_deferrable_job_is_held_when_bound_exceeds_budget(self):
+        policy = self._policy({"batch": 20000.0})
+        job = _job(0, queue="batch")
+        policy.job_arrived(job, now=100.0)
+        assert policy.hold_log[0]["held_at"] == 100.0
+        assert policy.hold_log[0]["deadline"] == 100.0 + 600.0
+        assert policy.next_wakeup(100.0) == 700.0
+
+    def test_urgent_classes_are_never_held(self):
+        policy = self._policy({"interactive": 1e9, "normal": 1e9})
+        policy.job_arrived(_job(0, queue="interactive"), now=0.0)
+        policy.job_arrived(_job(1, queue="normal"), now=0.0)
+        assert policy.hold_log == {}
+
+    def test_no_hold_while_untrained_or_under_budget(self):
+        policy = self._policy({"batch": 10.0})  # far under the 10800 budget
+        policy.job_arrived(_job(0, queue="batch"), now=0.0)
+        cold = self._policy()  # no bound at all
+        cold.job_arrived(_job(1, queue="batch"), now=0.0)
+        assert policy.hold_log == {} and cold.hold_log == {}
+
+    def test_select_filters_held_jobs(self, machine16):
+        policy = self._policy({"batch": 20000.0})
+        held = _job(0, queue="batch")
+        free = _job(1, queue="normal")
+        policy.job_arrived(held, now=0.0)
+        started = policy.select([held, free], machine16, now=0.0)
+        assert started == [free]
+
+    def test_release_when_bound_recovers(self, machine16):
+        policy = self._policy({"batch": 20000.0})
+        job = _job(0, queue="batch")
+        policy.job_arrived(job, now=0.0)
+        policy.feed.bounds["batch"] = 500.0  # congestion cleared
+        assert policy.select([job], machine16, now=50.0) == [job]
+        assert policy.hold_log[0]["reason"] == "bound"
+        assert policy.hold_log[0]["released_at"] == 50.0
+
+    def test_release_on_timeout(self, machine16):
+        policy = self._policy({"batch": 20000.0})
+        job = _job(0, queue="batch")
+        policy.job_arrived(job, now=0.0)
+        assert policy.select([job], machine16, now=600.0) == [job]
+        assert policy.hold_log[0]["reason"] == "timeout"
+
+    def test_release_when_bound_becomes_unquotable(self, machine16):
+        policy = self._policy({"batch": 20000.0})
+        job = _job(0, queue="batch")
+        policy.job_arrived(job, now=0.0)
+        del policy.feed.bounds["batch"]
+        assert policy.select([job], machine16, now=10.0) == [job]
+        assert policy.hold_log[0]["reason"] == "untrained"
+
+    def test_release_is_permanent(self, machine16):
+        policy = self._policy({"batch": 20000.0})
+        job = _job(0, queue="batch")
+        policy.job_arrived(job, now=0.0)
+        policy.feed.bounds["batch"] = 500.0
+        policy.select([job], machine16, now=50.0)
+        policy.feed.bounds["batch"] = 1e9  # pressure returns
+        assert policy.select([job], machine16, now=60.0) == [job]
+
+    def test_no_wakeup_without_holds(self):
+        assert self._policy().next_wakeup(0.0) is None
+
+
+@pytest.fixture
+def machine16():
+    from repro.scheduler.machine import Machine
+
+    return Machine(16)
+
+
+class TestClosedLoopEndToEnd:
+    def test_feed_sees_every_real_job_twice(self):
+        jobs = [_job(i, arrival=200.0 * i, runtime=300.0, procs=8)
+                for i in range(80)]
+        policy = BoundRankedQueuePolicy(
+            feed=ForecastFeed(training_jobs=8), budgets=BUDGETS
+        )
+        simulate(jobs, 16, policy)
+        assert policy.feed.events == 2 * len(jobs)
+        # 80 completed normal-queue jobs clear both the training gate and
+        # BMBP's ~59-sample quotability floor, so the loop must quote.
+        assert policy.bound("normal") is not None

@@ -123,6 +123,16 @@ class TestChecks:
         assert "change_points" in details
         assert details["trials"] > 0
 
+    def test_closed_loop_feedback_closes_the_loop(self):
+        # Coverage at miniature sizes is noisy (a 1800-job scheduler trace
+        # can be one long burst), so pin the mechanism, not the verdict:
+        # the trace must come out of a live predictive run.
+        _, details = conf.check_closed_loop_feedback(MINI)
+        assert details["family"] == "closed-loop-feedback"
+        assert details.get("feed_events", 0) > 0
+        assert details["trials"] > 0
+        assert len(details["per_replay_fraction"]) == MINI.replays
+
     def test_registry_names_are_stable(self):
         # VERIFY.json consumers key on these names.
         assert list(conf.CONFORMANCE_CHECKS) == [
@@ -133,6 +143,7 @@ class TestChecks:
             "harness-detects-undercoverage",
             "baseline-sweep",
             "sketch-quantile-accuracy",
+            "closed-loop-feedback",
         ]
 
     def test_wilson_z_matches_normal_quantile(self):

@@ -29,13 +29,14 @@ class TestCommittedFixtures:
     def test_fixture_files_exist(self):
         names = {p.name for p in golden.golden_dir().iterdir()}
         assert {"trace-ar1.swf", "trace-regime.swf",
-                "golden-ar1.json", "golden-regime.json"} <= names
+                "golden-ar1.json", "golden-regime.json",
+                "sched-jobs.json", "golden-sched.json"} <= names
 
     def test_goldens_match_current_code(self):
         passed, details = golden.verify_goldens()
         assert passed, details.get("divergences")
         assert sorted(details["fixtures"]) == [
-            "golden-ar1.json", "golden-regime.json",
+            "golden-ar1.json", "golden-regime.json", "golden-sched.json",
         ]
 
     def test_regime_fixture_pins_a_change_point(self):
@@ -104,13 +105,60 @@ class TestDiffer:
         assert problems == ["unknown golden schema 'bmbp-golden-v999'"]
 
 
+class TestSchedGolden:
+    @pytest.fixture(scope="class")
+    def sched_recomputed(self):
+        return golden.compute_sched_golden(golden.golden_dir() / "sched-jobs.json")
+
+    def test_pinned_record_matches_current_code(self, sched_recomputed):
+        problems = golden.compare_sched_golden(
+            _pinned("golden-sched.json"), sched_recomputed
+        )
+        assert problems == []
+
+    def test_fixture_pins_the_deepest_predictive_path(self):
+        # The run must actually exercise admission holds, or the golden
+        # would silently stop covering the hold/release arithmetic.
+        pinned = _pinned("golden-sched.json")
+        assert pinned["schema"] == golden.GOLDEN_SCHED_SCHEMA
+        assert pinned["policy"] == "predictive-hold"
+        assert pinned["holds"] > 0
+        assert len(pinned["start_times"]) == pinned["jobs"]
+
+    def test_start_time_drift_is_caught_with_location(self, sched_recomputed):
+        pinned = copy.deepcopy(sched_recomputed)
+        pinned["start_times"][7] += 1e-3
+        problems = golden.compare_sched_golden(pinned, sched_recomputed)
+        assert len(problems) == 1
+        assert "start_times[job 7]" in problems[0]
+
+    def test_last_ulp_noise_is_forgiven(self, sched_recomputed):
+        pinned = copy.deepcopy(sched_recomputed)
+        pinned["start_times"][7] *= 1.0 + 1e-12
+        assert golden.compare_sched_golden(pinned, sched_recomputed) == []
+
+    def test_hold_count_drift_is_caught(self, sched_recomputed):
+        pinned = copy.deepcopy(sched_recomputed)
+        pinned["holds"] += 1
+        problems = golden.compare_sched_golden(pinned, sched_recomputed)
+        assert len(problems) == 1 and "sched.holds" in problems[0]
+
+    def test_fixture_tamper_is_caught_by_sha(self, sched_recomputed):
+        pinned = copy.deepcopy(sched_recomputed)
+        pinned["trace_sha256"] = "0" * 64
+        problems = golden.compare_sched_golden(pinned, sched_recomputed)
+        assert any("fixture changed" in p for p in problems)
+
+
 class TestRegeneration:
     def test_regenerate_round_trips(self, tmp_path):
         """--update-golden on an unchanged tree reproduces the pinned files."""
-        for name in ("trace-ar1.swf", "trace-regime.swf"):
+        for name in ("trace-ar1.swf", "trace-regime.swf", "sched-jobs.json"):
             shutil.copy(golden.golden_dir() / name, tmp_path / name)
         written = golden.regenerate_goldens(tmp_path)
-        assert sorted(written) == ["golden-ar1.json", "golden-regime.json"]
+        assert sorted(written) == [
+            "golden-ar1.json", "golden-regime.json", "golden-sched.json",
+        ]
         for name in written:
             assert json.loads((tmp_path / name).read_text()) == _pinned(name)
 
