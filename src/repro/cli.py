@@ -34,6 +34,7 @@ byte-identical across serial, parallel, and cached runs.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 import traceback
@@ -151,6 +152,9 @@ SERVER_COMMANDS = {
     "bench-route": "replay K sites, score routing regret, write BENCH_route.json",
     "bench-core": "benchmark the replay kernel and write BENCH_core.json",
     "bench-sched": "score bound-aware policies vs an oracle, write BENCH_sched.json",
+    "corpus": "ingest, inspect, and replay archive-scale trace corpora",
+    "bench-corpus": "benchmark the ETL->store->replay path, write BENCH_corpus.json",
+    "archive": "list registered archive logs / verify a downloaded log",
 }
 
 
@@ -944,6 +948,266 @@ def _bench_sched_main(argv: List[str]) -> int:
     return 0
 
 
+def build_corpus_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="bmbp corpus", description=SERVER_COMMANDS["corpus"]
+    )
+    sub = parser.add_subparsers(dest="verb", required=True)
+
+    p_ingest = sub.add_parser(
+        "ingest", help="stream a raw log into a columnar site store"
+    )
+    p_ingest.add_argument("source", help="SWF (.swf/.swf.gz) or Alibaba CSV log")
+    p_ingest.add_argument("dest", help="site store directory to create")
+    p_ingest.add_argument("--site", default=None, help="site name (default: "
+                          "archive key or source stem)")
+    p_ingest.add_argument(
+        "--format", default="auto", choices=["auto", "swf", "alibaba"],
+        help="source adapter (default: inferred from the file name)",
+    )
+    p_ingest.add_argument(
+        "--archive-key", default=None, metavar="KEY",
+        help="registered archive log key supplying the queue-name map",
+    )
+    p_ingest.add_argument(
+        "--skew-tolerance", type=float, default=None, metavar="SECONDS",
+        help="drop records whose submit falls more than this far behind "
+        "the running maximum (default 3600)",
+    )
+    p_ingest.add_argument("--force", action="store_true",
+                          help="replace an existing store")
+
+    p_info = sub.add_parser("info", help="describe a site store")
+    p_info.add_argument("store", help="site store directory")
+    p_info.add_argument("--verify", action="store_true",
+                        help="also recompute per-column checksums")
+
+    p_replay = sub.add_parser(
+        "replay", help="replay a site store through the epoch kernel + bank"
+    )
+    p_replay.add_argument("store", help="site store directory")
+    p_replay.add_argument("--epoch", type=float, default=300.0)
+    p_replay.add_argument(
+        "--methods", default=None, metavar="M1,M2,...",
+        help="comma-separated method subset (default: full bank)",
+    )
+    p_replay.add_argument(
+        "--min-queue-jobs", type=int, default=1000, metavar="N",
+        help="skip queues smaller than this (default %(default)s)",
+    )
+    p_replay.add_argument("--engine", default=None,
+                          choices=["batched", "reference"])
+    p_replay.add_argument("--json", default=None, metavar="PATH",
+                          help="write the replay report to PATH")
+
+    p_fixture = sub.add_parser(
+        "make-fixture",
+        help="generate a deterministic archive-shaped synthetic SWF log",
+    )
+    p_fixture.add_argument("path", help="output .swf.gz path")
+    p_fixture.add_argument("--jobs", type=int, default=250_000)
+    p_fixture.add_argument("--seed", type=int, default=20260808)
+    p_fixture.add_argument("--no-anomalies", action="store_true",
+                           help="omit the injected cleanable anomalies")
+    return parser
+
+
+def _corpus_main(argv: List[str]) -> int:
+    import json as json_mod
+
+    from repro.corpus import (
+        CorpusError, CorpusStore, generate_corpus_fixture, ingest,
+        replay_store,
+    )
+
+    args = build_corpus_parser().parse_args(argv)
+    try:
+        if args.verb == "ingest":
+            kwargs = {}
+            if args.skew_tolerance is not None:
+                kwargs["clock_skew_tolerance"] = args.skew_tolerance
+            store, stats = ingest(
+                args.source, args.dest, site=args.site, fmt=args.format,
+                archive_key=args.archive_key, force=args.force, **kwargs,
+            )
+            drops = sum(stats.drops.values())
+            print(
+                f"{store.site}: kept {stats.kept:,} of {stats.read:,} records "
+                f"({drops:,} dropped) at {stats.rows_per_s:,.0f} rows/s -> "
+                f"{store.path}"
+            )
+            for reason, count in sorted(stats.drops.items()):
+                print(f"  dropped {count:,}: {reason}")
+            return 0
+        if args.verb == "info":
+            store = CorpusStore(args.store)
+            info = store.describe()
+            if args.verify:
+                info["checksums"] = store.verify()
+            print(json_mod.dumps(info, indent=2, sort_keys=True))
+            return 0 if not args.verify or info["checksums"]["ok"] else 1
+        if args.verb == "replay":
+            store = CorpusStore(args.store)
+            methods = args.methods.split(",") if args.methods else None
+            report = replay_store(
+                store, epoch=args.epoch, methods=methods,
+                min_queue_jobs=args.min_queue_jobs, engine=args.engine,
+            )
+            if args.json:
+                with open(args.json, "w") as fh:
+                    json_mod.dump(report, fh, indent=2, sort_keys=True)
+            for queue in sorted(report["queues"]):
+                row = report["queues"][queue]
+                if row.get("skipped"):
+                    print(f"{queue}: {row['jobs']} jobs (skipped, < "
+                          f"{args.min_queue_jobs})")
+                    continue
+                cov = row.get("coverage")
+                if cov:
+                    print(
+                        f"{queue}: {row['jobs']:,} jobs, bmbp coverage "
+                        f"{cov['fraction']:.4f} (Wilson "
+                        f"[{cov['wilson_low']:.4f}, {cov['wilson_high']:.4f}]) "
+                        f"{'PASS' if cov['passed'] else 'FAIL'}"
+                    )
+                else:
+                    print(f"{queue}: {row['jobs']:,} jobs")
+            print(
+                f"{report['site']}: replayed {report['jobs_replayed']:,} jobs "
+                f"at {report['jobs_per_s']:,.0f} jobs/s "
+                f"({len(report['methods'])} methods)"
+            )
+            return 0 if report["coverage_pass"] else 1
+        if args.verb == "make-fixture":
+            summary = generate_corpus_fixture(
+                args.path, jobs=args.jobs, seed=args.seed,
+                anomalies=not args.no_anomalies,
+            )
+            print(
+                f"wrote {summary.records:,} records ({summary.jobs:,} valid, "
+                f"anomalies {summary.anomalies}) to {summary.path}"
+            )
+            return 0
+    except CorpusError as exc:
+        print(f"corpus: {exc}", file=sys.stderr)
+        return 1
+    raise AssertionError(f"unhandled corpus verb {args.verb!r}")
+
+
+def build_bench_corpus_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="bmbp bench-corpus", description=SERVER_COMMANDS["bench-corpus"]
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI variant: one small synthetic site; assert the ingest floor "
+        "(BMBP_BENCH_MIN_CORPUS_INGEST, default 20000 rows/s) and per-queue "
+        "(0.95, 0.95) coverage",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="override jobs per synthetic site (default: 650k+400k, "
+        "smoke: 60k)",
+    )
+    parser.add_argument("--epoch", type=float, default=300.0)
+    parser.add_argument(
+        "--workdir", default=None, metavar="DIR",
+        help="keep fixtures and stores here instead of a temp directory",
+    )
+    parser.add_argument(
+        "--json", default="BENCH_corpus.json", metavar="PATH",
+        help="benchmark artifact path (default %(default)s)",
+    )
+    return parser
+
+
+def _bench_corpus_main(argv: List[str]) -> int:
+    from repro.corpus.replay import run_corpus_bench
+
+    args = build_bench_corpus_parser().parse_args(argv)
+    try:
+        report = run_corpus_bench(
+            smoke=args.smoke, jobs=args.jobs, epoch=args.epoch,
+            workdir=args.workdir, keep=args.workdir is not None,
+            artifact=args.json,
+        )
+    except AssertionError as exc:
+        print(f"bench-corpus: FAILED — {exc}", file=sys.stderr)
+        return 1
+    for site in report["sites"]:
+        ing, st, rep = site["ingest"], site["store"], site["replay"]
+        print(
+            f"{site['site']}: ingest {ing['read']:,} rows at "
+            f"{ing['rows_per_s']:,.0f} rows/s; store "
+            f"{st['store_bytes']:,} B ({st['store_vs_raw']:.2f}x raw); "
+            f"replay {rep['jobs_replayed']:,} jobs at "
+            f"{rep['jobs_per_s']:,.0f} jobs/s"
+        )
+        for queue in sorted(rep["queues"]):
+            cov = rep["queues"][queue].get("coverage")
+            if cov:
+                print(
+                    f"  {queue}: coverage {cov['fraction']:.4f} "
+                    f"[{cov['wilson_low']:.4f}, {cov['wilson_high']:.4f}] "
+                    f"{'PASS' if cov['passed'] else 'FAIL'}"
+                )
+    summary = report["summary"]
+    print(
+        f"total: {summary['jobs_replayed']:,} jobs replayed at "
+        f"{summary['replay_jobs_per_s']:,.0f} jobs/s; ingest "
+        f"{summary['ingest_rows_per_s']:,.0f} rows/s; coverage "
+        f"{'PASS' if summary['coverage_pass'] else 'FAIL'}"
+    )
+    print(f"[bmbp] corpus benchmark written to {args.json}", file=sys.stderr)
+    return 0
+
+
+def build_archive_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="bmbp archive", description=SERVER_COMMANDS["archive"]
+    )
+    sub = parser.add_subparsers(dest="verb", required=True)
+    sub.add_parser("list", help="list registered archive logs with URLs")
+    p_verify = sub.add_parser(
+        "verify", help="check a downloaded log's checksum and header "
+        "against the registry",
+    )
+    p_verify.add_argument("path", help="downloaded .swf/.swf.gz file")
+    p_verify.add_argument(
+        "--key", default=None, metavar="KEY",
+        help="registry key (default: inferred from the filename)",
+    )
+    return parser
+
+
+def _archive_main(argv: List[str]) -> int:
+    from repro.workloads.archive import describe_archive, verify_archive_file
+
+    args = build_archive_parser().parse_args(argv)
+    if args.verb == "list":
+        try:
+            print(describe_archive())
+        except BrokenPipeError:  # e.g. `bmbp archive list | head`
+            os.close(sys.stdout.fileno())
+        return 0
+    report = verify_archive_file(args.path, key=args.key)
+    print(f"{report['path']}: sha256 {report['sha256']}")
+    print(f"  registry key: {report['key'] or '(none matched)'}")
+    print(f"  checksum: {report['checksum']}")
+    header = report.get("header", {})
+    known = {k: v for k, v in header.items() if k != "queues" and v is not None}
+    if known:
+        print(f"  header: {known}")
+    if header.get("queues"):
+        print(f"  header queues: {len(header['queues'])}")
+    for warning in report["warnings"]:
+        print(f"  warning: {warning}")
+    if not report["ok"]:
+        print("archive verify: FAILED (checksum mismatch)", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -959,6 +1223,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             "bench-route": _bench_route_main,
             "bench-core": _bench_core_main,
             "bench-sched": _bench_sched_main,
+            "corpus": _corpus_main,
+            "bench-corpus": _bench_corpus_main,
+            "archive": _archive_main,
         }
         return dispatch[argv[0]](list(argv[1:]))
     args = build_parser().parse_args(argv)

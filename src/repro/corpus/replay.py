@@ -1,0 +1,273 @@
+"""Million-job replays of corpus stores through the epoch-batched kernel.
+
+:func:`replay_store` drives a whole site — every queue above a minimum
+size — through the epoch-batched replay kernel with the full 9-method
+bank (or any subset), producing per-queue coverage rows for the paper's
+(q=0.95, C=0.95) claim: a queue's BMBP row *passes* when the Wilson
+upper bound on its empirical fraction-correct reaches the target
+quantile (the same acceptance rule as the conformance harness).
+
+:func:`run_corpus_bench` is the ``bmbp bench-corpus`` entry point.  It
+generates archive-shaped fixtures (real logs are not committed), then
+measures the full path end to end:
+
+* **ingest rows/s** — streaming gzip ETL into the columnar store;
+* **store size vs raw** — column bytes vs compressed source bytes;
+* **replay jobs/s** — jobs pushed through the epoch kernel and bank at
+  million-job scale (full mode replays >= 1M jobs across two sites);
+* **per-site coverage table** — the (0.95, 0.95) rows per queue.
+
+Smoke mode (CI) shrinks the fixture and enforces the
+``BMBP_BENCH_MIN_CORPUS_INGEST`` floor plus coverage passes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.corpus import fixtures as fixtures_mod
+from repro.corpus.etl import ingest
+from repro.corpus.store import CorpusError, CorpusStore, CorpusView
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "MIN_CORPUS_INGEST",
+    "replay_store",
+    "run_corpus_bench",
+]
+
+BENCH_SCHEMA = "bmbp-bench-corpus/1"
+
+#: CI floor on streaming ingest throughput (rows/s); override with the
+#: BMBP_BENCH_MIN_CORPUS_INGEST environment variable.
+MIN_CORPUS_INGEST = float(os.environ.get("BMBP_BENCH_MIN_CORPUS_INGEST", "20000"))
+
+#: Queues smaller than this are skipped in store replays (mirrors the
+#: paper's minimum-cell rule, scaled for archive-size logs).
+DEFAULT_MIN_QUEUE_JOBS = 1000
+
+_BENCH_SITES_FULL = (
+    ("syn-par", 650_000, 20260808),
+    ("syn-sp2", 400_000, 20260809),
+)
+_BENCH_SITES_SMOKE = (("syn-smoke", 60_000, 20260808),)
+
+
+def replay_store(
+    store: Union[CorpusStore, CorpusView],
+    *,
+    epoch: float = 300.0,
+    methods: Optional[Sequence[str]] = None,
+    min_queue_jobs: int = DEFAULT_MIN_QUEUE_JOBS,
+    engine: Optional[str] = None,
+    refit_mode: str = "incremental",
+) -> Dict[str, Any]:
+    """Replay every sufficiently large queue of a site, scoring coverage.
+
+    Returns a JSON-friendly report::
+
+        {site, rows, jobs_replayed, seconds, jobs_per_s, methods,
+         queues: {name: {jobs, methods: {m: {evaluated, fraction_correct,
+                                             median_ratio}},
+                         coverage: {quantile, confidence, evaluated,
+                                    correct, fraction, wilson_low,
+                                    wilson_high, passed}}},
+         coverage_pass: bool}
+
+    The per-queue ``coverage`` row scores the BMBP method against the
+    (0.95, 0.95) claim with the Wilson acceptance rule.
+    """
+    from repro.simulator.replay import ReplayConfig, replay
+    from repro.verify import conformance
+
+    view = store.view() if isinstance(store, CorpusStore) else store
+    site = getattr(store, "site", view.name)
+    config = ReplayConfig(epoch=epoch)
+    report: Dict[str, Any] = {
+        "site": site,
+        "rows": len(view),
+        "queues": {},
+        "methods": [],
+        "jobs_replayed": 0,
+        "min_queue_jobs": min_queue_jobs,
+    }
+    started = time.perf_counter()
+    all_pass = True
+    for queue in view.queues():
+        qview = view.by_queue(queue)
+        if len(qview) < min_queue_jobs:
+            report["queues"][queue] = {"jobs": len(qview), "skipped": True}
+            continue
+        bank = conformance.make_bank(refit_mode)
+        if methods:
+            bank = {m: bank[m] for m in methods}
+        if not report["methods"]:
+            report["methods"] = sorted(bank)
+        results = replay(qview, bank, config, engine=engine)
+        qrep: Dict[str, Any] = {"jobs": len(qview), "methods": {}}
+        for name in sorted(results):
+            res = results[name]
+            qrep["methods"][name] = {
+                "evaluated": res.n_evaluated,
+                "fraction_correct": round(res.fraction_correct, 5),
+                "median_ratio": round(res.median_ratio, 5),
+            }
+        bmbp = results.get("bmbp")
+        if bmbp is not None and bmbp.n_evaluated:
+            low, high = conformance.wilson_interval(
+                bmbp.n_correct, bmbp.n_evaluated, conformance.CONFIDENCE
+            )
+            passed = high >= conformance.QUANTILE
+            qrep["coverage"] = {
+                "quantile": conformance.QUANTILE,
+                "confidence": conformance.CONFIDENCE,
+                "evaluated": bmbp.n_evaluated,
+                "correct": bmbp.n_correct,
+                "fraction": round(bmbp.fraction_correct, 5),
+                "wilson_low": round(low, 5),
+                "wilson_high": round(high, 5),
+                "passed": passed,
+            }
+            all_pass = all_pass and passed
+        report["jobs_replayed"] += len(qview)
+        report["queues"][queue] = qrep
+    report["seconds"] = round(time.perf_counter() - started, 3)
+    report["jobs_per_s"] = round(
+        report["jobs_replayed"] / report["seconds"], 1
+    ) if report["seconds"] > 0 else 0.0
+    report["coverage_pass"] = all_pass
+    return report
+
+
+def _bench_site(
+    workdir: Path,
+    name: str,
+    jobs: int,
+    seed: int,
+    *,
+    epoch: float,
+    min_queue_jobs: int,
+) -> Dict[str, Any]:
+    """Generate -> ingest -> replay one synthetic site; return its rows."""
+    log_path = workdir / f"{name}.swf.gz"
+    t0 = time.perf_counter()
+    summary = fixtures_mod.generate_corpus_fixture(log_path, jobs=jobs, seed=seed)
+    generate_s = time.perf_counter() - t0
+
+    store_path = workdir / name
+    store, stats = ingest(log_path, store_path, site=name, force=True)
+    raw_bytes = log_path.stat().st_size
+    store_bytes = store.nbytes()
+
+    replay_report = replay_store(
+        store, epoch=epoch, min_queue_jobs=min_queue_jobs
+    )
+    return {
+        "site": name,
+        "fixture": {
+            "jobs": summary.jobs,
+            "records": summary.records,
+            "anomalies": summary.anomalies,
+            "seed": seed,
+            "generate_seconds": round(generate_s, 3),
+        },
+        "ingest": stats.as_dict(),
+        "store": {
+            "rows": store.rows,
+            "raw_bytes": raw_bytes,
+            "store_bytes": store_bytes,
+            "bytes_per_row": round(store_bytes / max(store.rows, 1), 2),
+            "store_vs_raw": round(store_bytes / max(raw_bytes, 1), 3),
+        },
+        "replay": replay_report,
+    }
+
+
+def run_corpus_bench(
+    *,
+    smoke: bool = False,
+    jobs: Optional[int] = None,
+    epoch: float = 300.0,
+    workdir: Optional[Union[str, Path]] = None,
+    keep: bool = False,
+    artifact: Optional[Union[str, Path]] = "BENCH_corpus.json",
+) -> Dict[str, Any]:
+    """The ``bmbp bench-corpus`` driver.
+
+    Full mode replays >= 1M jobs across two synthetic sites through the
+    full bank; smoke mode runs one small site and enforces the ingest
+    floor and per-queue coverage.  Writes ``artifact`` (unless None) and
+    returns the report.
+    """
+    sites = list(_BENCH_SITES_SMOKE if smoke else _BENCH_SITES_FULL)
+    if jobs is not None:
+        sites = [(name, jobs, seed) for name, _, seed in sites]
+    own_workdir = workdir is None
+    workdir = Path(workdir) if workdir else Path(
+        tempfile.mkdtemp(prefix="bmbp-bench-corpus-")
+    )
+    workdir.mkdir(parents=True, exist_ok=True)
+    min_queue = 200 if smoke else DEFAULT_MIN_QUEUE_JOBS
+    report: Dict[str, Any] = {
+        "schema": BENCH_SCHEMA,
+        "smoke": smoke,
+        "created_unix": time.time(),
+        "cpu_count": os.cpu_count(),
+        "config": {
+            "epoch": epoch,
+            "min_queue_jobs": min_queue,
+            "sites": [{"site": n, "jobs": j, "seed": s} for n, j, s in sites],
+        },
+        "sites": [],
+    }
+    try:
+        for name, njobs, seed in sites:
+            report["sites"].append(_bench_site(
+                workdir, name, njobs, seed,
+                epoch=epoch, min_queue_jobs=min_queue,
+            ))
+    finally:
+        if own_workdir and not keep:
+            shutil.rmtree(workdir, ignore_errors=True)
+
+    total_replayed = sum(s["replay"]["jobs_replayed"] for s in report["sites"])
+    total_replay_s = sum(s["replay"]["seconds"] for s in report["sites"])
+    total_read = sum(s["ingest"]["read"] for s in report["sites"])
+    total_ingest_s = sum(s["ingest"]["seconds"] for s in report["sites"])
+    report["summary"] = {
+        "jobs_replayed": total_replayed,
+        "replay_jobs_per_s": round(total_replayed / total_replay_s, 1)
+        if total_replay_s else 0.0,
+        "ingest_rows_per_s": round(total_read / total_ingest_s, 1)
+        if total_ingest_s else 0.0,
+        "coverage_pass": all(
+            s["replay"]["coverage_pass"] for s in report["sites"]
+        ),
+    }
+
+    if artifact:
+        Path(artifact).write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n"
+        )
+
+    ingest_rate = report["summary"]["ingest_rows_per_s"]
+    assert ingest_rate >= MIN_CORPUS_INGEST, (
+        f"corpus ingest {ingest_rate:.0f} rows/s is below the floor "
+        f"{MIN_CORPUS_INGEST:.0f}; override with BMBP_BENCH_MIN_CORPUS_INGEST"
+    )
+    assert report["summary"]["coverage_pass"], (
+        "per-queue (0.95, 0.95) coverage failed on a synthetic site; "
+        "see the per-site coverage tables in the artifact"
+    )
+    if not smoke:
+        assert total_replayed >= 1_000_000, (
+            f"full bench replayed only {total_replayed} jobs; the 1M-job "
+            f"scale claim requires >= 1,000,000 (pass --jobs to raise)"
+        )
+    return report

@@ -1,0 +1,505 @@
+"""Columnar memmap trace store: one directory per site.
+
+Layout
+------
+::
+
+    <site-dir>/
+        manifest.json   row count, column dtypes + sha256, source checksum,
+                        queue-id -> name map, ETL version + drop ledger
+        submit.f8       float64  submit timestamps (sorted ascending)
+        wait.f8         float64  queue waits (seconds)
+        runtime.f8      float64  runtimes (seconds; -1 = missing)
+        procs.i4        int32    processor width
+        queue.i4        int32    queue id (manifest maps id -> name)
+        class.i4        int32    processor-bin class id (workloads.bins)
+
+Column files are raw little-endian arrays, loadable with ``np.memmap``
+without reading them into RAM: opening a 10M-row site costs a few pages,
+and time-range slicing (``searchsorted`` on the sorted submit column plus
+a basic slice) stays zero-copy.  Queue filtering necessarily materializes
+(boolean fancy-indexing), which is documented, not accidental.
+
+``wait`` is stored instead of the raw ``start`` timestamp so that the
+replay kernel's hot arrays (``submit_times``, ``waits``) are direct
+memmap views; ``start = submit + wait`` is exposed as a derived column.
+
+Writing goes through :class:`ColumnWriter` into a temporary directory
+that is promoted with a single ``os.replace`` — a crashed ingest leaves
+either no store or a complete one, never a torn directory.  Loading
+validates the manifest schema and that every column file's byte size
+equals ``rows * itemsize``; a truncated or corrupt file is a
+:class:`CorpusError`, not garbage bounds.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+import tempfile
+import time
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.workloads.trace import Job, Trace
+
+__all__ = [
+    "COLUMNS",
+    "STORE_SCHEMA",
+    "ColumnWriter",
+    "CorpusError",
+    "CorpusStore",
+    "CorpusView",
+]
+
+STORE_SCHEMA = "bmbp-corpus-store/1"
+ETL_VERSION = 1
+
+#: name -> (dtype string, file name). Order is the canonical column order.
+COLUMNS: Tuple[Tuple[str, str, str], ...] = (
+    ("submit", "<f8", "submit.f8"),
+    ("wait", "<f8", "wait.f8"),
+    ("runtime", "<f8", "runtime.f8"),
+    ("procs", "<i4", "procs.i4"),
+    ("queue", "<i4", "queue.i4"),
+    ("class", "<i4", "class.i4"),
+)
+
+_COLUMN_INFO = {name: (dtype, fname) for name, dtype, fname in COLUMNS}
+
+MANIFEST_NAME = "manifest.json"
+
+
+class CorpusError(RuntimeError):
+    """A corpus store is missing, malformed, truncated, or corrupt."""
+
+
+def _sha256_file(path: Path, chunk: int = 1 << 20) -> str:
+    h = hashlib.sha256()
+    with open(path, "rb") as fh:
+        while True:
+            block = fh.read(chunk)
+            if not block:
+                break
+            h.update(block)
+    return h.hexdigest()
+
+
+class ColumnWriter:
+    """Streaming, chunk-at-a-time writer for one site directory.
+
+    Appends fixed-dtype chunks to column files inside a private temp
+    directory; :meth:`finalize` sorts by submit if needed, writes the
+    manifest, and atomically promotes the temp directory to ``dest``.
+    Memory use is O(chunk), independent of total rows (the optional
+    finalize-time resort costs one O(rows) permutation, still independent
+    of the raw text size).
+    """
+
+    def __init__(self, dest: Union[str, Path], site: str) -> None:
+        self.dest = Path(dest)
+        self.site = site
+        self.rows = 0
+        self._last_submit = -np.inf
+        self._sorted = True
+        self.dest.parent.mkdir(parents=True, exist_ok=True)
+        self._tmp = Path(
+            tempfile.mkdtemp(prefix=f".{self.dest.name}.tmp-", dir=self.dest.parent)
+        )
+        self._handles = {
+            name: open(self._tmp / fname, "wb") for name, _, fname in COLUMNS
+        }
+        self._closed = False
+
+    def append(self, chunk: Dict[str, np.ndarray]) -> None:
+        """Write one chunk; every canonical column must be present."""
+        n = len(chunk["submit"])
+        for name, dtype, _ in COLUMNS:
+            arr = np.ascontiguousarray(chunk[name], dtype=np.dtype(dtype))
+            if len(arr) != n:
+                raise CorpusError(f"ragged chunk: column {name!r} has "
+                                  f"{len(arr)} rows, expected {n}")
+            self._handles[name].write(arr.tobytes())
+        if n:
+            sub = np.asarray(chunk["submit"], dtype=np.float64)
+            if sub[0] < self._last_submit or np.any(np.diff(sub) < 0):
+                self._sorted = False
+            self._last_submit = float(sub[-1])
+            self.rows += n
+
+    def abort(self) -> None:
+        """Drop the temp directory (best effort)."""
+        self._close_handles()
+        shutil.rmtree(self._tmp, ignore_errors=True)
+
+    def _close_handles(self) -> None:
+        if not self._closed:
+            for fh in self._handles.values():
+                fh.flush()
+                os.fsync(fh.fileno())
+                fh.close()
+            self._closed = True
+
+    def finalize(
+        self,
+        *,
+        source: Optional[Dict[str, Any]] = None,
+        etl: Optional[Dict[str, Any]] = None,
+        queue_names: Optional[Dict[int, str]] = None,
+        class_labels: Optional[Sequence[str]] = None,
+        force: bool = False,
+        _pre_replace_hook: Optional[Any] = None,
+    ) -> Path:
+        """Sort, write the manifest, and atomically promote to ``dest``."""
+        self._close_handles()
+        resorted = False
+        if not self._sorted and self.rows:
+            self._resort()
+            resorted = True
+        columns: Dict[str, Dict[str, Any]] = {}
+        t0 = t1 = None
+        for name, dtype, fname in COLUMNS:
+            fpath = self._tmp / fname
+            columns[name] = {
+                "dtype": dtype,
+                "file": fname,
+                "sha256": _sha256_file(fpath),
+            }
+        if self.rows:
+            sub = np.memmap(self._tmp / "submit.f8", dtype="<f8", mode="r")
+            t0, t1 = float(sub[0]), float(sub[-1])
+            del sub
+        manifest = {
+            "schema": STORE_SCHEMA,
+            "site": self.site,
+            "rows": self.rows,
+            "columns": columns,
+            "queue_names": {str(k): v for k, v in (queue_names or {}).items()},
+            "class_labels": list(class_labels or ()),
+            "source": source or {},
+            "etl": dict(etl or {}, version=ETL_VERSION, resorted=resorted),
+            "time_range": [t0, t1],
+            "created_unix": time.time(),
+        }
+        mpath = self._tmp / MANIFEST_NAME
+        with open(mpath, "w") as fh:
+            json.dump(manifest, fh, indent=2, sort_keys=True)
+            fh.flush()
+            os.fsync(fh.fileno())
+        if _pre_replace_hook is not None:
+            _pre_replace_hook()
+        if self.dest.exists():
+            if not force:
+                self.abort()
+                raise CorpusError(f"store already exists: {self.dest} "
+                                  f"(pass force=True / --force to replace)")
+            shutil.rmtree(self.dest)
+        os.replace(self._tmp, self.dest)
+        return self.dest
+
+    def _resort(self) -> None:
+        """Stable-sort all columns by submit time, in the temp dir."""
+        submit = np.fromfile(self._tmp / "submit.f8", dtype="<f8")
+        order = np.argsort(submit, kind="stable")
+        for name, dtype, fname in COLUMNS:
+            fpath = self._tmp / fname
+            data = np.fromfile(fpath, dtype=np.dtype(dtype))
+            data[order].tofile(fpath)
+
+
+class CorpusView:
+    """A slice of a corpus store, duck-typed to ``workloads.Trace``.
+
+    Implements the exact protocol the replay kernel consumes —
+    ``submit_times`` / ``waits`` / ``procs`` array properties, ``len``,
+    indexing/iteration yielding :class:`Job`, ``queues()``, ``by_queue()``
+    and ``time_slice()`` — so a memmap-backed view feeds ``replay()``
+    unchanged.  Views produced by time slicing are zero-copy (basic
+    slices of the store's memmaps); ``by_queue`` materializes.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        submit: np.ndarray,
+        wait: np.ndarray,
+        runtime: np.ndarray,
+        procs: np.ndarray,
+        queue: np.ndarray,
+        cls: np.ndarray,
+        queue_names: Dict[int, str],
+    ) -> None:
+        self.name = name
+        self._submit = submit
+        self._wait = wait
+        self._runtime = runtime
+        self._procs = procs
+        self._queue = queue
+        self._class = cls
+        self._queue_names = dict(queue_names)
+
+    # -- array protocol (hot path) ------------------------------------
+    @property
+    def submit_times(self) -> np.ndarray:
+        return self._submit
+
+    @property
+    def waits(self) -> np.ndarray:
+        return self._wait
+
+    @property
+    def procs(self) -> np.ndarray:
+        return self._procs
+
+    @property
+    def runtimes(self) -> np.ndarray:
+        return self._runtime
+
+    @property
+    def start_times(self) -> np.ndarray:
+        """Derived ``submit + wait`` (materializes a new array)."""
+        return self._submit + self._wait
+
+    @property
+    def queue_ids(self) -> np.ndarray:
+        return self._queue
+
+    @property
+    def class_ids(self) -> np.ndarray:
+        return self._class
+
+    @property
+    def queue_names(self) -> Dict[int, str]:
+        return dict(self._queue_names)
+
+    def is_memmap_backed(self) -> bool:
+        """True when the hot columns are memmap-backed (zero-copy)."""
+
+        def _backed(arr: np.ndarray) -> bool:
+            base = arr
+            while base is not None:
+                if isinstance(base, np.memmap):
+                    return True
+                base = getattr(base, "base", None)
+            return False
+
+        return bool(len(self)) and all(
+            _backed(a) for a in (self._submit, self._wait, self._procs)
+        )
+
+    # -- Trace protocol -----------------------------------------------
+    def __len__(self) -> int:
+        return int(self._submit.shape[0])
+
+    def _job(self, i: int) -> Job:
+        qid = int(self._queue[i])
+        rt = float(self._runtime[i])
+        return Job(
+            submit_time=float(self._submit[i]),
+            wait=float(self._wait[i]),
+            procs=max(int(self._procs[i]), 1),
+            queue=self._queue_names.get(qid, str(qid)),
+            runtime=None if rt < 0 else rt,
+        )
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self._job(i) for i in range(*index.indices(len(self)))]
+        i = int(index)
+        if i < 0:
+            i += len(self)
+        if not 0 <= i < len(self):
+            raise IndexError(index)
+        return self._job(i)
+
+    def __iter__(self) -> Iterator[Job]:
+        for i in range(len(self)):
+            yield self._job(i)
+
+    def queues(self) -> List[str]:
+        ids = np.unique(np.asarray(self._queue))
+        return sorted(self._queue_names.get(int(q), str(int(q))) for q in ids)
+
+    def _queue_id(self, queue: Union[str, int]) -> int:
+        if isinstance(queue, (int, np.integer)):
+            return int(queue)
+        for qid, name in self._queue_names.items():
+            if name == queue:
+                return qid
+        try:
+            return int(queue)
+        except ValueError:
+            raise KeyError(f"unknown queue {queue!r}; have "
+                           f"{sorted(self._queue_names.values())}")
+
+    def by_queue(self, queue: Union[str, int]) -> "CorpusView":
+        """Materialized single-queue view (fancy indexing copies)."""
+        qid = self._queue_id(queue)
+        mask = np.asarray(self._queue) == qid
+        name = self._queue_names.get(qid, str(qid))
+        return CorpusView(
+            f"{self.name}/{name}",
+            np.asarray(self._submit)[mask],
+            np.asarray(self._wait)[mask],
+            np.asarray(self._runtime)[mask],
+            np.asarray(self._procs)[mask],
+            np.asarray(self._queue)[mask],
+            np.asarray(self._class)[mask],
+            self._queue_names,
+        )
+
+    def time_slice(self, start: float, end: float) -> "CorpusView":
+        """Zero-copy view of jobs with ``start <= submit < end``."""
+        lo = int(np.searchsorted(self._submit, start, side="left"))
+        hi = int(np.searchsorted(self._submit, end, side="left"))
+        return CorpusView(
+            f"{self.name}[{start:g}:{end:g}]",
+            self._submit[lo:hi],
+            self._wait[lo:hi],
+            self._runtime[lo:hi],
+            self._procs[lo:hi],
+            self._queue[lo:hi],
+            self._class[lo:hi],
+            self._queue_names,
+        )
+
+    def head(self, n: int) -> "CorpusView":
+        """Zero-copy view of the first ``n`` jobs."""
+        return CorpusView(
+            f"{self.name}[:{n}]",
+            self._submit[:n], self._wait[:n], self._runtime[:n],
+            self._procs[:n], self._queue[:n], self._class[:n],
+            self._queue_names,
+        )
+
+    def to_trace(self) -> Trace:
+        """Materialize as an in-memory ``workloads.Trace``."""
+        return Trace(jobs=[self._job(i) for i in range(len(self))],
+                     name=self.name)
+
+
+class CorpusStore:
+    """Read-side handle on one site directory (zero-copy memmap loads)."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        mpath = self.path / MANIFEST_NAME
+        if not mpath.is_file():
+            raise CorpusError(f"not a corpus store (no {MANIFEST_NAME}): "
+                              f"{self.path}")
+        try:
+            with open(mpath) as fh:
+                self.manifest: Dict[str, Any] = json.load(fh)
+        except (OSError, ValueError) as exc:
+            raise CorpusError(f"unreadable manifest in {self.path}: {exc}")
+        if self.manifest.get("schema") != STORE_SCHEMA:
+            raise CorpusError(
+                f"manifest schema {self.manifest.get('schema')!r} != "
+                f"{STORE_SCHEMA!r} in {self.path}")
+        self.rows = int(self.manifest.get("rows", -1))
+        if self.rows < 0:
+            raise CorpusError(f"manifest missing row count in {self.path}")
+        self.site = str(self.manifest.get("site", self.path.name))
+        self.queue_names: Dict[int, str] = {
+            int(k): str(v)
+            for k, v in self.manifest.get("queue_names", {}).items()
+        }
+        self._columns: Dict[str, np.ndarray] = {}
+        for name, dtype, fname in COLUMNS:
+            meta = self.manifest.get("columns", {}).get(name)
+            if meta is None:
+                raise CorpusError(f"manifest missing column {name!r} in "
+                                  f"{self.path}")
+            if meta.get("dtype") != dtype:
+                raise CorpusError(
+                    f"column {name!r} dtype {meta.get('dtype')!r} != expected "
+                    f"{dtype!r} in {self.path}")
+            fpath = self.path / meta.get("file", fname)
+            if not fpath.is_file():
+                raise CorpusError(f"missing column file {fpath}")
+            expect = self.rows * np.dtype(dtype).itemsize
+            actual = fpath.stat().st_size
+            if actual != expect:
+                raise CorpusError(
+                    f"column file {fpath.name} is {actual} bytes, expected "
+                    f"{expect} ({self.rows} rows x "
+                    f"{np.dtype(dtype).itemsize}B): truncated or corrupt "
+                    f"store at {self.path}")
+            if self.rows:
+                self._columns[name] = np.memmap(fpath, dtype=dtype, mode="r")
+            else:
+                self._columns[name] = np.empty(0, dtype=dtype)
+
+    def column(self, name: str) -> np.ndarray:
+        """The raw memmap'd column (read-only)."""
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise CorpusError(f"unknown column {name!r}; have "
+                              f"{sorted(self._columns)}")
+
+    def nbytes(self) -> int:
+        """Total size of the column files on disk."""
+        return sum(
+            (self.path / fname).stat().st_size for _, _, fname in COLUMNS
+        )
+
+    def verify(self) -> Dict[str, Any]:
+        """Recompute per-column checksums against the manifest."""
+        report: Dict[str, Any] = {"ok": True, "columns": {}}
+        for name, _, fname in COLUMNS:
+            recorded = self.manifest["columns"][name].get("sha256")
+            actual = _sha256_file(self.path / fname)
+            match = recorded == actual
+            report["columns"][name] = {
+                "recorded": recorded, "actual": actual, "match": match,
+            }
+            if not match:
+                report["ok"] = False
+        return report
+
+    def view(self) -> CorpusView:
+        """Whole-site zero-copy view (feeds ``replay()`` directly)."""
+        return CorpusView(
+            self.site,
+            self._columns["submit"],
+            self._columns["wait"],
+            self._columns["runtime"],
+            self._columns["procs"],
+            self._columns["queue"],
+            self._columns["class"],
+            self.queue_names,
+        )
+
+    def queues(self) -> List[str]:
+        return self.view().queues()
+
+    def time_range(self) -> Tuple[Optional[float], Optional[float]]:
+        tr = self.manifest.get("time_range") or [None, None]
+        return (tr[0], tr[1])
+
+    def describe(self) -> Dict[str, Any]:
+        """A JSON-friendly summary for ``bmbp corpus info``."""
+        etl = self.manifest.get("etl", {})
+        queue_counts: Dict[str, int] = {}
+        if self.rows:
+            ids, counts = np.unique(
+                np.asarray(self._columns["queue"]), return_counts=True
+            )
+            for qid, cnt in zip(ids, counts):
+                qname = self.queue_names.get(int(qid), str(int(qid)))
+                queue_counts[qname] = int(cnt)
+        return {
+            "site": self.site,
+            "path": str(self.path),
+            "rows": self.rows,
+            "store_bytes": self.nbytes(),
+            "time_range": list(self.time_range()),
+            "queues": queue_counts,
+            "source": self.manifest.get("source", {}),
+            "etl": etl,
+        }

@@ -599,6 +599,82 @@ def check_closed_loop_feedback(tier: TierParams) -> Tuple[bool, Dict[str, Any]]:
     return passed, details
 
 
+def check_real_trace_corpus(tier: TierParams) -> Tuple[bool, Dict[str, Any]]:
+    """Coverage on the full raw-log path: ETL -> columnar store -> replay.
+
+    Every other family feeds the predictor synthetic arrays directly.
+    This one exercises the pipeline a *real* archive log takes: an
+    archive-shaped SWF file (multi-queue, seeded anomalies, partial
+    records) is generated, streamed through the ETL cleaning pass into a
+    memmap store, and the store's zero-copy view is replayed per queue
+    through the epoch kernel.  Pooled dynamic coverage must reach q, and
+    the check additionally asserts the plumbing facts the corpus claims:
+    the drop ledger equals the fixture's injected anomaly counts exactly
+    (cleaning is counted, never silent), the kept row count survives the
+    store round-trip, and the replayed views are ``np.memmap``-backed.
+    """
+    import tempfile
+    from pathlib import Path
+
+    from repro.corpus import etl as corpus_etl
+    from repro.corpus import fixtures as corpus_fixtures
+    from repro.simulator.replay import ReplayConfig, replay_single
+
+    n_jobs = max(4 * tier.replay_jobs, 8000)
+    correct = evaluated = 0
+    per_queue: Dict[str, float] = {}
+    with tempfile.TemporaryDirectory(prefix="bmbp-conf-corpus-") as td:
+        log_path = Path(td) / "fixture.swf.gz"
+        summary = corpus_fixtures.generate_corpus_fixture(
+            log_path, jobs=n_jobs, seed=tier.seed + 900
+        )
+        store, stats = corpus_etl.ingest(log_path, Path(td) / "site")
+        expected = corpus_fixtures.expected_drops(summary)
+        if dict(stats.drops) != expected:
+            return False, {
+                "family": "real-trace-corpus",
+                "failure": f"ETL drop ledger {dict(stats.drops)} != "
+                f"injected anomalies {expected}",
+            }
+        if store.rows != summary.jobs:
+            return False, {
+                "family": "real-trace-corpus",
+                "failure": f"store holds {store.rows} rows, fixture wrote "
+                f"{summary.jobs} valid records",
+            }
+        view = store.view()
+        if not view.is_memmap_backed():
+            return False, {
+                "family": "real-trace-corpus",
+                "failure": "store view is not np.memmap-backed (zero-copy "
+                "load regression)",
+            }
+        min_queue_jobs = max(tier.replay_jobs // 4, 300)
+        for queue in view.queues():
+            qview = view.by_queue(queue)
+            if len(qview) < min_queue_jobs:
+                continue
+            result = replay_single(
+                qview, BMBPPredictor(QUANTILE, CONFIDENCE),
+                ReplayConfig(epoch=300.0),
+            )
+            correct += result.n_correct
+            evaluated += result.n_evaluated
+            per_queue[queue] = round(result.fraction_correct, 4)
+    return _coverage_check(
+        correct,
+        evaluated,
+        QUANTILE,
+        {
+            "family": "real-trace-corpus",
+            "fixture_jobs": n_jobs,
+            "drops": dict(stats.drops),
+            "per_queue_fraction": per_queue,
+            "queues_replayed": len(per_queue),
+        },
+    )
+
+
 #: Conformance check registry, in report order.
 CONFORMANCE_CHECKS: Dict[str, Callable[[TierParams], Tuple[bool, Dict[str, Any]]]] = {
     "bmbp-iid-coverage": check_bmbp_iid,
@@ -609,6 +685,7 @@ CONFORMANCE_CHECKS: Dict[str, Callable[[TierParams], Tuple[bool, Dict[str, Any]]
     "baseline-sweep": check_baseline_sweep,
     "sketch-quantile-accuracy": check_sketch_quantile_accuracy,
     "closed-loop-feedback": check_closed_loop_feedback,
+    "real-trace-corpus": check_real_trace_corpus,
 }
 
 

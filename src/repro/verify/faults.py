@@ -46,6 +46,13 @@ replication.apply   ``halt`` (a follower stops consuming its replication
                     primary's on-disk journal instead)
 journal.compact     ``crash`` (crash between checkpoint rename and segment
                     deletion: redundant segments must be skipped on replay)
+corpus.ingest       ``crash`` (``os._exit`` after a column chunk flush,
+                    mid-ETL), ``raise`` (raise at the same point)
+corpus.finalize     ``crash``/``crash-before`` (manifest written in the temp
+                    directory, crash before the atomic ``os.replace``),
+                    ``raise``
+corpus.finalize.after  ``crash`` (crash immediately after the rename: the
+                    store must already be complete and valid)
 ==================  ==========================================================
 
 Injected crashes exit with :data:`CRASH_EXIT_CODE` so a scenario can prove
@@ -57,6 +64,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import subprocess
+import sys
 import tempfile
 import time
 from dataclasses import dataclass, field
@@ -797,6 +805,110 @@ def scenario_follower_lag_promote(
     return outcome
 
 
+def scenario_corpus_ingest_crash(tmp: Path) -> Dict[str, Any]:
+    """A killed ingest leaves either no store or a valid one — never torn.
+
+    Three crash points bracket the corpus ETL's atomic-finalize contract:
+
+    1. mid-stream (``corpus.ingest:crash@2``): chunks flushed to the temp
+       directory, crash — the destination must not exist;
+    2. before promotion (``corpus.finalize:crash-before@1``): every column
+       and the manifest written, crash just before ``os.replace`` — the
+       destination must still not exist;
+    3. after promotion (``corpus.finalize.after:crash@1``): crash right
+       after the rename — the destination must be a complete, checksum-
+       valid store with every row.
+
+    Recovery is a plain re-run of the ingest over the same source; the
+    rebuilt store must match the fixture's expected kept-row count and
+    drop ledger exactly.
+    """
+    from repro.corpus.fixtures import expected_drops, generate_corpus_fixture
+    from repro.corpus.store import CorpusStore
+
+    work = tmp / "corpus-ingest-crash"
+    work.mkdir(parents=True, exist_ok=True)
+    log_path = work / "fixture.swf.gz"
+    # Small fixture: the contract under test is atomicity, not scale, and
+    # the fast tier's 90 s budget pays for four subprocess interpreter
+    # startups here already.  chunk_rows=1000 below still gives the
+    # mid-stream arm multiple flushed chunks before the crash.
+    summary = generate_corpus_fixture(log_path, jobs=2500, seed=4242)
+
+    def _spawn(spec: Optional[str], dest: Path) -> subprocess.Popen:
+        env = dict(os.environ)
+        env.update(_daemon_env(spec))
+        code = (
+            "from repro.corpus.etl import ingest; "
+            f"ingest({str(log_path)!r}, {str(dest)!r}, chunk_rows=1000, "
+            "force=True)"
+        )
+        return subprocess.Popen(
+            [sys.executable, "-c", code], env=env,
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+        )
+
+    # Each arm gets its own destination, so all three crash variants run
+    # concurrently — the wall-clock cost is one interpreter startup, not
+    # three, which matters inside the fast tier's 90 s budget.
+    arms = (
+        ("mid_stream", "corpus.ingest:crash@2", False),
+        ("before_replace", "corpus.finalize:crash-before@1", False),
+        ("after_replace", "corpus.finalize.after:crash@1", True),
+    )
+    procs = {
+        label: (_spawn(spec, work / label), work / label)
+        for label, spec, _ in arms
+    }
+    details: Dict[str, Any] = {}
+    for label, spec, store_expected in arms:
+        proc, dest = procs[label]
+        _, stderr = proc.communicate(timeout=120)
+        assert proc.returncode == CRASH_EXIT_CODE, (
+            f"{label}: ingest exited {proc.returncode}, expected the "
+            f"injected crash code {CRASH_EXIT_CODE}; stderr: "
+            f"{stderr.decode(errors='replace')[-300:]}"
+        )
+        if store_expected:
+            store = CorpusStore(dest)
+            assert store.rows == summary.jobs, (
+                f"{label}: store promoted before the crash holds "
+                f"{store.rows} rows, expected {summary.jobs}"
+            )
+            assert store.verify()["ok"], (
+                f"{label}: promoted store fails column checksums"
+            )
+        else:
+            assert not dest.exists(), (
+                f"{label}: a torn store directory exists at {dest} after a "
+                "crash before promotion"
+            )
+        details[label] = {
+            "exit": proc.returncode,
+            "store_exists": dest.exists(),
+        }
+
+    # Recovery: a clean re-run over the crashed mid-stream destination
+    # must build the full store.  In-process — recovery needs no fault
+    # env, and it saves another interpreter startup.
+    from repro.corpus.etl import ingest
+
+    dest = procs["mid_stream"][1]
+    ingest(log_path, dest, chunk_rows=1000, force=True)
+    store = CorpusStore(dest)
+    assert store.rows == summary.jobs, (
+        f"recovered store holds {store.rows} rows, expected {summary.jobs}"
+    )
+    drops = store.manifest["etl"]["drops"]
+    assert drops == expected_drops(summary), (
+        f"recovered drop ledger {drops} != injected {expected_drops(summary)}"
+    )
+    assert store.verify()["ok"], "recovered store fails column checksums"
+    details["recovered_rows"] = store.rows
+    details["recovered_drops"] = drops
+    return details
+
+
 #: Scenario registry: name -> (driver, needs_reference).
 SCENARIOS: Dict[str, Tuple[Callable, bool]] = {
     "torn-journal": (scenario_torn_journal, True),
@@ -809,6 +921,7 @@ SCENARIOS: Dict[str, Tuple[Callable, bool]] = {
     "broker-backend-crash": (scenario_broker_backend_crash, False),
     "shard-crash-promote": (scenario_shard_crash_promote, True),
     "follower-lag-promote": (scenario_follower_lag_promote, True),
+    "corpus-ingest-crash": (scenario_corpus_ingest_crash, False),
 }
 
 

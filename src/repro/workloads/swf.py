@@ -28,10 +28,23 @@ from typing import Dict, List, Optional, Union
 
 from repro.workloads.trace import Job, Trace
 
-__all__ = ["format_swf_record", "load_swf", "parse_swf_line", "write_swf"]
+__all__ = [
+    "format_swf_record",
+    "iter_swf",
+    "load_swf",
+    "parse_swf_line",
+    "write_swf",
+]
 
 #: Number of data fields in a conforming SWF record.
 SWF_FIELD_COUNT = 18
+
+#: Minimum fields for a *usable* partial record: job number through
+#: allocated processors.  Real archive logs contain interactive and
+#: killed-job records truncated after the fields the scheduler knew
+#: (status -1, missing think time and queue); those parse fine with the
+#: missing tail treated as -1.
+SWF_MIN_FIELDS = 5
 
 
 def parse_swf_line(line: str) -> Optional[Job]:
@@ -39,19 +52,25 @@ def parse_swf_line(line: str) -> Optional[Job]:
 
     Returns ``None`` for comment lines, blank lines, and records that lack a
     usable submit time or wait time (negative/missing values, which SWF
-    encodes as -1).  Raises ``ValueError`` for structurally malformed lines
-    (non-numeric fields or too few columns) so that corrupt files fail
-    loudly rather than silently shrinking.
+    encodes as -1).  Partial records — interactive or killed jobs whose
+    tail fields (status, queue, partition, think time) were never written
+    — are tolerated as long as at least :data:`SWF_MIN_FIELDS` fields are
+    present; missing fields read as -1.  Raises ``ValueError`` for
+    structurally malformed lines (non-numeric fields or fewer than
+    :data:`SWF_MIN_FIELDS` columns) so that corrupt files fail loudly
+    rather than silently shrinking.
     """
     stripped = line.strip()
     if not stripped or stripped.startswith(";"):
         return None
     fields = stripped.split()
-    if len(fields) < SWF_FIELD_COUNT:
+    if len(fields) < SWF_MIN_FIELDS:
         raise ValueError(
-            f"SWF record has {len(fields)} fields, expected {SWF_FIELD_COUNT}: {stripped[:80]!r}"
+            f"SWF record has {len(fields)} fields, expected at least "
+            f"{SWF_MIN_FIELDS}: {stripped[:80]!r}"
         )
     values = [float(f) for f in fields[:SWF_FIELD_COUNT]]
+    values.extend([-1.0] * (SWF_FIELD_COUNT - len(values)))
     submit, wait, runtime = values[1], values[2], values[3]
     if submit < 0 or wait < 0:
         return None
@@ -116,29 +135,56 @@ def write_swf(
     Queue names map to SWF queue numbers via ``queue_numbers``; unmapped
     names are assigned numbers in first-appearance order starting at 1.
     Round-trips through :func:`load_swf` (up to the one-second integer
-    resolution SWF uses for times).
+    resolution SWF uses for times).  Records stream to the file one line
+    at a time — memory stays constant however large the trace.
     """
     path = Path(path)
     numbering = dict(queue_numbers or {})
     next_number = max(numbering.values(), default=0) + 1
-    lines: List[str] = [f"; {comment}" for comment in (header_comments or [])]
+    header: List[str] = [f"; {comment}" for comment in (header_comments or [])]
     if trace.queues():
         for queue in trace.queues():
             if queue and queue not in numbering:
                 numbering[queue] = next_number
                 next_number += 1
         mapping = ", ".join(f"{num} = {name}" for name, num in sorted(numbering.items(), key=lambda kv: kv[1]))
-        lines.append(f"; Queues: {mapping}")
+        header.append(f"; Queues: {mapping}")
     base = trace[0].submit_time if len(trace) else 0.0
-    for i, job in enumerate(trace, start=1):
-        number = numbering.get(job.queue, -1) if job.queue else -1
-        lines.append(format_swf_record(i, job, queue_number=number, base_time=base))
-    data = "\n".join(lines) + "\n"
-    if path.suffix == ".gz":
-        with gzip.open(path, "wt") as handle:
-            handle.write(data)
-    else:
-        path.write_text(data)
+    opener = gzip.open if path.suffix == ".gz" else open
+    with opener(path, "wt") as handle:  # type: ignore[arg-type]
+        for line in header:
+            handle.write(line + "\n")
+        for i, job in enumerate(trace, start=1):
+            number = numbering.get(job.queue, -1) if job.queue else -1
+            handle.write(
+                format_swf_record(i, job, queue_number=number, base_time=base)
+                + "\n"
+            )
+
+
+def iter_swf(
+    path: Union[str, Path],
+    queue_names: Optional[Dict[int, str]] = None,
+):
+    """Stream jobs from an SWF file (plain or ``.gz``) one at a time.
+
+    Both gzip and plain files are decoded line-by-line — the file is
+    never materialized in memory, so arbitrarily large archive logs can
+    be scanned in constant memory.  Comment lines and unusable records
+    yield nothing; see :func:`parse_swf_line` for the tolerance rules.
+    """
+    path = Path(path)
+    opener = gzip.open if path.suffix == ".gz" else open
+    with opener(path, "rt") as handle:  # type: ignore[arg-type]
+        for line in handle:
+            job = parse_swf_line(line)
+            if job is None:
+                continue
+            if queue_names is not None and job.queue:
+                mapped = queue_names.get(int(job.queue))
+                if mapped is not None:
+                    job = job.with_queue(mapped)
+            yield job
 
 
 def load_swf(
@@ -147,6 +193,10 @@ def load_swf(
     name: str = "",
 ) -> Trace:
     """Load an SWF file (plain or ``.gz``) into a :class:`Trace`.
+
+    Streams via :func:`iter_swf`; only the parsed jobs are held in
+    memory, never the raw file.  For logs too large to hold even as
+    parsed jobs, use :mod:`repro.corpus` (columnar memmap store).
 
     Parameters
     ----------
@@ -159,16 +209,4 @@ def load_swf(
         Trace name; defaults to the file stem.
     """
     path = Path(path)
-    opener = gzip.open if path.suffix == ".gz" else open
-    jobs: List[Job] = []
-    with opener(path, "rt") as handle:  # type: ignore[arg-type]
-        for line in handle:
-            job = parse_swf_line(line)
-            if job is None:
-                continue
-            if queue_names is not None and job.queue:
-                mapped = queue_names.get(int(job.queue))
-                if mapped is not None:
-                    job = job.with_queue(mapped)
-            jobs.append(job)
-    return Trace(jobs=jobs, name=name or path.stem)
+    return Trace(jobs=list(iter_swf(path, queue_names)), name=name or path.stem)

@@ -1,0 +1,221 @@
+"""Tests for the columnar memmap store: round-trips, slicing, corruption."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.corpus.etl import ingest
+from repro.corpus.fixtures import generate_corpus_fixture
+from repro.corpus.store import (
+    COLUMNS,
+    ColumnWriter,
+    CorpusError,
+    CorpusStore,
+)
+
+
+@pytest.fixture(scope="module")
+def site(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("corpus-store")
+    log = tmp / "fix.swf.gz"
+    summary = generate_corpus_fixture(log, jobs=4000, seed=21)
+    store, _ = ingest(log, tmp / "site")
+    return store, summary
+
+
+class TestManifestRoundTrip:
+    def test_reload_preserves_manifest(self, site):
+        store, summary = site
+        again = CorpusStore(store.path)
+        assert again.manifest == store.manifest
+        assert again.rows == summary.jobs
+        assert again.site == store.site
+        assert again.queue_names == store.queue_names
+
+    def test_dtype_stability_across_reload(self, site):
+        store, _ = site
+        again = CorpusStore(store.path)
+        for name, dtype, _ in COLUMNS:
+            assert again.column(name).dtype == np.dtype(dtype)
+            assert store.column(name).dtype == np.dtype(dtype)
+            np.testing.assert_array_equal(
+                np.asarray(again.column(name)), np.asarray(store.column(name))
+            )
+
+    def test_checksums_verify(self, site):
+        store, _ = site
+        assert store.verify()["ok"]
+
+
+class TestZeroCopy:
+    def test_view_is_memmap_backed(self, site):
+        store, _ = site
+        view = store.view()
+        assert view.is_memmap_backed()
+        assert isinstance(view.submit_times, np.memmap)
+        assert isinstance(view.waits, np.memmap)
+
+    def test_time_slice_stays_memmap_backed(self, site):
+        store, _ = site
+        view = store.view()
+        t0, t1 = store.time_range()
+        mid = view.time_slice(t0 + (t1 - t0) / 4, t0 + (t1 - t0) / 2)
+        assert 0 < len(mid) < len(view)
+        assert mid.is_memmap_backed()
+
+    def test_by_queue_materializes(self, site):
+        store, _ = site
+        qview = store.view().by_queue("express")
+        # Fancy indexing necessarily copies; documented behavior.
+        assert not isinstance(qview.submit_times, np.memmap)
+        assert len(qview) > 0
+
+
+class TestTraceEquivalence:
+    def test_slicing_equivalence_vs_in_memory_trace(self, site):
+        store, _ = site
+        view = store.view()
+        trace = view.to_trace()
+        t0, t1 = store.time_range()
+        lo, hi = t0 + (t1 - t0) / 3, t0 + 2 * (t1 - t0) / 3
+        from_view = view.time_slice(lo, hi)
+        from_trace = trace.time_slice(lo, hi)
+        assert len(from_view) == len(from_trace)
+        np.testing.assert_allclose(from_view.waits, from_trace.waits)
+        np.testing.assert_allclose(
+            from_view.submit_times, from_trace.submit_times
+        )
+
+    def test_queue_split_equivalence(self, site):
+        store, _ = site
+        view = store.view()
+        trace = view.to_trace()
+        assert set(view.queues()) == set(trace.queues())
+        for queue in view.queues():
+            np.testing.assert_allclose(
+                view.by_queue(queue).waits, trace.by_queue(queue).waits
+            )
+
+    def test_job_protocol(self, site):
+        store, _ = site
+        view = store.view()
+        job = view[0]
+        assert job.submit_time == float(view.submit_times[0])
+        assert job.queue in view.queues()
+        assert len(view[:3]) == 3
+        assert view[-1].submit_time == float(view.submit_times[-1])
+        count = sum(1 for _ in iter(view))
+        assert count == len(view)
+
+
+class TestCorruption:
+    def _copy_store(self, store, tmp_path):
+        import shutil
+
+        dest = tmp_path / "copy"
+        shutil.copytree(store.path, dest)
+        return dest
+
+    def test_truncated_column_detected(self, site, tmp_path):
+        store, _ = site
+        dest = self._copy_store(store, tmp_path)
+        wait_file = dest / "wait.f8"
+        wait_file.write_bytes(wait_file.read_bytes()[:-16])
+        with pytest.raises(CorpusError, match="truncated or corrupt"):
+            CorpusStore(dest)
+
+    def test_missing_column_detected(self, site, tmp_path):
+        store, _ = site
+        dest = self._copy_store(store, tmp_path)
+        (dest / "procs.i4").unlink()
+        with pytest.raises(CorpusError, match="missing column"):
+            CorpusStore(dest)
+
+    def test_wrong_schema_detected(self, site, tmp_path):
+        store, _ = site
+        dest = self._copy_store(store, tmp_path)
+        manifest = json.loads((dest / "manifest.json").read_text())
+        manifest["schema"] = "something-else/9"
+        (dest / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(CorpusError, match="schema"):
+            CorpusStore(dest)
+
+    def test_bitflip_caught_by_verify(self, site, tmp_path):
+        store, _ = site
+        dest = self._copy_store(store, tmp_path)
+        wait_file = dest / "wait.f8"
+        data = bytearray(wait_file.read_bytes())
+        data[8] ^= 0xFF  # same size, different bytes
+        wait_file.write_bytes(bytes(data))
+        report = CorpusStore(dest).verify()
+        assert not report["ok"]
+        assert not report["columns"]["wait"]["match"]
+
+    def test_not_a_store(self, tmp_path):
+        with pytest.raises(CorpusError, match="manifest"):
+            CorpusStore(tmp_path)
+
+
+class TestColumnWriter:
+    def _chunk(self, submits):
+        n = len(submits)
+        return {
+            "submit": np.asarray(submits, dtype=np.float64),
+            "wait": np.full(n, 5.0),
+            "runtime": np.full(n, 60.0),
+            "procs": np.full(n, 4, dtype=np.int32),
+            "queue": np.zeros(n, dtype=np.int32),
+            "class": np.zeros(n, dtype=np.int32),
+        }
+
+    def test_sorted_chunks_not_resorted(self, tmp_path):
+        writer = ColumnWriter(tmp_path / "s", "s")
+        writer.append(self._chunk([1.0, 2.0]))
+        writer.append(self._chunk([3.0, 4.0]))
+        writer.finalize(queue_names={0: "q"})
+        store = CorpusStore(tmp_path / "s")
+        assert store.manifest["etl"]["resorted"] is False
+
+    def test_unsorted_chunks_resorted(self, tmp_path):
+        writer = ColumnWriter(tmp_path / "s", "s")
+        writer.append(self._chunk([5.0, 1.0]))
+        writer.append(self._chunk([3.0]))
+        writer.finalize(queue_names={0: "q"})
+        store = CorpusStore(tmp_path / "s")
+        assert store.manifest["etl"]["resorted"] is True
+        assert list(store.column("submit")) == [1.0, 3.0, 5.0]
+
+    def test_ragged_chunk_rejected(self, tmp_path):
+        writer = ColumnWriter(tmp_path / "s", "s")
+        chunk = self._chunk([1.0, 2.0])
+        chunk["procs"] = np.asarray([4], dtype=np.int32)
+        with pytest.raises(CorpusError, match="ragged"):
+            writer.append(chunk)
+        writer.abort()
+
+    def test_abort_removes_temp_dir(self, tmp_path):
+        writer = ColumnWriter(tmp_path / "s", "s")
+        writer.append(self._chunk([1.0]))
+        writer.abort()
+        assert list(tmp_path.iterdir()) == []
+
+    def test_finalize_refuses_existing_dest(self, tmp_path):
+        dest = tmp_path / "s"
+        writer = ColumnWriter(dest, "s")
+        writer.append(self._chunk([1.0]))
+        writer.finalize()
+        writer2 = ColumnWriter(dest, "s")
+        writer2.append(self._chunk([2.0]))
+        with pytest.raises(CorpusError, match="already exists"):
+            writer2.finalize()
+        # The original store survives untouched.
+        assert list(CorpusStore(dest).column("submit")) == [1.0]
+
+    def test_empty_store_round_trips(self, tmp_path):
+        writer = ColumnWriter(tmp_path / "s", "s")
+        writer.finalize()
+        store = CorpusStore(tmp_path / "s")
+        assert store.rows == 0
+        assert len(store.view()) == 0
+        assert store.view().queues() == []

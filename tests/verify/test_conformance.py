@@ -144,6 +144,7 @@ class TestChecks:
             "baseline-sweep",
             "sketch-quantile-accuracy",
             "closed-loop-feedback",
+            "real-trace-corpus",
         ]
 
     def test_wilson_z_matches_normal_quantile(self):

@@ -1,12 +1,17 @@
 """Tests for the archive-log registry."""
 
+import dataclasses
+import gzip
+
 import pytest
 
 from repro.workloads.archive import (
     ARCHIVE_LOGS,
     archive_log,
     describe_archive,
+    file_sha256,
     load_archive_log,
+    verify_archive_file,
 )
 from repro.workloads.spec import specs_for_machine
 from repro.workloads.swf import write_swf
@@ -44,6 +49,15 @@ class TestRegistry:
         assert "sdsc-sp2" in text
         assert "Paragon" in text
 
+    def test_every_log_has_download_url(self):
+        for log in ARCHIVE_LOGS:
+            assert log.url and log.url.startswith("https://")
+            assert log.url.endswith(log.filename)
+
+    def test_describe_lists_urls(self):
+        text = describe_archive()
+        assert archive_log("sdsc-sp2").url in text
+
 
 class TestLoading:
     def _fake_log(self, tmp_path, filename):
@@ -77,3 +91,65 @@ class TestLoading:
         with pytest.raises(FileNotFoundError) as excinfo:
             load_archive_log("sdsc-sp2", tmp_path / "nope.swf")
         assert "Parallel Workloads Archive" in str(excinfo.value)
+
+
+class TestVerify:
+    def _write_log(self, tmp_path, filename, header_lines, records=1):
+        lines = list(header_lines)
+        for i in range(1, records + 1):
+            lines.append(f"{i} {100 * i} 10 60 4 -1 -1 4 -1 -1 1 1 1 -1 1 1 -1 -1")
+        data = ("\n".join(lines) + "\n").encode()
+        path = tmp_path / filename
+        if filename.endswith(".gz"):
+            with gzip.open(path, "wb") as fh:
+                fh.write(data)
+        else:
+            path.write_bytes(data)
+        return path
+
+    def test_unpinned_reports_digest(self, tmp_path):
+        log = archive_log("sdsc-sp2")
+        path = self._write_log(
+            tmp_path, log.filename,
+            [f"; MaxProcs: {log.procs}", "; Queue: 3 normal"],
+        )
+        report = verify_archive_file(path)
+        assert report["key"] == "sdsc-sp2"
+        assert report["checksum"] == "unpinned"
+        assert report["sha256"] == file_sha256(path)
+        assert report["ok"]
+        assert any("pinned" in w for w in report["warnings"])
+
+    def test_header_mismatch_warns_not_fails(self, tmp_path):
+        log = archive_log("sdsc-sp2")
+        path = self._write_log(
+            tmp_path, log.filename,
+            ["; MaxProcs: 999", "; Queue: 3 weird-name"],
+        )
+        report = verify_archive_file(path, key="sdsc-sp2")
+        assert report["ok"]  # warnings, not a hard failure
+        joined = " ".join(report["warnings"])
+        assert "MaxProcs 999" in joined
+        assert "weird-name" in joined
+
+    def test_pinned_checksum_mismatch_fails(self, tmp_path):
+        log = archive_log("sdsc-sp2")
+        pinned = dataclasses.replace(log, sha256="0" * 64)
+        path = self._write_log(tmp_path, log.filename, [])
+        import repro.workloads.archive as archive_mod
+
+        orig = archive_mod._BY_KEY["sdsc-sp2"]
+        archive_mod._BY_KEY["sdsc-sp2"] = pinned
+        try:
+            report = verify_archive_file(path, key="sdsc-sp2")
+        finally:
+            archive_mod._BY_KEY["sdsc-sp2"] = orig
+        assert report["checksum"] == "mismatch"
+        assert not report["ok"]
+
+    def test_unregistered_file_header_only(self, tmp_path):
+        path = self._write_log(tmp_path, "mystery.swf", ["; MaxProcs: 64"])
+        report = verify_archive_file(path)
+        assert report["key"] is None
+        assert report["ok"]
+        assert report["header"]["max_procs"] == 64

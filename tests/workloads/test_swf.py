@@ -4,7 +4,7 @@ import gzip
 
 import pytest
 
-from repro.workloads.swf import load_swf, parse_swf_line
+from repro.workloads.swf import iter_swf, load_swf, parse_swf_line, write_swf
 
 
 def swf_record(
@@ -56,6 +56,22 @@ class TestParseLine:
         job = parse_swf_line(swf_record(queue=-1))
         assert job.queue == ""
 
+    def test_partial_record_tolerated(self):
+        # Interactive/killed jobs truncated after the fields the scheduler
+        # knew: status -1, think time and queue never written.
+        job = parse_swf_line("7 1000 45 120 4")
+        assert job is not None
+        assert job.submit_time == 1000.0
+        assert job.wait == 45.0
+        assert job.procs == 4
+        assert job.queue == ""  # missing tail reads as -1
+
+    def test_partial_record_with_status_minus_one(self):
+        line = "7 1000 45 120 4 -1 -1 4 240 -1 -1 1 1 -1 2"  # 15 fields
+        job = parse_swf_line(line)
+        assert job is not None
+        assert job.queue == "2"
+
 
 class TestLoadFile:
     def _write(self, path, lines, compress=False):
@@ -97,3 +113,36 @@ class TestLoadFile:
         path = tmp_path / "x.swf"
         self._write(path, [swf_record()])
         assert load_swf(path, name="sdsc-sp2").name == "sdsc-sp2"
+
+    def test_iter_swf_streams_gzip(self, tmp_path):
+        path = tmp_path / "log.swf.gz"
+        self._write(
+            path,
+            [swf_record(job=i, submit=100 * i) for i in range(1, 6)],
+            compress=True,
+        )
+        jobs = list(iter_swf(path))
+        assert len(jobs) == 5
+        assert jobs[0].submit_time == 100.0
+
+    def test_partial_records_survive_load(self, tmp_path):
+        path = tmp_path / "log.swf"
+        self._write(path, [swf_record(), "9 2000 30 60 2"])
+        trace = load_swf(path)
+        assert len(trace) == 2
+
+    def test_write_swf_streams_and_round_trips(self, tmp_path):
+        trace = load_swf(self._sample(tmp_path))
+        for suffix in (".swf", ".swf.gz"):
+            out = tmp_path / f"out{suffix}"
+            write_swf(trace, out)
+            again = load_swf(out)
+            assert len(again) == len(trace)
+            assert [j.wait for j in again] == [j.wait for j in trace]
+
+    def _sample(self, tmp_path):
+        path = tmp_path / "sample.swf"
+        self._write(
+            path, [swf_record(job=i, submit=10 * i) for i in range(1, 8)]
+        )
+        return path
