@@ -997,6 +997,24 @@ def build_corpus_parser() -> argparse.ArgumentParser:
     )
     p_replay.add_argument("--engine", default=None,
                           choices=["batched", "reference"])
+    p_replay.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for the parallel fan-out (default: "
+        "$BMBP_JOBS or 1 = serial; results are bit-identical either way)",
+    )
+    p_replay.add_argument(
+        "--no-cache", action="store_true",
+        help="skip the persistent per-unit result cache for this replay",
+    )
+    p_replay.add_argument(
+        "--progress", action="store_true",
+        help="print a live units done/total + ETA line to stderr",
+    )
+    p_replay.add_argument(
+        "--split-threshold", type=int, default=None, metavar="N",
+        help="shard queues larger than N rows into independent "
+        "history-prefixed chunk units (default 150000)",
+    )
     p_replay.add_argument("--json", default=None, metavar="PATH",
                           help="write the replay report to PATH")
 
@@ -1047,11 +1065,19 @@ def _corpus_main(argv: List[str]) -> int:
             print(json_mod.dumps(info, indent=2, sort_keys=True))
             return 0 if not args.verify or info["checksums"]["ok"] else 1
         if args.verb == "replay":
+            from repro.corpus.replay import DEFAULT_SPLIT_THRESHOLD, progress_printer
+
             store = CorpusStore(args.store)
             methods = args.methods.split(",") if args.methods else None
             report = replay_store(
                 store, epoch=args.epoch, methods=methods,
                 min_queue_jobs=args.min_queue_jobs, engine=args.engine,
+                jobs=args.jobs,
+                cache=False if args.no_cache else None,
+                split_threshold=(args.split_threshold
+                                 if args.split_threshold is not None
+                                 else DEFAULT_SPLIT_THRESHOLD),
+                progress=progress_printer() if args.progress else None,
             )
             if args.json:
                 with open(args.json, "w") as fh:
@@ -1072,10 +1098,14 @@ def _corpus_main(argv: List[str]) -> int:
                     )
                 else:
                     print(f"{queue}: {row['jobs']:,} jobs")
+            prov = report.get("provenance", {})
+            cache_info = prov.get("cache", {})
             print(
                 f"{report['site']}: replayed {report['jobs_replayed']:,} jobs "
                 f"at {report['jobs_per_s']:,.0f} jobs/s "
-                f"({len(report['methods'])} methods)"
+                f"({len(report['methods'])} methods, {prov.get('jobs', 1)} "
+                f"worker(s), cache {cache_info.get('hits', 0)} hit / "
+                f"{cache_info.get('misses', 0)} miss)"
             )
             return 0 if report["coverage_pass"] else 1
         if args.verb == "make-fixture":
@@ -1105,7 +1135,12 @@ def build_bench_corpus_parser() -> argparse.ArgumentParser:
         "(0.95, 0.95) coverage",
     )
     parser.add_argument(
-        "--jobs", type=int, default=None, metavar="N",
+        "--jobs", type=int, default=4, metavar="N",
+        help="largest worker-count arm in the scaling section (arms are "
+        "1/2/4 clipped to N; default %(default)s)",
+    )
+    parser.add_argument(
+        "--site-jobs", type=int, default=None, metavar="N",
         help="override jobs per synthetic site (default: 650k+400k, "
         "smoke: 60k)",
     )
@@ -1127,9 +1162,9 @@ def _bench_corpus_main(argv: List[str]) -> int:
     args = build_bench_corpus_parser().parse_args(argv)
     try:
         report = run_corpus_bench(
-            smoke=args.smoke, jobs=args.jobs, epoch=args.epoch,
+            smoke=args.smoke, site_jobs=args.site_jobs, epoch=args.epoch,
             workdir=args.workdir, keep=args.workdir is not None,
-            artifact=args.json,
+            artifact=args.json, max_workers=args.jobs,
         )
     except AssertionError as exc:
         print(f"bench-corpus: FAILED — {exc}", file=sys.stderr)
@@ -1151,12 +1186,28 @@ def _bench_corpus_main(argv: List[str]) -> int:
                     f"[{cov['wilson_low']:.4f}, {cov['wilson_high']:.4f}] "
                     f"{'PASS' if cov['passed'] else 'FAIL'}"
                 )
+    scaling = report.get("scaling", {})
+    for row in scaling.get("rows", []):
+        print(
+            f"scaling: jobs={row['jobs']} {row['seconds']:.2f}s "
+            f"({row['jobs_per_s']:,.0f} jobs/s, "
+            f"{row['speedup_vs_serial']:.2f}x serial)"
+        )
+    cached = scaling.get("cached")
+    if cached:
+        frac = cached.get("fraction_of_serial")
+        print(
+            f"scaling: cached re-replay {cached['seconds']:.2f}s"
+            + (f" ({frac:.1%} of cold serial)" if frac is not None else "")
+            + f", {cached['hits']} hit / {cached['misses']} miss"
+        )
     summary = report["summary"]
     print(
         f"total: {summary['jobs_replayed']:,} jobs replayed at "
         f"{summary['replay_jobs_per_s']:,.0f} jobs/s; ingest "
         f"{summary['ingest_rows_per_s']:,.0f} rows/s; coverage "
-        f"{'PASS' if summary['coverage_pass'] else 'FAIL'}"
+        f"{'PASS' if summary['coverage_pass'] else 'FAIL'}; parallel "
+        f"{'identical' if summary['parallel_identical_to_serial'] else 'DIVERGED'}"
     )
     print(f"[bmbp] corpus benchmark written to {args.json}", file=sys.stderr)
     return 0

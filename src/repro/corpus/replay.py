@@ -7,18 +7,52 @@ bank (or any subset), producing per-queue coverage rows for the paper's
 upper bound on its empirical fraction-correct reaches the target
 quantile (the same acceptance rule as the conformance harness).
 
+Parallel zero-copy fan-out
+--------------------------
+The replay is planned as independent **work units**.  A unit names its
+data by reference only — *(store path, queue, row range)* — and the
+worker process re-opens the ``np.memmap`` columns itself through the
+store's slice-open API (:meth:`CorpusStore.queue_slice`), so no trace
+data is ever pickled across the process boundary; what comes back is a
+compact per-queue result row.  Execution routes through the runtime
+engine (:func:`repro.runtime.engine.run_tasks`): ``jobs=1`` (the
+default) runs the identical unit functions in-process and is the
+serial oracle; ``jobs>1`` fans the same units out over a process pool,
+and because every unit is a pure function of its arguments the merged
+report is bit-identical either way (property-tested, golden-pinned).
+
+Scheduling is long-tail aware: units are dispatched largest-first, and
+a queue larger than ``split_threshold`` is sharded into independent
+chunks.  Chunk ``i`` opens ``warmup`` extra rows of history before its
+scored range and replays them as training
+(``ReplayConfig.training_jobs``), so each chunk quotes from genuine
+preceding history; chunks merge deterministically (counts sum, ratio
+multisets concatenate in chunk order before the median).  The chunked
+decomposition *is* the definition of a split queue's replay — the
+serial path executes the same plan — and the default threshold keeps
+ordinary queues unsplit.
+
+Incremental result cache
+------------------------
+Each unit is keyed content-addressed
+(:func:`repro.runtime.cache.corpus_unit_key`): the manifest's
+per-column SHA-256s, a digest of the exact rows the unit replays, the
+unit geometry, and the kernel/bank version — never the store path.  A
+re-replay after ingesting one new site (or touching one queue's rows)
+recomputes only the dirty units; everything else is served from the
+persistent :class:`~repro.runtime.cache.DiskCache` in milliseconds.
+Hit/miss counts and a per-unit timing ledger land in the report's
+``provenance`` section.
+
 :func:`run_corpus_bench` is the ``bmbp bench-corpus`` entry point.  It
 generates archive-shaped fixtures (real logs are not committed), then
-measures the full path end to end:
-
-* **ingest rows/s** — streaming gzip ETL into the columnar store;
-* **store size vs raw** — column bytes vs compressed source bytes;
-* **replay jobs/s** — jobs pushed through the epoch kernel and bank at
-  million-job scale (full mode replays >= 1M jobs across two sites);
-* **per-site coverage table** — the (0.95, 0.95) rows per queue.
-
-Smoke mode (CI) shrinks the fixture and enforces the
-``BMBP_BENCH_MIN_CORPUS_INGEST`` floor plus coverage passes.
+measures the full path end to end: streaming ingest, store size, a
+serial-vs-parallel scaling section (jobs/s per worker count, straggler
+breakdown, cache-hit replay time), and the per-site (0.95, 0.95)
+coverage tables.  Smoke mode (CI) shrinks the fixture and enforces the
+``BMBP_BENCH_MIN_CORPUS_INGEST`` floor plus coverage passes; the
+parallel-speedup floor (``BMBP_BENCH_MIN_CORPUS_PARALLEL_SPEEDUP``) is
+enforced only on multi-core runners.
 """
 
 from __future__ import annotations
@@ -26,10 +60,14 @@ from __future__ import annotations
 import json
 import os
 import shutil
+import sys
 import tempfile
 import time
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from repro.corpus import fixtures as fixtures_mod
 from repro.corpus.etl import ingest
@@ -38,25 +76,333 @@ from repro.corpus.store import CorpusError, CorpusStore, CorpusView
 __all__ = [
     "BENCH_SCHEMA",
     "MIN_CORPUS_INGEST",
+    "MIN_PARALLEL_SPEEDUP",
+    "MAX_CACHED_FRACTION",
+    "DEFAULT_SPLIT_THRESHOLD",
+    "ReplayUnit",
+    "plan_units",
+    "progress_printer",
     "replay_store",
     "run_corpus_bench",
 ]
 
-BENCH_SCHEMA = "bmbp-bench-corpus/1"
+BENCH_SCHEMA = "bmbp-bench-corpus/2"
 
 #: CI floor on streaming ingest throughput (rows/s); override with the
 #: BMBP_BENCH_MIN_CORPUS_INGEST environment variable.
 MIN_CORPUS_INGEST = float(os.environ.get("BMBP_BENCH_MIN_CORPUS_INGEST", "20000"))
 
+#: Smoke-mode floor on the best parallel arm's speedup over the serial
+#: replay.  Enforced only when the runner actually has >= 2 cores (a
+#: 1-core box cannot demonstrate a speedup, only record the attempt);
+#: CI sets a tighter value explicitly.
+MIN_PARALLEL_SPEEDUP = float(
+    os.environ.get("BMBP_BENCH_MIN_CORPUS_PARALLEL_SPEEDUP", "1.0")
+)
+
+#: Ceiling on cached-replay time as a fraction of the cold serial time.
+#: Enforced only when the serial replay is long enough for the ratio to
+#: be meaningful (sub-second replays measure constant overheads, not
+#: cache performance).
+MAX_CACHED_FRACTION = float(
+    os.environ.get("BMBP_BENCH_MAX_CORPUS_CACHED_FRACTION", "0.10")
+)
+
+#: Serial replay time (seconds) below which the cached-fraction gate is
+#: recorded but not enforced.
+_CACHED_GATE_MIN_SERIAL_S = 2.0
+
 #: Queues smaller than this are skipped in store replays (mirrors the
 #: paper's minimum-cell rule, scaled for archive-size logs).
 DEFAULT_MIN_QUEUE_JOBS = 1000
+
+#: Queues larger than this are sharded into independent history-prefixed
+#: chunk units.  High enough that ordinary archive queues replay as one
+#: unit (keeping their rows identical to the pre-chunking harness), low
+#: enough that a single dominant queue cannot serialize a fan-out.
+DEFAULT_SPLIT_THRESHOLD = 150_000
 
 _BENCH_SITES_FULL = (
     ("syn-par", 650_000, 20260808),
     ("syn-sp2", 400_000, 20260809),
 )
 _BENCH_SITES_SMOKE = (("syn-smoke", 60_000, 20260808),)
+
+#: Worker-count arms measured by the bench scaling section (1 = the
+#: serial oracle and the cold-cache populating run).
+_BENCH_WORKER_ARMS = (1, 2, 4)
+
+
+# --------------------------------------------------------------------------
+# Unit planning.
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ReplayUnit:
+    """One schedulable replay unit: a queue, or one chunk of a large queue.
+
+    ``lo:hi`` is the *scored* row range, counted in the queue's submit
+    order; ``warmup`` rows immediately before ``lo`` are opened with the
+    slice and replayed as training history (``warmup == 0`` means the
+    unit trains on its own leading ``training_fraction``, exactly like a
+    whole-queue replay).
+    """
+
+    site: str
+    queue: str
+    lo: int
+    hi: int
+    warmup: int
+    chunk: int
+    n_chunks: int
+    queue_rows: int
+
+    @property
+    def scored_rows(self) -> int:
+        return self.hi - self.lo
+
+    @property
+    def cost(self) -> int:
+        """Rows actually replayed (warmup included) — the schedule key."""
+        return self.warmup + self.scored_rows
+
+    @property
+    def label(self) -> str:
+        return f"{self.site}/{self.queue}#{self.chunk}[{self.lo}:{self.hi}]"
+
+
+def plan_units(
+    view: CorpusView,
+    *,
+    site: str,
+    min_queue_jobs: int,
+    split_threshold: int,
+    training_fraction: float = 0.10,
+) -> Tuple[List[ReplayUnit], Dict[str, int]]:
+    """Decompose a site into replay units, largest-cost-first.
+
+    Returns ``(units, skipped)`` where ``skipped`` maps too-small queue
+    names to their row counts.  The plan is a pure function of the
+    queue sizes and the thresholds, so serial and parallel runs — and
+    repeated runs against an unchanged store — always execute and merge
+    the identical unit set.
+    """
+    split_threshold = max(int(split_threshold), 1)
+    units: List[ReplayUnit] = []
+    skipped: Dict[str, int] = {}
+    for queue in view.queues():
+        n = view.queue_rows(queue)
+        if n < min_queue_jobs:
+            skipped[queue] = n
+            continue
+        if n <= split_threshold:
+            units.append(ReplayUnit(site, queue, 0, n, 0, 0, 1, n))
+            continue
+        k = -(-n // split_threshold)  # ceil
+        bounds = [round(i * n / k) for i in range(k + 1)]
+        for i in range(k):
+            lo, hi = bounds[i], bounds[i + 1]
+            # Chunk 0 trains on its own leading fraction (exactly like an
+            # unsplit queue); later chunks open a deterministic slice of
+            # real preceding history instead, sized like that fraction.
+            warmup = 0 if i == 0 else min(
+                lo, max(1, int(np.ceil(training_fraction * (hi - lo))))
+            )
+            units.append(ReplayUnit(site, queue, lo, hi, warmup, i, k, n))
+    # Largest units first so a long-tail queue starts immediately and
+    # stragglers are the small cheap units; ties break on stable names
+    # to keep the dispatch order deterministic.
+    units.sort(key=lambda u: (-u.cost, u.queue, u.chunk))
+    return units, skipped
+
+
+# --------------------------------------------------------------------------
+# Unit execution (runs in pool workers — module-level and picklable).
+# --------------------------------------------------------------------------
+
+
+def _unit_config(unit_warmup: int, epoch: float, record_series: bool):
+    from repro.simulator.replay import ReplayConfig
+
+    return ReplayConfig(
+        epoch=epoch,
+        record_series=record_series,
+        training_jobs=unit_warmup if unit_warmup > 0 else None,
+    )
+
+
+def _replay_unit_compute(
+    qview: CorpusView,
+    *,
+    warmup: int,
+    epoch: float,
+    methods: Optional[Tuple[str, ...]],
+    engine: Optional[str],
+    refit_mode: str,
+    record_series: bool,
+    chunked: bool,
+) -> Dict[str, Any]:
+    """Replay one opened unit slice; return its compact result row.
+
+    Chunked units additionally return their per-method ratio arrays so
+    the parent can merge medians across chunks; whole-queue units fold
+    the median locally and stay compact.
+    """
+    from repro.simulator.replay import replay
+    from repro.verify import conformance, faults
+
+    action = faults.fire("corpus.replay.unit")
+    if action == "die":
+        faults.crash()
+    elif action == "raise":
+        raise RuntimeError("injected corpus.replay.unit fault")
+
+    bank = conformance.make_bank(refit_mode)
+    if methods:
+        bank = {m: bank[m] for m in methods}
+    config = _unit_config(warmup, epoch, record_series)
+    results = replay(qview, bank, config, engine=engine)
+    row: Dict[str, Any] = {"methods": {}}
+    for name in sorted(results):
+        res = results[name]
+        entry: Dict[str, Any] = {
+            "evaluated": res.n_evaluated,
+            "correct": res.n_correct,
+        }
+        if chunked:
+            entry["ratios"] = np.asarray(res.ratios, dtype=np.float64)
+        else:
+            entry["fraction_correct"] = round(res.fraction_correct, 5)
+            entry["median_ratio"] = round(res.median_ratio, 5)
+        if record_series:
+            entry["series_times"] = np.asarray(res.series_times, dtype=np.float64)
+            entry["series_values"] = np.asarray(res.series_values, dtype=np.float64)
+        row["methods"][name] = entry
+    return row
+
+
+def _replay_unit_task(
+    store_path: str,
+    queue: str,
+    lo: int,
+    hi: int,
+    warmup: int,
+    epoch: float,
+    methods: Optional[Tuple[str, ...]],
+    engine: Optional[str],
+    refit_mode: str,
+    record_series: bool,
+    chunked: bool,
+) -> Dict[str, Any]:
+    """Pool-worker entry point: slice-open the memmap store and replay.
+
+    Everything here is passed by value *except the data*: the worker
+    re-opens the store's columns from ``store_path`` itself, so the fan
+    -out ships only this argument tuple — zero pickled rows, zero
+    copies beyond the one the queue mask materializes locally.
+    """
+    store = CorpusStore(store_path)
+    qview = store.queue_slice(queue, lo - warmup, hi)
+    return _replay_unit_compute(
+        qview,
+        warmup=warmup,
+        epoch=epoch,
+        methods=methods,
+        engine=engine,
+        refit_mode=refit_mode,
+        record_series=record_series,
+        chunked=chunked,
+    )
+
+
+# --------------------------------------------------------------------------
+# Merge + report assembly.
+# --------------------------------------------------------------------------
+
+
+def _merge_queue_rows(
+    unit_rows: List[Tuple[ReplayUnit, Dict[str, Any]]],
+    record_series: bool,
+) -> Dict[str, Any]:
+    """Fold one queue's unit results into its report row, deterministically.
+
+    Chunk order (by ``lo``) fixes the concatenation order of ratio and
+    series arrays, so the merged medians and series are identical no
+    matter which worker finished first.
+    """
+    from repro.verify import conformance
+
+    unit_rows = sorted(unit_rows, key=lambda pair: pair[0].lo)
+    first_unit = unit_rows[0][0]
+    qrep: Dict[str, Any] = {"jobs": first_unit.queue_rows, "methods": {}}
+    if first_unit.n_chunks > 1:
+        qrep["chunks"] = first_unit.n_chunks
+    method_names = sorted(unit_rows[0][1]["methods"])
+    for name in method_names:
+        evaluated = sum(r["methods"][name]["evaluated"] for _, r in unit_rows)
+        correct = sum(r["methods"][name]["correct"] for _, r in unit_rows)
+        if first_unit.n_chunks > 1:
+            ratios = np.concatenate(
+                [np.asarray(r["methods"][name]["ratios"]) for _, r in unit_rows]
+            ) if unit_rows else np.empty(0)
+            finite = ratios[np.isfinite(ratios)]
+            median = float(np.median(finite)) if finite.size else float("nan")
+            fraction = correct / evaluated if evaluated else float("nan")
+            entry = {
+                "evaluated": evaluated,
+                "correct": correct,
+                "fraction_correct": round(fraction, 5),
+                "median_ratio": round(median, 5),
+            }
+        else:
+            entry = dict(unit_rows[0][1]["methods"][name])
+        entry.pop("ratios", None)
+        if record_series:
+            entry["series_times"] = np.concatenate(
+                [np.asarray(r["methods"][name]["series_times"]) for _, r in unit_rows]
+            ).tolist()
+            entry["series_values"] = np.concatenate(
+                [np.asarray(r["methods"][name]["series_values"]) for _, r in unit_rows]
+            ).tolist()
+        qrep["methods"][name] = entry
+    bmbp = qrep["methods"].get("bmbp")
+    if bmbp is not None and bmbp["evaluated"]:
+        low, high = conformance.wilson_interval(
+            bmbp["correct"], bmbp["evaluated"], conformance.CONFIDENCE
+        )
+        qrep["coverage"] = {
+            "quantile": conformance.QUANTILE,
+            "confidence": conformance.CONFIDENCE,
+            "evaluated": bmbp["evaluated"],
+            "correct": bmbp["correct"],
+            "fraction": round(bmbp["correct"] / bmbp["evaluated"], 5),
+            "wilson_low": round(low, 5),
+            "wilson_high": round(high, 5),
+            "passed": high >= conformance.QUANTILE,
+        }
+    return qrep
+
+
+def progress_printer(stream=None) -> Callable[[int, int], None]:
+    """A ``run_tasks`` progress callback: one stderr line, units + ETA."""
+    stream = stream or sys.stderr
+    started = time.perf_counter()
+
+    def callback(done: int, total: int) -> None:
+        elapsed = time.perf_counter() - started
+        if done and done < total:
+            eta = elapsed / done * (total - done)
+            tail = f"ETA {eta:.0f}s"
+        else:
+            tail = f"{elapsed:.1f}s"
+        end = "\n" if done >= total else "\r"
+        print(
+            f"[bmbp] corpus replay: {done}/{total} units ({tail})",
+            end=end, file=stream, flush=True,
+        )
+
+    return callback
 
 
 def replay_store(
@@ -67,6 +413,11 @@ def replay_store(
     min_queue_jobs: int = DEFAULT_MIN_QUEUE_JOBS,
     engine: Optional[str] = None,
     refit_mode: str = "incremental",
+    jobs: Optional[int] = None,
+    cache: Optional[bool] = None,
+    split_threshold: int = DEFAULT_SPLIT_THRESHOLD,
+    record_series: bool = False,
+    progress: Optional[Callable[[int, int], None]] = None,
 ) -> Dict[str, Any]:
     """Replay every sufficiently large queue of a site, scoring coverage.
 
@@ -78,71 +429,198 @@ def replay_store(
                          coverage: {quantile, confidence, evaluated,
                                     correct, fraction, wilson_low,
                                     wilson_high, passed}}},
+         provenance: {jobs, cpu_count, engine, refit_mode, split_threshold,
+                      cache: {enabled, hits, misses},
+                      store: {path, rows, column_sha256},
+                      units: [{unit, queue, chunk, rows, warmup, seconds,
+                               cached}]},
          coverage_pass: bool}
 
     The per-queue ``coverage`` row scores the BMBP method against the
     (0.95, 0.95) claim with the Wilson acceptance rule.
+
+    ``jobs`` is the worker count (argument > ``runtime.configure`` >
+    ``$BMBP_JOBS`` > 1); the serial default is the oracle the parallel
+    path is property-tested against.  ``cache=None`` follows the
+    engine-wide setting; a :class:`CorpusView` input (no backing store
+    directory) always computes in-process and uncached, since there is
+    no path for workers to re-open nor manifest to key on.
     """
-    from repro.simulator.replay import ReplayConfig, replay
+    from repro import runtime
+    from repro.runtime.cache import corpus_unit_key
+    from repro.runtime.engine import Task, resolve_jobs
+    from repro.simulator.replay import _resolve_engine
     from repro.verify import conformance
 
-    view = store.view() if isinstance(store, CorpusStore) else store
+    is_store = isinstance(store, CorpusStore)
+    view = store.view() if is_store else store
     site = getattr(store, "site", view.name)
-    config = ReplayConfig(epoch=epoch)
+    methods_tuple: Optional[Tuple[str, ...]] = None
+    if methods:
+        known = sorted(conformance.make_bank(refit_mode))
+        unknown = [m for m in methods if m not in known]
+        if unknown:
+            raise KeyError(
+                f"unknown method(s) {unknown}; bank has {known}"
+            )
+        methods_tuple = tuple(sorted(methods))
+    resolved_engine = _resolve_engine(engine)
+
+    units, skipped = plan_units(
+        view,
+        site=site,
+        min_queue_jobs=min_queue_jobs,
+        split_threshold=split_threshold,
+    )
+
     report: Dict[str, Any] = {
         "site": site,
         "rows": len(view),
-        "queues": {},
+        "queues": {name: {"jobs": n, "skipped": True}
+                   for name, n in skipped.items()},
         "methods": [],
         "jobs_replayed": 0,
         "min_queue_jobs": min_queue_jobs,
     }
     started = time.perf_counter()
+    before = runtime.stats()
+
+    if is_store:
+        store_path = str(store.path)
+        hot_sha = {
+            name: sha for name, sha in store.column_sha256().items()
+            if name in ("submit", "wait", "procs", "queue")
+        }
+        unit_config = {
+            "epoch": epoch,
+            "methods": list(methods_tuple) if methods_tuple else None,
+            "engine": resolved_engine,
+            "refit_mode": refit_mode,
+            "record_series": record_series,
+        }
+        tasks = []
+        for unit in units:
+            digest = view.queue_digest(unit.queue, unit.lo - unit.warmup, unit.hi)
+            tasks.append(Task(
+                func=_replay_unit_task,
+                args=(store_path, unit.queue, unit.lo, unit.hi, unit.warmup,
+                      epoch, methods_tuple, resolved_engine, refit_mode,
+                      record_series, unit.n_chunks > 1),
+                label=unit.label,
+                cache_key=corpus_unit_key(
+                    site=site,
+                    queue=unit.queue,
+                    rows={"lo": unit.lo, "hi": unit.hi,
+                          "warmup": unit.warmup, "chunk": unit.chunk,
+                          "n_chunks": unit.n_chunks,
+                          "queue_rows": unit.queue_rows},
+                    data_digest=digest,
+                    column_sha256=hot_sha,
+                    config=unit_config,
+                ),
+            ))
+        unit_results = runtime.run_tasks(
+            tasks, jobs=jobs, cache=cache, progress=progress
+        )
+        cache_enabled = runtime.engine._cache_active(cache)
+    else:
+        # A bare view has no store directory to re-open in a worker and
+        # no manifest to key a cache on: compute in-process, serially.
+        unit_results = []
+        for i, unit in enumerate(units):
+            qview = view.queue_slice(unit.queue, unit.lo - unit.warmup, unit.hi)
+            unit_results.append(_replay_unit_compute(
+                qview,
+                warmup=unit.warmup,
+                epoch=epoch,
+                methods=methods_tuple,
+                engine=resolved_engine,
+                refit_mode=refit_mode,
+                record_series=record_series,
+                chunked=unit.n_chunks > 1,
+            ))
+            if progress is not None:
+                progress(i + 1, len(units))
+        cache_enabled = False
+
+    delta = runtime.stats().since(before) if is_store else None
+    timing_by_label = (
+        {t.label: t for t in delta.timings} if delta is not None else {}
+    )
+
+    by_queue: Dict[str, List[Tuple[ReplayUnit, Dict[str, Any]]]] = {}
+    for unit, row in zip(units, unit_results):
+        by_queue.setdefault(unit.queue, []).append((unit, row))
+
     all_pass = True
     for queue in view.queues():
-        qview = view.by_queue(queue)
-        if len(qview) < min_queue_jobs:
-            report["queues"][queue] = {"jobs": len(qview), "skipped": True}
+        if queue not in by_queue:
             continue
-        bank = conformance.make_bank(refit_mode)
-        if methods:
-            bank = {m: bank[m] for m in methods}
+        qrep = _merge_queue_rows(by_queue[queue], record_series)
         if not report["methods"]:
-            report["methods"] = sorted(bank)
-        results = replay(qview, bank, config, engine=engine)
-        qrep: Dict[str, Any] = {"jobs": len(qview), "methods": {}}
-        for name in sorted(results):
-            res = results[name]
-            qrep["methods"][name] = {
-                "evaluated": res.n_evaluated,
-                "fraction_correct": round(res.fraction_correct, 5),
-                "median_ratio": round(res.median_ratio, 5),
-            }
-        bmbp = results.get("bmbp")
-        if bmbp is not None and bmbp.n_evaluated:
-            low, high = conformance.wilson_interval(
-                bmbp.n_correct, bmbp.n_evaluated, conformance.CONFIDENCE
-            )
-            passed = high >= conformance.QUANTILE
-            qrep["coverage"] = {
-                "quantile": conformance.QUANTILE,
-                "confidence": conformance.CONFIDENCE,
-                "evaluated": bmbp.n_evaluated,
-                "correct": bmbp.n_correct,
-                "fraction": round(bmbp.fraction_correct, 5),
-                "wilson_low": round(low, 5),
-                "wilson_high": round(high, 5),
-                "passed": passed,
-            }
-            all_pass = all_pass and passed
-        report["jobs_replayed"] += len(qview)
+            report["methods"] = sorted(qrep["methods"])
+        cov = qrep.get("coverage")
+        if cov is not None:
+            all_pass = all_pass and cov["passed"]
+        report["jobs_replayed"] += qrep["jobs"]
         report["queues"][queue] = qrep
+
     report["seconds"] = round(time.perf_counter() - started, 3)
     report["jobs_per_s"] = round(
         report["jobs_replayed"] / report["seconds"], 1
     ) if report["seconds"] > 0 else 0.0
     report["coverage_pass"] = all_pass
+    provenance: Dict[str, Any] = {
+        "jobs": resolve_jobs(jobs) if is_store else 1,
+        "cpu_count": os.cpu_count(),
+        "engine": resolved_engine,
+        "refit_mode": refit_mode,
+        "split_threshold": split_threshold,
+        "cache": {
+            "enabled": bool(cache_enabled),
+            "hits": delta.cache_hits if delta is not None else 0,
+            "misses": delta.cache_misses if delta is not None else 0,
+        },
+        "units": [
+            {
+                "unit": unit.label,
+                "queue": unit.queue,
+                "chunk": unit.chunk,
+                "rows": unit.scored_rows,
+                "warmup": unit.warmup,
+                "seconds": round(timing_by_label[unit.label].seconds, 4)
+                if unit.label in timing_by_label else None,
+                "cached": timing_by_label[unit.label].cached
+                if unit.label in timing_by_label else None,
+            }
+            for unit in units
+        ],
+    }
+    if is_store:
+        provenance["store"] = {
+            "path": str(store.path),
+            "rows": store.rows,
+            "column_sha256": store.column_sha256(),
+        }
+    report["provenance"] = provenance
     return report
+
+
+# --------------------------------------------------------------------------
+# Benchmark driver.
+# --------------------------------------------------------------------------
+
+
+def _strip_volatile(report: Dict[str, Any]) -> Dict[str, Any]:
+    """The deterministic core of a replay report (identity comparisons)."""
+    return {
+        "site": report["site"],
+        "rows": report["rows"],
+        "jobs_replayed": report["jobs_replayed"],
+        "methods": report["methods"],
+        "queues": report["queues"],
+        "coverage_pass": report["coverage_pass"],
+    }
 
 
 def _bench_site(
@@ -153,6 +631,8 @@ def _bench_site(
     *,
     epoch: float,
     min_queue_jobs: int,
+    split_threshold: int,
+    worker_arms: Sequence[int],
 ) -> Dict[str, Any]:
     """Generate -> ingest -> replay one synthetic site; return its rows."""
     log_path = workdir / f"{name}.swf.gz"
@@ -165,9 +645,59 @@ def _bench_site(
     raw_bytes = log_path.stat().st_size
     store_bytes = store.nbytes()
 
-    replay_report = replay_store(
-        store, epoch=epoch, min_queue_jobs=min_queue_jobs
+    common = dict(
+        epoch=epoch, min_queue_jobs=min_queue_jobs,
+        split_threshold=split_threshold,
     )
+    # Serial oracle first: cold compute, cache writes on (this is the
+    # run that populates the per-unit cache for the cached arm below).
+    serial_report = replay_store(store, jobs=1, cache=True, **common)
+    serial_s = serial_report["seconds"]
+    serial_core = _strip_volatile(serial_report)
+
+    arms: List[Dict[str, Any]] = [{
+        "jobs": 1,
+        "seconds": serial_s,
+        "jobs_per_s": serial_report["jobs_per_s"],
+        "speedup_vs_serial": 1.0,
+        "identical_to_serial": True,
+    }]
+    for workers in worker_arms:
+        if workers <= 1:
+            continue
+        # Cache off: these arms measure parallel compute, not lookups.
+        par = replay_store(store, jobs=workers, cache=False, **common)
+        identical = _strip_volatile(par) == serial_core
+        arms.append({
+            "jobs": workers,
+            "seconds": par["seconds"],
+            "jobs_per_s": par["jobs_per_s"],
+            "speedup_vs_serial": round(serial_s / par["seconds"], 3)
+            if par["seconds"] > 0 else None,
+            "identical_to_serial": identical,
+        })
+
+    cached_report = replay_store(store, jobs=1, cache=True, **common)
+    cached = {
+        "seconds": cached_report["seconds"],
+        "fraction_of_serial": round(cached_report["seconds"] / serial_s, 4)
+        if serial_s > 0 else None,
+        "hits": cached_report["provenance"]["cache"]["hits"],
+        "misses": cached_report["provenance"]["cache"]["misses"],
+        "identical_to_serial": _strip_volatile(cached_report) == serial_core,
+    }
+
+    ledger = serial_report["provenance"]["units"]
+    timed = [u for u in ledger if u["seconds"] is not None]
+    timed.sort(key=lambda u: -u["seconds"])
+    stragglers = [
+        {
+            **{k: u[k] for k in ("unit", "queue", "chunk", "rows", "seconds")},
+            "share": round(u["seconds"] / serial_s, 3) if serial_s > 0 else None,
+        }
+        for u in timed[:5]
+    ]
+
     return {
         "site": name,
         "fixture": {
@@ -184,36 +714,50 @@ def _bench_site(
             "store_bytes": store_bytes,
             "bytes_per_row": round(store_bytes / max(store.rows, 1), 2),
             "store_vs_raw": round(store_bytes / max(raw_bytes, 1), 3),
+            "column_sha256": store.column_sha256(),
         },
-        "replay": replay_report,
+        "replay": serial_report,
+        "scaling": {
+            "arms": arms,
+            "cached": cached,
+            "stragglers": stragglers,
+            "units": len(ledger),
+        },
     }
 
 
 def run_corpus_bench(
     *,
     smoke: bool = False,
-    jobs: Optional[int] = None,
+    site_jobs: Optional[int] = None,
     epoch: float = 300.0,
     workdir: Optional[Union[str, Path]] = None,
     keep: bool = False,
     artifact: Optional[Union[str, Path]] = "BENCH_corpus.json",
+    max_workers: int = 4,
+    split_threshold: int = DEFAULT_SPLIT_THRESHOLD,
 ) -> Dict[str, Any]:
     """The ``bmbp bench-corpus`` driver.
 
     Full mode replays >= 1M jobs across two synthetic sites through the
     full bank; smoke mode runs one small site and enforces the ingest
-    floor and per-queue coverage.  Writes ``artifact`` (unless None) and
-    returns the report.
+    floor and per-queue coverage.  Every mode measures the scaling
+    section: one serial arm, parallel arms up to ``max_workers``, and a
+    fully-cached re-replay, each proven bit-identical to the serial
+    oracle.  Writes ``artifact`` (unless None) and returns the report.
     """
+    from repro import runtime
+
     sites = list(_BENCH_SITES_SMOKE if smoke else _BENCH_SITES_FULL)
-    if jobs is not None:
-        sites = [(name, jobs, seed) for name, _, seed in sites]
+    if site_jobs is not None:
+        sites = [(name, site_jobs, seed) for name, _, seed in sites]
     own_workdir = workdir is None
     workdir = Path(workdir) if workdir else Path(
         tempfile.mkdtemp(prefix="bmbp-bench-corpus-")
     )
     workdir.mkdir(parents=True, exist_ok=True)
     min_queue = 200 if smoke else DEFAULT_MIN_QUEUE_JOBS
+    worker_arms = [w for w in _BENCH_WORKER_ARMS if w <= max(int(max_workers), 1)]
     report: Dict[str, Any] = {
         "schema": BENCH_SCHEMA,
         "smoke": smoke,
@@ -222,17 +766,25 @@ def run_corpus_bench(
         "config": {
             "epoch": epoch,
             "min_queue_jobs": min_queue,
+            "split_threshold": split_threshold,
+            "worker_arms": worker_arms,
             "sites": [{"site": n, "jobs": j, "seed": s} for n, j, s in sites],
         },
         "sites": [],
     }
+    # The bench owns its cache: a private directory under the workdir so
+    # hit/miss counts measure this run, not whatever a developer box had.
+    runtime.configure(cache=True, cache_dir=str(workdir / "cache"))
     try:
         for name, njobs, seed in sites:
             report["sites"].append(_bench_site(
                 workdir, name, njobs, seed,
                 epoch=epoch, min_queue_jobs=min_queue,
+                split_threshold=split_threshold,
+                worker_arms=worker_arms,
             ))
     finally:
+        runtime.reset_configuration()
         if own_workdir and not keep:
             shutil.rmtree(workdir, ignore_errors=True)
 
@@ -240,6 +792,48 @@ def run_corpus_bench(
     total_replay_s = sum(s["replay"]["seconds"] for s in report["sites"])
     total_read = sum(s["ingest"]["read"] for s in report["sites"])
     total_ingest_s = sum(s["ingest"]["seconds"] for s in report["sites"])
+
+    arm_totals: Dict[int, float] = {}
+    for site in report["sites"]:
+        for arm in site["scaling"]["arms"]:
+            arm_totals[arm["jobs"]] = arm_totals.get(arm["jobs"], 0.0) + arm["seconds"]
+    serial_total = arm_totals.get(1, 0.0)
+    scaling_rows = [
+        {
+            "jobs": workers,
+            "seconds": round(seconds, 3),
+            "jobs_per_s": round(total_replayed / seconds, 1) if seconds else 0.0,
+            "speedup_vs_serial": round(serial_total / seconds, 3)
+            if seconds else None,
+        }
+        for workers, seconds in sorted(arm_totals.items())
+    ]
+    cached_total = sum(s["scaling"]["cached"]["seconds"] for s in report["sites"])
+    cache_hits = sum(s["scaling"]["cached"]["hits"] for s in report["sites"])
+    cache_misses = sum(s["scaling"]["cached"]["misses"] for s in report["sites"])
+    parallel_identical = all(
+        arm["identical_to_serial"]
+        for s in report["sites"] for arm in s["scaling"]["arms"]
+    ) and all(
+        s["scaling"]["cached"]["identical_to_serial"] for s in report["sites"]
+    )
+    best_speedup = max(
+        (row["speedup_vs_serial"] for row in scaling_rows
+         if row["jobs"] > 1 and row["speedup_vs_serial"] is not None),
+        default=None,
+    )
+    report["scaling"] = {
+        "rows": scaling_rows,
+        "best_parallel_speedup": best_speedup,
+        "cached": {
+            "seconds": round(cached_total, 3),
+            "fraction_of_serial": round(cached_total / serial_total, 4)
+            if serial_total else None,
+            "hits": cache_hits,
+            "misses": cache_misses,
+        },
+        "parallel_identical_to_serial": parallel_identical,
+    }
     report["summary"] = {
         "jobs_replayed": total_replayed,
         "replay_jobs_per_s": round(total_replayed / total_replay_s, 1)
@@ -249,6 +843,7 @@ def run_corpus_bench(
         "coverage_pass": all(
             s["replay"]["coverage_pass"] for s in report["sites"]
         ),
+        "parallel_identical_to_serial": parallel_identical,
     }
 
     if artifact:
@@ -256,6 +851,10 @@ def run_corpus_bench(
             json.dumps(report, indent=2, sort_keys=True) + "\n"
         )
 
+    assert parallel_identical, (
+        "parallel or cached replay rows diverged from the serial oracle; "
+        "see the per-site scaling sections in the artifact"
+    )
     ingest_rate = report["summary"]["ingest_rows_per_s"]
     assert ingest_rate >= MIN_CORPUS_INGEST, (
         f"corpus ingest {ingest_rate:.0f} rows/s is below the floor "
@@ -265,9 +864,23 @@ def run_corpus_bench(
         "per-queue (0.95, 0.95) coverage failed on a synthetic site; "
         "see the per-site coverage tables in the artifact"
     )
+    cores = os.cpu_count() or 1
+    if smoke and cores >= 2 and best_speedup is not None:
+        assert best_speedup >= MIN_PARALLEL_SPEEDUP, (
+            f"best parallel arm is {best_speedup:.2f}x serial on a "
+            f"{cores}-core box, below the floor {MIN_PARALLEL_SPEEDUP:.2f}; "
+            f"override with BMBP_BENCH_MIN_CORPUS_PARALLEL_SPEEDUP"
+        )
+    cached_fraction = report["scaling"]["cached"]["fraction_of_serial"]
+    if serial_total >= _CACHED_GATE_MIN_SERIAL_S and cached_fraction is not None:
+        assert cached_fraction <= MAX_CACHED_FRACTION, (
+            f"fully-cached re-replay took {cached_fraction:.1%} of the cold "
+            f"serial time (ceiling {MAX_CACHED_FRACTION:.0%}); override with "
+            f"BMBP_BENCH_MAX_CORPUS_CACHED_FRACTION"
+        )
     if not smoke:
         assert total_replayed >= 1_000_000, (
             f"full bench replayed only {total_replayed} jobs; the 1M-job "
-            f"scale claim requires >= 1,000,000 (pass --jobs to raise)"
+            f"scale claim requires >= 1,000,000 (pass --site-jobs to raise)"
         )
     return report

@@ -352,6 +352,60 @@ class CorpusView:
             self._queue_names,
         )
 
+    def queue_rows(self, queue: Union[str, int]) -> int:
+        """Row count of one queue without materializing its columns."""
+        qid = self._queue_id(queue)
+        return int(np.count_nonzero(np.asarray(self._queue) == qid))
+
+    def queue_slice(
+        self,
+        queue: Union[str, int],
+        lo: int = 0,
+        hi: Optional[int] = None,
+    ) -> "CorpusView":
+        """Rows ``lo:hi`` of one queue, counted in that queue's submit order.
+
+        This is the parallel planner's slice-open API: a work unit is
+        described to a worker by *(store path, queue, lo, hi)* only, and
+        the worker re-opens the memmap columns and materializes exactly
+        these rows itself — no trace data ever crosses the process
+        boundary.  ``hi=None`` means the end of the queue.
+        """
+        qid = self._queue_id(queue)
+        idx = np.flatnonzero(np.asarray(self._queue) == qid)[lo:hi]
+        name = self._queue_names.get(qid, str(qid))
+        return CorpusView(
+            f"{self.name}/{name}[{lo}:{'' if hi is None else hi}]",
+            np.asarray(self._submit)[idx],
+            np.asarray(self._wait)[idx],
+            np.asarray(self._runtime)[idx],
+            np.asarray(self._procs)[idx],
+            np.asarray(self._queue)[idx],
+            np.asarray(self._class)[idx],
+            self._queue_names,
+        )
+
+    def queue_digest(
+        self,
+        queue: Union[str, int],
+        lo: int = 0,
+        hi: Optional[int] = None,
+    ) -> str:
+        """SHA-256 over the replay-hot bytes of rows ``lo:hi`` of a queue.
+
+        Hashes the exact ``submit``/``wait``/``procs`` values the replay
+        kernel consumes, so a cache key carrying this digest goes stale
+        if — and only if — the unit's own data changes, even when the
+        mutation bypassed the ETL and the manifest checksums still claim
+        the old bytes.
+        """
+        qid = self._queue_id(queue)
+        idx = np.flatnonzero(np.asarray(self._queue) == qid)[lo:hi]
+        h = hashlib.sha256()
+        for arr in (self._submit, self._wait, self._procs):
+            h.update(np.ascontiguousarray(np.asarray(arr)[idx]).tobytes())
+        return h.hexdigest()
+
     def time_slice(self, start: float, end: float) -> "CorpusView":
         """Zero-copy view of jobs with ``start <= submit < end``."""
         lo = int(np.searchsorted(self._submit, start, side="left"))
@@ -477,6 +531,22 @@ class CorpusStore:
 
     def queues(self) -> List[str]:
         return self.view().queues()
+
+    def queue_slice(
+        self,
+        queue: Union[str, int],
+        lo: int = 0,
+        hi: Optional[int] = None,
+    ) -> CorpusView:
+        """Slice-open rows ``lo:hi`` of one queue (see CorpusView.queue_slice)."""
+        return self.view().queue_slice(queue, lo, hi)
+
+    def column_sha256(self) -> Dict[str, str]:
+        """The manifest's recorded per-column SHA-256s (ingest-time)."""
+        return {
+            name: self.manifest["columns"][name].get("sha256")
+            for name, _, _ in COLUMNS
+        }
 
     def time_range(self) -> Tuple[Optional[float], Optional[float]]:
         tr = self.manifest.get("time_range") or [None, None]

@@ -42,9 +42,11 @@ from repro.verify import faults
 
 __all__ = [
     "CACHE_VERSION",
+    "CORPUS_REPLAY_VERSION",
     "DiskCache",
     "cache_enabled_from_env",
     "canonical_key",
+    "corpus_unit_key",
     "default_cache_dir",
 ]
 
@@ -52,6 +54,13 @@ __all__ = [
 #: generator, the predictors, the replay protocol, and the experiment work
 #: functions.  Bump on any change that can move a cached number.
 CACHE_VERSION = 1
+
+#: Version of everything a cached *corpus replay unit* depends on beyond
+#: its data: the replay kernel, the 9-method bank construction, and the
+#: unit merge semantics.  Bump on any change that can move a per-queue
+#: coverage row; data changes are covered by the content digests in the
+#: key itself.
+CORPUS_REPLAY_VERSION = 1
 
 _FALSY = {"0", "false", "no", "off", ""}
 
@@ -96,6 +105,39 @@ def canonical_key(*parts: Any) -> str:
     """Deterministic JSON string identifying one cacheable work item."""
     payload = {"cache_version": CACHE_VERSION, "parts": _canonical(list(parts))}
     return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def corpus_unit_key(
+    *,
+    site: str,
+    queue: str,
+    rows: Any,
+    data_digest: str,
+    column_sha256: Any,
+    config: Any,
+) -> str:
+    """Content-addressed key for one corpus replay work unit.
+
+    Deliberately excludes the store *path*: the same rows replayed from a
+    moved or re-ingested store hit the same entry.  Staleness is carried
+    by two content layers — the manifest's per-column SHA-256s (cheap,
+    ingest-time) and ``data_digest``, a hash of the exact bytes the unit
+    replays (detects direct on-disk mutation of a single queue's rows,
+    which the manifest cannot see) — plus :data:`CORPUS_REPLAY_VERSION`
+    for the kernel/bank code itself.
+    """
+    return canonical_key(
+        "corpus-replay-unit",
+        {
+            "corpus_replay_version": CORPUS_REPLAY_VERSION,
+            "site": site,
+            "queue": queue,
+            "rows": _canonical(rows),
+            "data_digest": data_digest,
+            "column_sha256": _canonical(column_sha256),
+            "config": _canonical(config),
+        },
+    )
 
 
 class DiskCache:

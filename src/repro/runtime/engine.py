@@ -33,7 +33,7 @@ import os
 import sys
 import time
 import traceback
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
@@ -63,18 +63,27 @@ class Task:
     (i.e. defined at module top level); its arguments must be picklable and
     must *fully determine* the result — the persistent cache is keyed by
     ``(func identity, args, cache version)`` and nothing else.
+
+    ``cache_key`` overrides that default key.  Callers whose arguments
+    name data *by reference* (the corpus planner passes a store path, not
+    the rows) supply a content-addressed key instead — e.g.
+    :func:`repro.runtime.cache.corpus_unit_key` — so cached results
+    follow the data, not the path it happened to live at.
     """
 
     func: Callable[..., Any]
     args: Tuple = ()
     label: str = ""
     cache: bool = True
+    cache_key: Optional[str] = None
 
     @property
     def func_id(self) -> str:
         return f"{self.func.__module__}:{self.func.__qualname__}"
 
     def key(self) -> str:
+        if self.cache_key is not None:
+            return self.cache_key
         return canonical_key(self.func_id, self.args)
 
 
@@ -262,17 +271,32 @@ def _pool_context():
     return None
 
 
-def _run_serial(tasks: Sequence[Task]) -> List[Tuple[str, Any, float]]:
-    return [_invoke(task) for task in tasks]
+def _run_serial(
+    tasks: Sequence[Task],
+    on_done: Optional[Callable[[], None]] = None,
+) -> List[Tuple[str, Any, float]]:
+    outcomes = []
+    for task in tasks:
+        outcomes.append(_invoke(task))
+        if on_done is not None:
+            on_done()
+    return outcomes
 
 
-def _run_pool(tasks: Sequence[Task], jobs: int) -> List[Tuple[str, Any, float]]:
+def _run_pool(
+    tasks: Sequence[Task],
+    jobs: int,
+    on_done: Optional[Callable[[], None]] = None,
+) -> List[Tuple[str, Any, float]]:
     """Fan out over a process pool; any pool-level failure falls back serial."""
     try:
         with ProcessPoolExecutor(
             max_workers=min(jobs, len(tasks)), mp_context=_pool_context()
         ) as pool:
             futures = [pool.submit(_invoke, task) for task in tasks]
+            if on_done is not None:
+                for _ in as_completed(futures):
+                    on_done()
             return [future.result() for future in futures]
     except Exception as exc:  # BrokenProcessPool, PicklingError, OSError, ...
         print(
@@ -280,25 +304,40 @@ def _run_pool(tasks: Sequence[Task], jobs: int) -> List[Tuple[str, Any, float]]:
             "falling back to serial execution",
             file=sys.stderr,
         )
-        return _run_serial(tasks)
+        return _run_serial(tasks, on_done)
 
 
 def run_tasks(
     tasks: Sequence[Task],
     jobs: Optional[int] = None,
     cache: Optional[bool] = None,
+    progress: Optional[Callable[[int, int], None]] = None,
 ) -> List[Any]:
     """Execute tasks and return their results in task order.
 
     Cached results are served from the persistent store without touching
     the pool; only misses are executed (in parallel when ``jobs > 1``).
     Raises :class:`WorkerError` for the first failing task, in task order.
+
+    ``progress`` is called as ``progress(done, total)`` after each task
+    settles (cache hits count immediately, pool tasks as they complete —
+    completion order, not submission order).  ``done`` is clamped to
+    ``total``; the callback must tolerate being called from the main
+    process while the pool is still running.
     """
     tasks = list(tasks)
     results: List[Any] = [None] * len(tasks)
     use_cache = _cache_active(cache)
     store = _disk_cache() if use_cache else None
     started = time.perf_counter()
+
+    done_count = 0
+
+    def _tick() -> None:
+        nonlocal done_count
+        done_count += 1
+        if progress is not None:
+            progress(min(done_count, len(tasks)), len(tasks))
 
     pending: List[Tuple[int, Task]] = []
     keys: List[Optional[str]] = [None] * len(tasks)
@@ -313,15 +352,17 @@ def run_tasks(
                     TaskTiming(label=task.label or task.func_id,
                                seconds=0.0, cached=True)
                 )
+                _tick()
                 continue
         pending.append((i, task))
 
     effective_jobs = resolve_jobs(jobs)
     to_run = [task for _, task in pending]
+    on_done = _tick if progress is not None else None
     if len(to_run) > 1 and effective_jobs > 1:
-        outcomes = _run_pool(to_run, effective_jobs)
+        outcomes = _run_pool(to_run, effective_jobs, on_done)
     else:
-        outcomes = _run_serial(to_run)
+        outcomes = _run_serial(to_run, on_done)
 
     error: Optional[WorkerError] = None
     for (i, task), (status, value, seconds) in zip(pending, outcomes):

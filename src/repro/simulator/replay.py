@@ -82,13 +82,21 @@ _SMALL_BATCH = 8
 
 @dataclass(frozen=True)
 class ReplayConfig:
-    """Replay parameters; defaults are the paper's."""
+    """Replay parameters; defaults are the paper's.
+
+    ``training_jobs`` overrides the fraction-derived training cutoff with
+    an absolute job count (clamped to the trace length).  The parallel
+    corpus planner uses it for history-prefixed chunk units: a chunk's
+    slice starts ``warmup`` rows before its scored range, and exactly
+    those ``warmup`` jobs must feed history without being evaluated.
+    """
 
     epoch: float = 300.0
     training_fraction: float = 0.10
     record_series: bool = False
     series_window: Optional[Tuple[float, float]] = None
     record_jobs: bool = False
+    training_jobs: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.epoch < 0.0:
@@ -97,6 +105,16 @@ class ReplayConfig:
             raise ValueError(
                 f"training_fraction must be in [0, 1), got {self.training_fraction}"
             )
+        if self.training_jobs is not None and self.training_jobs < 0:
+            raise ValueError(
+                f"training_jobs must be non-negative, got {self.training_jobs}"
+            )
+
+    def resolve_training(self, n: int) -> int:
+        """The training cutoff for an ``n``-job trace under this config."""
+        if self.training_jobs is not None:
+            return min(self.training_jobs, n)
+        return math.ceil(self.training_fraction * n)
 
 
 def _score(kind: BoundKind, actual: float, predicted: float) -> Tuple[bool, float]:
@@ -177,7 +195,7 @@ def _replay_reference(
     if n == 0:
         return results
 
-    n_train = math.ceil(config.training_fraction * n)
+    n_train = config.resolve_training(n)
     t0 = trace[0].submit_time
     epoch = config.epoch
     # Pending queue entries: (start_time, sequence, wait, {name: predicted}).
@@ -305,7 +323,7 @@ def _replay_batched(
     names = list(predictors)
     results = _make_results(trace, predictors)
     n = len(trace)
-    n_train = math.ceil(config.training_fraction * n)
+    n_train = config.resolve_training(n)
     epoch = config.epoch
     window = config.series_window
     record_series = config.record_series

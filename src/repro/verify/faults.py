@@ -53,6 +53,10 @@ corpus.finalize     ``crash``/``crash-before`` (manifest written in the temp
                     ``raise``
 corpus.finalize.after  ``crash`` (crash immediately after the rename: the
                     store must already be complete and valid)
+corpus.replay.unit  ``die`` (``os._exit`` at the start of a replay work
+                    unit — in a pool worker *and* in the serial fallback,
+                    so an injected worker death can never be silently
+                    absorbed), ``raise`` (raise at the same point)
 ==================  ==========================================================
 
 Injected crashes exit with :data:`CRASH_EXIT_CODE` so a scenario can prove
@@ -909,6 +913,148 @@ def scenario_corpus_ingest_crash(tmp: Path) -> Dict[str, Any]:
     return details
 
 
+def scenario_corpus_replay_worker_crash(tmp: Path) -> Dict[str, Any]:
+    """A replay worker dies mid-unit: the run fails loudly, caches nothing.
+
+    Three invariants around the parallel corpus replay's failure contract:
+
+    1. ``corpus.replay.unit:die`` kills the process handling the 2nd work
+       unit.  The engine's serial fallback re-enters the same hook (the
+       unit fault is deliberately *not* guarded by ``in_worker_process``),
+       so the whole replay dies with :data:`CRASH_EXIT_CODE` — no report
+       artifact, no partial rows, and *nothing written to the cache* (the
+       engine persists results only after the full task set settles).
+    2. ``corpus.replay.unit:raise`` fails a unit in-worker; the parent
+       must surface a :class:`~repro.runtime.engine.WorkerError` carrying
+       the remote traceback, again without an artifact.  Units that *did*
+       complete are cached — they are valid content-addressed results —
+       but the failed ones are not.
+    3. A clean re-run against the same cache directory completes, covers
+       every unit (hits + misses == units, with the faulted units always
+       recomputed), matches an uninterrupted in-process reference
+       bit-for-bit, and a second run is served entirely from cache.
+    """
+    import json as json_module
+
+    from repro.corpus.etl import ingest as corpus_ingest
+    from repro.corpus.fixtures import generate_corpus_fixture
+    from repro.corpus.replay import _strip_volatile, replay_store
+    from repro.corpus.store import CorpusStore
+
+    work = tmp / "corpus-replay-worker-crash"
+    work.mkdir(parents=True, exist_ok=True)
+    log_path = work / "fixture.swf.gz"
+    generate_corpus_fixture(log_path, jobs=2500, seed=8686)
+    store_dir = work / "site"
+    store, _ = corpus_ingest(log_path, store_dir, site="crash-site", force=True)
+    cache_dir = work / "cache"
+
+    reference = _strip_volatile(
+        replay_store(store, min_queue_jobs=200, jobs=1, cache=False)
+    )
+
+    def _spawn(spec: Optional[str], out: Path) -> subprocess.Popen:
+        env = dict(os.environ)
+        env.update(_daemon_env(spec))
+        env["BMBP_CACHE_DIR"] = str(cache_dir)
+        code = (
+            "import json\n"
+            "from repro.corpus.store import CorpusStore\n"
+            "from repro.corpus.replay import replay_store\n"
+            f"report = replay_store(CorpusStore({str(store_dir)!r}), "
+            "min_queue_jobs=200, jobs=2, cache=True)\n"
+            f"json.dump(report, open({str(out)!r}, 'w'))\n"
+        )
+        return subprocess.Popen(
+            [sys.executable, "-c", code], env=env,
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+        )
+
+    details: Dict[str, Any] = {}
+
+    # Arm 1: worker death.  The fallback re-crash makes failure loud even
+    # though the engine degrades pool losses to serial execution.
+    died_out = work / "died.json"
+    proc = _spawn("corpus.replay.unit:die@2", died_out)
+    _, stderr = proc.communicate(timeout=180)
+    assert proc.returncode == CRASH_EXIT_CODE, (
+        f"faulted replay exited {proc.returncode}, expected the injected "
+        f"crash code {CRASH_EXIT_CODE}; stderr: "
+        f"{stderr.decode(errors='replace')[-300:]}"
+    )
+    assert not died_out.exists(), (
+        "crashed replay left a (necessarily partial) report artifact behind"
+    )
+    leftover = list(cache_dir.rglob("*.pkl")) if cache_dir.exists() else []
+    assert not leftover, (
+        f"a crashed replay persisted {len(leftover)} cache entries; results "
+        "must only be written after the full task set settles"
+    )
+    details["die"] = {"exit": proc.returncode, "artifact": False,
+                      "cache_entries": 0}
+
+    # Arm 2: in-worker exception -> WorkerError with the remote traceback.
+    raised_out = work / "raised.json"
+    proc = _spawn("corpus.replay.unit:raise@1", raised_out)
+    _, stderr = proc.communicate(timeout=180)
+    stderr_text = stderr.decode(errors="replace")
+    assert proc.returncode not in (0, CRASH_EXIT_CODE), (
+        f"faulted replay exited {proc.returncode}; expected an ordinary "
+        f"failure, not success or a crash"
+    )
+    assert "WorkerError" in stderr_text, (
+        f"replay failure did not surface as WorkerError; stderr: "
+        f"{stderr_text[-300:]}"
+    )
+    assert "injected corpus.replay.unit fault" in stderr_text, (
+        "WorkerError does not carry the remote traceback"
+    )
+    assert not raised_out.exists()
+    details["raise"] = {"exit": proc.returncode, "worker_error": True}
+
+    # Recovery: a clean run over the same cache must complete, recompute
+    # at least the faulted units (the raise arm failed >= 1 unit, so its
+    # result cannot have been cached), and match the reference exactly —
+    # including any units legitimately cached by the raise arm.
+    clean_out = work / "clean.json"
+    proc = _spawn(None, clean_out)
+    _, stderr = proc.communicate(timeout=180)
+    assert proc.returncode == 0, (
+        f"clean re-run failed with exit {proc.returncode}: "
+        f"{stderr.decode(errors='replace')[-300:]}"
+    )
+    with open(clean_out) as fh:
+        clean_report = json_module.load(fh)
+    cache_counts = clean_report["provenance"]["cache"]
+    n_units = len(clean_report["provenance"]["units"])
+    assert cache_counts["hits"] + cache_counts["misses"] == n_units
+    assert cache_counts["misses"] >= 1, (
+        f"a unit that raised in-worker was served from cache: {cache_counts}"
+    )
+    assert _strip_volatile(clean_report) == reference, (
+        "post-crash replay diverged from the uninterrupted reference"
+    )
+
+    # And the cache the clean run populated serves a full re-run.
+    proc = _spawn(None, clean_out)
+    _, stderr = proc.communicate(timeout=180)
+    assert proc.returncode == 0, stderr.decode(errors="replace")[-300:]
+    with open(clean_out) as fh:
+        cached_report = json_module.load(fh)
+    cached_counts = cached_report["provenance"]["cache"]
+    assert cached_counts["hits"] == n_units and cached_counts["misses"] == 0, (
+        f"cached re-run recomputed units: {cached_counts}"
+    )
+    assert _strip_volatile(cached_report) == reference
+    details["recovery"] = {
+        "units": n_units,
+        "recomputed": cache_counts["misses"],
+        "cached_hits": cached_counts["hits"],
+        "identical_to_reference": True,
+    }
+    return details
+
+
 #: Scenario registry: name -> (driver, needs_reference).
 SCENARIOS: Dict[str, Tuple[Callable, bool]] = {
     "torn-journal": (scenario_torn_journal, True),
@@ -922,6 +1068,7 @@ SCENARIOS: Dict[str, Tuple[Callable, bool]] = {
     "shard-crash-promote": (scenario_shard_crash_promote, True),
     "follower-lag-promote": (scenario_follower_lag_promote, True),
     "corpus-ingest-crash": (scenario_corpus_ingest_crash, False),
+    "corpus-replay-worker-crash": (scenario_corpus_replay_worker_crash, False),
 }
 
 

@@ -28,6 +28,17 @@ every forecast before it, so this one series transitively pins the
 engine's event ordering, the policies' sort keys, and the forecaster's
 bound arithmetic.  Same rtol, same first-divergence reporting, same
 ``--update-golden`` regeneration path.
+
+A third family pins the *corpus replay* path end to end: a committed
+archive-shaped SWF fixture (``corpus-site.swf.gz``) is ingested into a
+temporary columnar store and replayed through the parallel unit planner
+with a split threshold low enough to force chunked units, and the full
+per-queue coverage rows are pinned exactly (the report's numeric fields
+are already quantized).  Because the serial and parallel paths execute
+the identical unit plan, this one golden pins the ETL row filter, the
+slice-open geometry, the chunk warmup rule, the deterministic chunk
+merge, and the Wilson acceptance arithmetic at once — for every worker
+count.
 """
 
 from __future__ import annotations
@@ -48,10 +59,13 @@ from repro.simulator.replay import ReplayConfig, replay_single
 from repro.workloads.swf import load_swf
 
 __all__ = [
+    "GOLDEN_CORPUS_SCHEMA",
     "GOLDEN_SCHED_SCHEMA",
     "GOLDEN_SCHEMA",
+    "compare_corpus_golden",
     "compare_golden",
     "compare_sched_golden",
+    "compute_corpus_golden",
     "compute_golden",
     "compute_sched_golden",
     "golden_dir",
@@ -61,10 +75,20 @@ __all__ = [
 
 GOLDEN_SCHEMA = "bmbp-golden-v1"
 GOLDEN_SCHED_SCHEMA = "bmbp-golden-sched-v1"
+GOLDEN_CORPUS_SCHEMA = "bmbp-golden-corpus-v1"
 
 #: Job-set fixture consumed by the scheduler golden (lives in git next to
 #: the SWF fixtures, for the same reason: the pinned inputs cannot drift).
 SCHED_FIXTURE = "sched-jobs.json"
+
+#: Archive-shaped SWF fixture consumed by the corpus golden.
+CORPUS_FIXTURE = "corpus-site.swf.gz"
+
+#: Corpus golden replay settings: the low split threshold forces chunked
+#: units on the larger queues, so the chunk warmup rule and deterministic
+#: merge are pinned, not just the whole-queue path.
+_CORPUS_REPLAY = {"min_queue_jobs": 200, "split_threshold": 800,
+                  "epoch": 300.0}
 
 #: Replay settings pinned into every golden (changing these is a golden
 #: regeneration event by definition).
@@ -183,6 +207,78 @@ def compare_sched_golden(
     return problems
 
 
+def compute_corpus_golden(log_path: Path) -> Dict[str, Any]:
+    """Ingest + replay the corpus fixture; return the pinnable record.
+
+    The replay runs serially and uncached — the golden is the oracle the
+    parallel and cached paths are proven against, so it must never be
+    served *by* them.  Every pinned numeric field is already quantized by
+    the report (5 decimal places), so comparison is exact.
+    """
+    import tempfile
+
+    from repro.corpus.etl import ingest
+    from repro.corpus.replay import _strip_volatile, replay_store
+
+    with tempfile.TemporaryDirectory(prefix="bmbp-golden-corpus-") as tmp:
+        store, stats = ingest(
+            log_path, Path(tmp) / "site", site="golden-corpus", force=True
+        )
+        report = replay_store(
+            store, jobs=1, cache=False, **_CORPUS_REPLAY
+        )
+    record = _strip_volatile(report)
+    record.update({
+        "schema": GOLDEN_CORPUS_SCHEMA,
+        "trace": log_path.name,
+        "trace_sha256": _sha256(log_path),
+        "ingest": {"read": stats.read, "kept": stats.kept,
+                   "drops": dict(sorted(stats.drops.items()))},
+        "replay_config": dict(_CORPUS_REPLAY),
+    })
+    return record
+
+
+def compare_corpus_golden(
+    pinned: Dict[str, Any], recomputed: Dict[str, Any]
+) -> List[str]:
+    """First-divergence messages for the corpus golden (empty when clean)."""
+    problems: List[str] = []
+    if pinned.get("trace_sha256") != recomputed["trace_sha256"]:
+        problems.append(
+            f"corpus fixture changed on disk (sha256 "
+            f"{recomputed['trace_sha256'][:12]}..., "
+            f"pinned {str(pinned.get('trace_sha256'))[:12]}...)"
+        )
+        return problems
+    for scalar in ("rows", "jobs_replayed", "methods", "ingest",
+                   "replay_config", "coverage_pass"):
+        if pinned.get(scalar) != recomputed[scalar]:
+            problems.append(
+                f"corpus.{scalar}: expected {pinned.get(scalar)!r}, "
+                f"got {recomputed[scalar]!r}"
+            )
+            return problems
+    want_q, got_q = pinned.get("queues", {}), recomputed["queues"]
+    if sorted(want_q) != sorted(got_q):
+        problems.append(
+            f"corpus queue set changed: pinned {sorted(want_q)}, "
+            f"got {sorted(got_q)}"
+        )
+        return problems
+    for queue in sorted(want_q):
+        if want_q[queue] != got_q[queue]:
+            want_row, got_row = want_q[queue], got_q[queue]
+            for key in sorted(set(want_row) | set(got_row)):
+                if want_row.get(key) != got_row.get(key):
+                    problems.append(
+                        f"corpus.queues[{queue}].{key}: expected "
+                        f"{want_row.get(key)!r}, got {got_row.get(key)!r}"
+                    )
+                    return problems
+    return problems
+
+
 def _first_divergence(
     name: str, pinned: Dict[str, Any], got: Dict[str, Any]
 ) -> Optional[str]:
@@ -266,6 +362,8 @@ def verify_goldens(
         pinned = json.loads(json_path.read_text())
         if pinned.get("schema") == GOLDEN_SCHED_SCHEMA:
             problems = compare_sched_golden(pinned, compute_sched_golden(trace_path))
+        elif pinned.get("schema") == GOLDEN_CORPUS_SCHEMA:
+            problems = compare_corpus_golden(pinned, compute_corpus_golden(trace_path))
         else:
             problems = compare_golden(pinned, compute_golden(trace_path))
         if problems:
@@ -292,5 +390,15 @@ def regenerate_goldens(directory: Optional[Path] = None) -> List[str]:
     if sched_fixture.is_file():
         out = directory / "golden-sched.json"
         out.write_text(json.dumps(compute_sched_golden(sched_fixture), indent=1) + "\n")
+        written.append(out.name)
+    # The corpus fixture is gzipped SWF, so the trace-*.swf glob above
+    # cannot pick it up — handled explicitly, like the sched job set.
+    corpus_fixture = directory / CORPUS_FIXTURE
+    if corpus_fixture.is_file():
+        out = directory / "golden-corpus.json"
+        out.write_text(
+            json.dumps(compute_corpus_golden(corpus_fixture),
+                       indent=1, sort_keys=True) + "\n"
+        )
         written.append(out.name)
     return written

@@ -75,7 +75,7 @@ class TestBench:
             smoke=True, workdir=tmp_path / "work", artifact=artifact
         )
         assert artifact.exists()
-        assert report["schema"] == "bmbp-bench-corpus/1"
+        assert report["schema"] == "bmbp-bench-corpus/2"
         assert report["smoke"] is True
         assert len(report["sites"]) == 1
         site = report["sites"][0]
@@ -83,3 +83,16 @@ class TestBench:
         assert site["store"]["rows"] == 6000
         assert report["summary"]["coverage_pass"]
         assert report["summary"]["ingest_rows_per_s"] > 0
+        # Scaling section: serial + parallel arms, cached re-run, identity.
+        scaling = report["scaling"]
+        arm_jobs = [row["jobs"] for row in scaling["rows"]]
+        assert arm_jobs[0] == 1 and len(arm_jobs) > 1
+        assert scaling["parallel_identical_to_serial"]
+        cached = scaling["cached"]
+        assert cached["misses"] == 0 and cached["hits"] > 0
+        assert report["cpu_count"] >= 1
+        site_scaling = site["scaling"]
+        assert all(arm["identical_to_serial"] for arm in site_scaling["arms"])
+        assert site_scaling["stragglers"], "straggler breakdown missing"
+        top = site_scaling["stragglers"][0]
+        assert {"unit", "queue", "rows", "seconds", "share"} <= set(top)

@@ -197,3 +197,63 @@ class TestJobsResolution:
     def test_default_is_serial(self, monkeypatch):
         monkeypatch.delenv("BMBP_JOBS", raising=False)
         assert resolve_jobs() == 1
+
+
+def _square(x):
+    return x * x
+
+
+class TestProgressCallback:
+    def test_serial_ticks_in_task_order(self, fresh_cache_dir):
+        tasks = [Task(func=_square, args=(i,), label=f"s{i}", cache=False)
+                 for i in range(5)]
+        seen = []
+        run_tasks(tasks, jobs=1, cache=False,
+                  progress=lambda d, t: seen.append((d, t)))
+        assert seen == [(i + 1, 5) for i in range(5)]
+
+    def test_cache_hits_tick_immediately(self, fresh_cache_dir):
+        tasks = [Task(func=_square, args=(i,), label=f"h{i}") for i in range(4)]
+        run_tasks(tasks, jobs=1, cache=True)
+        seen = []
+        run_tasks(tasks, jobs=1, cache=True,
+                  progress=lambda d, t: seen.append((d, t)))
+        assert seen == [(i + 1, 4) for i in range(4)]
+
+    @pytest.mark.skipif(not fork_available, reason="no fork start method")
+    def test_pool_ticks_once_per_task(self, fresh_cache_dir):
+        tasks = [Task(func=_square, args=(i,), label=f"p{i}", cache=False)
+                 for i in range(6)]
+        seen = []
+        results = run_tasks(tasks, jobs=2, cache=False,
+                            progress=lambda d, t: seen.append((d, t)))
+        assert results == [i * i for i in range(6)]
+        # Completion order is nondeterministic; the tick sequence is not.
+        assert seen == [(i + 1, 6) for i in range(6)]
+
+
+class TestCacheKeyOverride:
+    def test_override_wins_over_args(self, fresh_cache_dir):
+        first = Task(func=_square, args=(3,), label="a", cache_key="shared-key")
+        # Different args, same explicit key: must be served from the first
+        # task's cached result — the override, not the args, is the key.
+        second = Task(func=_square, args=(4,), label="b", cache_key="shared-key")
+        assert run_tasks([first], jobs=1, cache=True) == [9]
+        before = stats()
+        assert run_tasks([second], jobs=1, cache=True) == [9]
+        delta = stats().since(before)
+        assert delta.cache_hits == 1 and delta.cache_misses == 0
+
+    def test_distinct_overrides_are_distinct_entries(self, fresh_cache_dir):
+        a = Task(func=_square, args=(5,), label="a", cache_key="key-a")
+        b = Task(func=_square, args=(5,), label="b", cache_key="key-b")
+        run_tasks([a], jobs=1, cache=True)
+        before = stats()
+        run_tasks([b], jobs=1, cache=True)
+        delta = stats().since(before)
+        assert delta.cache_misses == 1 and delta.cache_hits == 0
+
+    def test_default_key_unchanged_without_override(self, fresh_cache_dir):
+        task = Task(func=_square, args=(7,), label="d")
+        assert task.key() == Task(func=_square, args=(7,)).key()
+        assert "shared" not in task.key()

@@ -30,13 +30,15 @@ class TestCommittedFixtures:
         names = {p.name for p in golden.golden_dir().iterdir()}
         assert {"trace-ar1.swf", "trace-regime.swf",
                 "golden-ar1.json", "golden-regime.json",
-                "sched-jobs.json", "golden-sched.json"} <= names
+                "sched-jobs.json", "golden-sched.json",
+                "corpus-site.swf.gz", "golden-corpus.json"} <= names
 
     def test_goldens_match_current_code(self):
         passed, details = golden.verify_goldens()
         assert passed, details.get("divergences")
         assert sorted(details["fixtures"]) == [
-            "golden-ar1.json", "golden-regime.json", "golden-sched.json",
+            "golden-ar1.json", "golden-corpus.json",
+            "golden-regime.json", "golden-sched.json",
         ]
 
     def test_regime_fixture_pins_a_change_point(self):
@@ -153,11 +155,13 @@ class TestSchedGolden:
 class TestRegeneration:
     def test_regenerate_round_trips(self, tmp_path):
         """--update-golden on an unchanged tree reproduces the pinned files."""
-        for name in ("trace-ar1.swf", "trace-regime.swf", "sched-jobs.json"):
+        for name in ("trace-ar1.swf", "trace-regime.swf", "sched-jobs.json",
+                     "corpus-site.swf.gz"):
             shutil.copy(golden.golden_dir() / name, tmp_path / name)
         written = golden.regenerate_goldens(tmp_path)
         assert sorted(written) == [
-            "golden-ar1.json", "golden-regime.json", "golden-sched.json",
+            "golden-ar1.json", "golden-corpus.json",
+            "golden-regime.json", "golden-sched.json",
         ]
         for name in written:
             assert json.loads((tmp_path / name).read_text()) == _pinned(name)
